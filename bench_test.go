@@ -1,0 +1,194 @@
+// Benchmarks reproducing the paper's evaluation: one testing.B target
+// per table/figure (backed by internal/bench, which prints the full
+// series via `just-bench`), plus ablation benches for the design choices
+// DESIGN.md calls out. Run all with:
+//
+//	go test -bench=. -benchmem
+package just
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"just/internal/bench"
+	"just/internal/core"
+	"just/internal/exec"
+	"just/internal/geom"
+	"just/internal/index"
+	"just/internal/kv"
+	"just/internal/workload"
+	"just/internal/zorder"
+)
+
+// runExperiment executes one paper experiment per benchmark iteration at
+// small scale with the report discarded; the wall time of the whole
+// reproduction is the measurement.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := bench.NewRunner(bench.Options{
+			Dir:     b.TempDir(),
+			Out:     io.Discard,
+			Scale:   bench.ScaleSmall,
+			Queries: 5,
+			Seed:    2019,
+		})
+		if err := r.Run(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2DatasetStats(b *testing.B)  { runExperiment(b, "table2") }
+func BenchmarkFig10aStorageOrder(b *testing.B)  { runExperiment(b, "fig10a") }
+func BenchmarkFig10bStorageTraj(b *testing.B)   { runExperiment(b, "fig10b") }
+func BenchmarkFig10cIndexOrder(b *testing.B)    { runExperiment(b, "fig10c") }
+func BenchmarkFig10dIndexTraj(b *testing.B)     { runExperiment(b, "fig10d") }
+func BenchmarkFig11aSpatialOrder(b *testing.B)  { runExperiment(b, "fig11a") }
+func BenchmarkFig11bSpatialTraj(b *testing.B)   { runExperiment(b, "fig11b") }
+func BenchmarkFig11cWindowOrder(b *testing.B)   { runExperiment(b, "fig11c") }
+func BenchmarkFig11dWindowTraj(b *testing.B)    { runExperiment(b, "fig11d") }
+func BenchmarkFig12aSTDataSize(b *testing.B)    { runExperiment(b, "fig12a") }
+func BenchmarkFig12bSTWindowOrder(b *testing.B) { runExperiment(b, "fig12b") }
+func BenchmarkFig12cSTWindowTraj(b *testing.B)  { runExperiment(b, "fig12c") }
+func BenchmarkFig12dSTTimeWindow(b *testing.B)  { runExperiment(b, "fig12d") }
+func BenchmarkFig13aKNNOrder(b *testing.B)      { runExperiment(b, "fig13a") }
+func BenchmarkFig13bKNNTraj(b *testing.B)       { runExperiment(b, "fig13b") }
+func BenchmarkFig13cKNNkOrder(b *testing.B)     { runExperiment(b, "fig13c") }
+func BenchmarkFig13dKNNkTraj(b *testing.B)      { runExperiment(b, "fig13d") }
+func BenchmarkFig14aScaleIngest(b *testing.B)   { runExperiment(b, "fig14a") }
+func BenchmarkFig14bScaleQuery(b *testing.B)    { runExperiment(b, "fig14b") }
+
+// --- Ablation benches (DESIGN.md: design choices to ablate) ---
+
+// loadedOrderEngine builds a 20k-order engine once per config.
+func loadedOrderEngine(b *testing.B, cfg core.Config, period time.Duration) *core.Engine {
+	b.Helper()
+	cfg.Dir = b.TempDir()
+	cfg.Cluster.Options.DisableWAL = true
+	cfg.Period = period
+	e, err := core.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { e.Close() })
+	orders := workload.Orders(workload.OrderConfig{N: 20000, Seed: 3})
+	desc := orderDesc()
+	if err := e.CreateTable(desc); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.BulkInsert("", "orders", workload.OrderRows(orders)); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func orderDesc() *justTableDesc {
+	return &justTableDesc{
+		Name:    "orders",
+		Columns: workload.OrderSchema(),
+	}
+}
+
+// justTableDesc is a local alias to avoid importing internal/table twice
+// in the public test package.
+type justTableDesc = TableDesc
+
+func stQueryLoop(b *testing.B, e *core.Engine) {
+	win := geom.SquareAround(geom.Point{Lng: 116.40, Lat: 39.90}, 3000)
+	day := int64(24 * 3600 * 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := e.Scan("", "orders", index.Query{
+			Window: win, HasTime: true, TMin: 0, TMax: day,
+		}, func(exec.Row) bool { n++; return true })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationZRangeDepth sweeps the Z-range decomposition depth:
+// deeper planning produces tighter scans at higher planning cost.
+func BenchmarkAblationZRangeDepth(b *testing.B) {
+	for _, extra := range []int{1, 3, 6} {
+		b.Run(fmt.Sprintf("extraLevels=%d", extra), func(b *testing.B) {
+			var z2 zorder.Z2
+			win := geom.SquareAround(geom.Point{Lng: 116.40, Lat: 39.90}, 3000)
+			b.ReportAllocs()
+			ranges := z2.Ranges(win, extra)
+			b.ReportMetric(float64(len(ranges)), "ranges")
+			for i := 0; i < b.N; i++ {
+				_ = z2.Ranges(win, extra)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationShards sweeps the shard-prefix count: more shards
+// spread writes but multiply scan ranges.
+func BenchmarkAblationShards(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := loadedOrderEngine(b, core.Config{Shards: shards}, 24*time.Hour)
+			stQueryLoop(b, e)
+		})
+	}
+}
+
+// BenchmarkAblationBlockCache compares scans with and without the LRU
+// block cache.
+func BenchmarkAblationBlockCache(b *testing.B) {
+	for _, cacheBytes := range []int64{-1, 32 << 20} {
+		name := "cache=on"
+		if cacheBytes < 0 {
+			name = "cache=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.Config{}
+			cfg.Cluster.Options.BlockCacheBytes = cacheBytes
+			e := loadedOrderEngine(b, cfg, 24*time.Hour)
+			stQueryLoop(b, e)
+		})
+	}
+}
+
+// BenchmarkAblationPeriodLength sweeps Z2T's time-period length for a
+// one-day query window.
+func BenchmarkAblationPeriodLength(b *testing.B) {
+	for _, period := range []time.Duration{6 * time.Hour, 24 * time.Hour, 7 * 24 * time.Hour} {
+		b.Run(fmt.Sprintf("period=%s", period), func(b *testing.B) {
+			e := loadedOrderEngine(b, core.Config{}, period)
+			stQueryLoop(b, e)
+		})
+	}
+}
+
+// BenchmarkIngestThroughput measures raw bulk-load speed (rows/sec shown
+// as ns/op per row).
+func BenchmarkIngestThroughput(b *testing.B) {
+	e, err := core.Open(core.Config{
+		Dir:     b.TempDir(),
+		Cluster: kv.ClusterOptions{Options: kv.Options{DisableWAL: true}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.CreateTable(orderDesc()); err != nil {
+		b.Fatal(err)
+	}
+	orders := workload.Orders(workload.OrderConfig{N: 100000, Seed: 5})
+	rows := workload.OrderRows(orders)
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if err := e.Insert("", "orders", []exec.Row{rows[n%len(rows)]}); err != nil {
+			b.Fatal(err)
+		}
+		n++
+	}
+}

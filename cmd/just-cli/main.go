@@ -1,0 +1,114 @@
+// Command just-cli is an interactive JustQL shell over an embedded
+// engine. Statements end with ';'. Meta commands: \q quits, \plan
+// toggles optimized-plan printing.
+//
+// Usage:
+//
+//	just-cli -dir ./just-data -user alice
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"just/internal/core"
+	"just/internal/geom"
+	"just/internal/sql"
+)
+
+func main() {
+	dir := flag.String("dir", "./just-data", "storage directory")
+	user := flag.String("user", "", "user namespace")
+	flag.Parse()
+
+	eng, err := core.Open(core.Config{Dir: *dir})
+	if err != nil {
+		log.Fatalf("just-cli: %v", err)
+	}
+	defer eng.Close()
+	sess := sql.NewSession(eng, *user)
+
+	fmt.Printf("JUST %s — JustQL shell (engine dir: %s)\n", version, *dir)
+	fmt.Println(`Type statements ending with ';'. \q to quit, \plan to toggle plans.`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	showPlan := false
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("just> ")
+		} else {
+			fmt.Print("   -> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case `\q`, `\quit`, `exit`:
+			return
+		case `\plan`:
+			showPlan = !showPlan
+			fmt.Printf("plan printing: %v\n", showPlan)
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.HasSuffix(trimmed, ";") {
+			prompt()
+			continue
+		}
+		stmtText := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+		buf.Reset()
+		runStatement(sess, stmtText, showPlan)
+		prompt()
+	}
+}
+
+const version = "1.1.0-go"
+
+func runStatement(sess *sql.Session, stmtText string, showPlan bool) {
+	start := time.Now()
+	res, err := sess.Execute(stmtText)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	if showPlan && res.Plan != nil {
+		fmt.Print(sql.PlanString(res.Plan))
+	}
+	switch {
+	case res.Frame != nil:
+		cols := res.Frame.Schema().Names()
+		fmt.Println(strings.Join(cols, " | "))
+		rows := res.Frame.Collect()
+		for i, row := range rows {
+			if i == 50 {
+				fmt.Printf("... (%d rows total)\n", len(rows))
+				break
+			}
+			parts := make([]string, len(row))
+			for j, v := range row {
+				if g, ok := v.(geom.Geometry); ok {
+					parts[j] = g.WKT()
+				} else {
+					parts[j] = fmt.Sprintf("%v", v)
+				}
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		fmt.Printf("%d rows (%s)\n", len(rows), elapsed.Round(time.Millisecond))
+		res.Frame.Release()
+	default:
+		fmt.Printf("%s (%s)\n", res.Message, elapsed.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,43 @@
+// Command just-server runs JUST as a PaaS: one shared engine behind the
+// HTTP service layer, multi-user namespaces, cursor-paged results
+// (Section VII of the paper).
+//
+// Usage:
+//
+//	just-server -dir /var/lib/just -addr :8045
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"just/internal/core"
+	"just/internal/server"
+)
+
+func main() {
+	dir := flag.String("dir", "./just-data", "storage directory")
+	addr := flag.String("addr", ":8045", "listen address")
+	workers := flag.Int("workers", 0, "execution pool size (0 = NumCPU)")
+	pageSize := flag.Int("page-size", 1000, "rows per result transmission")
+	viewTTL := flag.Duration("view-ttl", 30*time.Minute, "idle view eviction")
+	flag.Parse()
+
+	eng, err := core.Open(core.Config{
+		Dir:     *dir,
+		Workers: *workers,
+		ViewTTL: *viewTTL,
+	})
+	if err != nil {
+		log.Fatalf("just-server: open engine: %v", err)
+	}
+	defer eng.Close()
+
+	srv := server.New(eng, server.Options{PageSize: *pageSize})
+	log.Printf("just-server: serving %s on %s", *dir, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatalf("just-server: %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+// Quickstart: the smallest end-to-end JUST program — create a table,
+// insert spatio-temporal points, and run the three query types of the
+// paper (spatial range, spatio-temporal range, k-NN) through JustQL.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"just"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "just-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	eng, err := just.Open(just.Config{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	sess := eng.Session("demo")
+	mustExec(sess, `CREATE TABLE checkins (
+		fid integer:primary key,
+		name string,
+		time date,
+		geom point:srid=4326
+	)`)
+
+	// A handful of Beijing landmarks with visit times.
+	mustExec(sess, `INSERT INTO checkins VALUES
+		(1, 'Tiananmen',     '2019-10-01 08:00:00', st_makePoint(116.3913, 39.9075)),
+		(2, 'Forbidden City','2019-10-01 09:30:00', st_makePoint(116.3972, 39.9163)),
+		(3, 'Temple of Heaven','2019-10-01 14:00:00', st_makePoint(116.4107, 39.8822)),
+		(4, 'Summer Palace', '2019-10-02 10:00:00', st_makePoint(116.2755, 39.9988)),
+		(5, 'JD HQ',         '2019-10-02 09:00:00', st_makePoint(116.4960, 39.7916))`)
+
+	fmt.Println("== Spatial range query: central Beijing ==")
+	printAll(sess, `SELECT fid, name FROM checkins
+		WHERE geom WITHIN st_makeMBR(116.35, 39.87, 116.45, 39.93)
+		ORDER BY fid`)
+
+	fmt.Println("\n== Spatio-temporal range query: Oct 1 only ==")
+	printAll(sess, `SELECT fid, name, time FROM checkins
+		WHERE geom WITHIN st_makeMBR(116.2, 39.7, 116.6, 40.1)
+		AND time BETWEEN '2019-10-01' AND '2019-10-01 23:59:59'
+		ORDER BY time`)
+
+	fmt.Println("\n== 2-NN query around the Forbidden City ==")
+	printAll(sess, `SELECT fid, name FROM checkins
+		WHERE geom IN st_KNN(st_makePoint(116.3972, 39.9163), 2)`)
+
+	fmt.Println("\n== Aggregate via a view (one query, multiple usages) ==")
+	mustExec(sess, `CREATE VIEW oct1 AS SELECT * FROM checkins
+		WHERE time BETWEEN '2019-10-01' AND '2019-10-01 23:59:59'`)
+	printAll(sess, `SELECT count(*) AS visits FROM oct1`)
+}
+
+func mustExec(sess *just.Session, sql string) {
+	if _, err := sess.Execute(sql); err != nil {
+		log.Fatalf("%s\n-> %v", sql, err)
+	}
+}
+
+func printAll(sess *just.Session, sql string) {
+	rs, err := sess.ExecuteQuery(sql)
+	if err != nil {
+		log.Fatalf("%s\n-> %v", sql, err)
+	}
+	defer rs.Close()
+	fmt.Print(rs.String())
+}

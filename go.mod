@@ -1,0 +1,3 @@
+module just
+
+go 1.22

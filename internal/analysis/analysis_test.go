@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"just/internal/geom"
+)
+
+func TestWGS84GCJ02RoundTrip(t *testing.T) {
+	// Beijing: the offset should be a few hundred meters.
+	lng, lat := 116.397, 39.909
+	gLng, gLat := WGS84ToGCJ02(lng, lat)
+	offset := geom.HaversineMeters(geom.Point{Lng: lng, Lat: lat}, geom.Point{Lng: gLng, Lat: gLat})
+	if offset < 100 || offset > 1500 {
+		t.Fatalf("GCJ02 offset = %g m, want a few hundred", offset)
+	}
+	bLng, bLat := GCJ02ToWGS84(gLng, gLat)
+	if math.Abs(bLng-lng) > 1e-4 || math.Abs(bLat-lat) > 1e-4 {
+		t.Fatalf("inverse error: %g, %g", bLng-lng, bLat-lat)
+	}
+	// Outside China: identity.
+	oLng, oLat := WGS84ToGCJ02(-74.0, 40.7)
+	if oLng != -74.0 || oLat != 40.7 {
+		t.Fatal("non-China point should pass through")
+	}
+}
+
+func TestBD09RoundTrip(t *testing.T) {
+	lng, lat := 116.404, 39.915
+	bLng, bLat := GCJ02ToBD09(lng, lat)
+	gLng, gLat := BD09ToGCJ02(bLng, bLat)
+	if math.Abs(gLng-lng) > 1e-5 || math.Abs(gLat-lat) > 1e-5 {
+		t.Fatalf("BD09 round trip error: %g, %g", gLng-lng, gLat-lat)
+	}
+}
+
+func mkTraj(speedMPS float64, n int) []geom.TPoint {
+	// Eastward at speedMPS, one sample per second.
+	var pts []geom.TPoint
+	lng := 116.0
+	for i := 0; i < n; i++ {
+		pts = append(pts, geom.TPoint{Point: geom.Point{Lng: lng, Lat: 39.9}, T: int64(i) * 1000})
+		lng += geom.MetersToDegreesLng(speedMPS, 39.9)
+	}
+	return pts
+}
+
+func TestNoiseFilter(t *testing.T) {
+	pts := mkTraj(10, 20)
+	// Inject an outlier jump.
+	pts[10].Lng += 0.1 // ~8.5 km in one second
+	out := NoiseFilter(pts, NoiseFilterOptions{MaxSpeedMPS: 50})
+	if len(out) != 19 {
+		t.Fatalf("filtered length = %d, want 19", len(out))
+	}
+	for _, p := range out {
+		if p.Lng > 116.01 {
+			t.Fatal("outlier survived")
+		}
+	}
+	// Clean trajectory passes through unchanged.
+	clean := NoiseFilter(mkTraj(10, 20), NoiseFilterOptions{})
+	if len(clean) != 20 {
+		t.Fatalf("clean trajectory lost points: %d", len(clean))
+	}
+	if NoiseFilter(nil, NoiseFilterOptions{}) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+func TestNoiseFilterDropsOutOfOrder(t *testing.T) {
+	pts := mkTraj(10, 5)
+	pts[2].T = pts[1].T // duplicate timestamp
+	out := NoiseFilter(pts, NoiseFilterOptions{})
+	if len(out) != 4 {
+		t.Fatalf("length = %d, want 4", len(out))
+	}
+}
+
+func TestSegmentation(t *testing.T) {
+	pts := mkTraj(10, 30)
+	// Insert a 1-hour gap after point 9 and after point 19.
+	for i := 10; i < len(pts); i++ {
+		pts[i].T += 3600 * 1000
+	}
+	for i := 20; i < len(pts); i++ {
+		pts[i].T += 3600 * 1000
+	}
+	segs := Segmentation(pts, SegmentationOptions{MaxGapMS: 60 * 1000})
+	if len(segs) != 3 {
+		t.Fatalf("segments = %d, want 3", len(segs))
+	}
+	for _, s := range segs {
+		if len(s) != 10 {
+			t.Fatalf("segment size = %d, want 10", len(s))
+		}
+	}
+	// MinPoints filters tiny segments.
+	segs2 := Segmentation(pts[:11], SegmentationOptions{MaxGapMS: 60 * 1000, MinPoints: 5})
+	if len(segs2) != 1 {
+		t.Fatalf("segments = %d, want 1 (singleton dropped)", len(segs2))
+	}
+}
+
+func TestStayPoints(t *testing.T) {
+	var pts []geom.TPoint
+	// Move for 10 min, dwell 30 min, move again.
+	tms := int64(0)
+	lng := 116.0
+	for i := 0; i < 10; i++ {
+		pts = append(pts, geom.TPoint{Point: geom.Point{Lng: lng, Lat: 39.9}, T: tms})
+		lng += 0.01
+		tms += 60 * 1000
+	}
+	for i := 0; i < 30; i++ {
+		pts = append(pts, geom.TPoint{Point: geom.Point{Lng: lng, Lat: 39.9}, T: tms})
+		tms += 60 * 1000
+	}
+	for i := 0; i < 10; i++ {
+		lng += 0.01
+		pts = append(pts, geom.TPoint{Point: geom.Point{Lng: lng, Lat: 39.9}, T: tms})
+		tms += 60 * 1000
+	}
+	sps := StayPoints(pts, StayPointOptions{MaxDistM: 200, MinDurationMS: 20 * 60 * 1000})
+	if len(sps) != 1 {
+		t.Fatalf("stay points = %d, want 1", len(sps))
+	}
+	sp := sps[0]
+	if sp.PointCount < 30 {
+		t.Fatalf("stay has %d points, want >= 30", sp.PointCount)
+	}
+	if d := sp.DepartMS - sp.ArriveMS; d < 25*60*1000 {
+		t.Fatalf("dwell = %d ms", d)
+	}
+}
+
+func TestDBSCAN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var pts []geom.Point
+	// Two dense blobs + sparse noise.
+	for i := 0; i < 50; i++ {
+		pts = append(pts, geom.Point{Lng: 116.0 + rng.Float64()*0.005, Lat: 39.9 + rng.Float64()*0.005})
+	}
+	for i := 0; i < 50; i++ {
+		pts = append(pts, geom.Point{Lng: 116.5 + rng.Float64()*0.005, Lat: 39.5 + rng.Float64()*0.005})
+	}
+	for i := 0; i < 10; i++ {
+		pts = append(pts, geom.Point{Lng: 100 + float64(i), Lat: 10 + float64(i)})
+	}
+	labels := DBSCAN(pts, 5, 0.01)
+	clusters := map[int]int{}
+	for _, l := range labels {
+		clusters[l]++
+	}
+	if clusters[Noise] != 10 {
+		t.Fatalf("noise = %d, want 10", clusters[Noise])
+	}
+	delete(clusters, Noise)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	for id, size := range clusters {
+		if size != 50 {
+			t.Errorf("cluster %d size = %d, want 50", id, size)
+		}
+	}
+	cents := ClusterCentroids(pts, labels)
+	if len(cents) != 2 {
+		t.Fatalf("centroids = %d", len(cents))
+	}
+}
+
+func TestDBSCANEdgeCases(t *testing.T) {
+	if got := DBSCAN(nil, 3, 0.1); len(got) != 0 {
+		t.Fatal("empty input")
+	}
+	labels := DBSCAN([]geom.Point{{Lng: 1, Lat: 1}}, 3, 0.1)
+	if labels[0] != Noise {
+		t.Fatal("lone point should be noise")
+	}
+	// All identical points form one cluster.
+	same := make([]geom.Point, 10)
+	labels = DBSCAN(same, 5, 0.001)
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatal("identical points should cluster")
+		}
+	}
+}
+
+func TestRoadNetworkNearestEdges(t *testing.T) {
+	area := geom.MBR{MinLng: 116.0, MinLat: 39.9, MaxLng: 116.02, MaxLat: 39.92}
+	rn := GridRoadNetwork(area, 500)
+	if len(rn.Edges) == 0 {
+		t.Fatal("grid network has no edges")
+	}
+	p := geom.Point{Lng: 116.01, Lat: 39.91}
+	cands := rn.NearestEdges(p, 300, 5)
+	if len(cands) == 0 {
+		t.Fatal("no candidates near grid center")
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i].DistM < cands[i-1].DistM {
+			t.Fatal("candidates not sorted by distance")
+		}
+	}
+	if cands[0].DistM > 300 {
+		t.Fatal("candidate outside radius")
+	}
+}
+
+func TestRouteDist(t *testing.T) {
+	// Simple 3-node line: a -> b -> c, 100 m apart.
+	a := geom.Point{Lng: 116.0, Lat: 39.9}
+	b := geom.Point{Lng: 116.0 + geom.MetersToDegreesLng(100, 39.9), Lat: 39.9}
+	c := geom.Point{Lng: 116.0 + geom.MetersToDegreesLng(200, 39.9), Lat: 39.9}
+	rn := NewRoadNetwork([]geom.Point{a, b, c}, [][2]int{{0, 1}, {1, 2}}, 0)
+	// From middle of edge 0 to middle of edge 1: 50 + 50 = 100 m.
+	d := rn.RouteDistM(0, 0.5, 1, 0.5, 1000)
+	if math.Abs(d-100) > 2 {
+		t.Fatalf("route dist = %g, want ~100", d)
+	}
+	// Same edge forward.
+	d = rn.RouteDistM(0, 0.2, 0, 0.8, 1000)
+	if math.Abs(d-60) > 2 {
+		t.Fatalf("same-edge dist = %g, want ~60", d)
+	}
+	// Unreachable: no edge back from c.
+	d = rn.RouteDistM(1, 0.5, 0, 0.5, 1000)
+	if !math.IsInf(d, 1) {
+		t.Fatalf("reverse route should be unreachable, got %g", d)
+	}
+}
+
+func TestMapMatchSnapsToGrid(t *testing.T) {
+	area := geom.MBR{MinLng: 116.0, MinLat: 39.90, MaxLng: 116.03, MaxLat: 39.93}
+	rn := GridRoadNetwork(area, 300)
+	// A trajectory along the bottom horizontal road with ~15 m noise.
+	rng := rand.New(rand.NewSource(8))
+	var pts []geom.TPoint
+	for i := 0; i < 25; i++ {
+		lng := 116.0 + float64(i)*geom.MetersToDegreesLng(40, 39.9)
+		noise := geom.MetersToDegreesLat((rng.Float64() - 0.5) * 30)
+		pts = append(pts, geom.TPoint{
+			Point: geom.Point{Lng: lng, Lat: 39.90 + noise},
+			T:     int64(i) * 4000,
+		})
+	}
+	matched := MapMatch(rn, pts, MapMatchOptions{})
+	nMatched := 0
+	for _, m := range matched {
+		if m.Edge >= 0 {
+			nMatched++
+			if d := geom.HaversineMeters(m.Raw.Point, m.Snapped); d > 100 {
+				t.Fatalf("snap distance %g m too large", d)
+			}
+			// Snapped points should sit on the bottom road (lat ~39.90).
+			if math.Abs(m.Snapped.Lat-39.90) > 0.0008 {
+				t.Fatalf("snapped to lat %g, want ~39.90", m.Snapped.Lat)
+			}
+		}
+	}
+	if nMatched < 20 {
+		t.Fatalf("matched %d/25 points", nMatched)
+	}
+}
+
+func TestMapMatchUnmatchable(t *testing.T) {
+	area := geom.MBR{MinLng: 116.0, MinLat: 39.90, MaxLng: 116.01, MaxLat: 39.91}
+	rn := GridRoadNetwork(area, 300)
+	pts := []geom.TPoint{{Point: geom.Point{Lng: 10, Lat: 10}, T: 0}} // far away
+	matched := MapMatch(rn, pts, MapMatchOptions{})
+	if matched[0].Edge != -1 {
+		t.Fatal("far point should be unmatched")
+	}
+	if got := MapMatch(rn, nil, MapMatchOptions{}); len(got) != 0 {
+		t.Fatal("empty trajectory")
+	}
+}

@@ -1,0 +1,78 @@
+// Package analysis implements JUST's preset spatio-temporal analysis
+// operations (Section V-D): 1-1 operations (coordinate transforms), 1-N
+// operations (trajectory noise filtering, segmentation, stay-point
+// detection, map matching), and N-M operations (DBSCAN clustering),
+// together with the road-network substrate map matching needs.
+package analysis
+
+import "math"
+
+// China's GCJ-02 ("Mars coordinates") obfuscation constants.
+const (
+	gcjA  = 6378245.0
+	gcjEE = 0.00669342162296594323
+)
+
+// WGS84ToGCJ02 converts WGS84 coordinates to GCJ-02 (the transform JUST
+// presets as st_WGS84ToGCJ02). Points outside China are returned
+// unchanged, matching the official behaviour.
+func WGS84ToGCJ02(lng, lat float64) (float64, float64) {
+	if outOfChina(lng, lat) {
+		return lng, lat
+	}
+	dLat := transformLat(lng-105.0, lat-35.0)
+	dLng := transformLng(lng-105.0, lat-35.0)
+	radLat := lat / 180.0 * math.Pi
+	magic := math.Sin(radLat)
+	magic = 1 - gcjEE*magic*magic
+	sqrtMagic := math.Sqrt(magic)
+	dLat = (dLat * 180.0) / ((gcjA * (1 - gcjEE)) / (magic * sqrtMagic) * math.Pi)
+	dLng = (dLng * 180.0) / (gcjA / sqrtMagic * math.Cos(radLat) * math.Pi)
+	return lng + dLng, lat + dLat
+}
+
+// GCJ02ToWGS84 approximately inverts WGS84ToGCJ02 (one Newton step, the
+// standard approach; error < 1e-6 degrees).
+func GCJ02ToWGS84(lng, lat float64) (float64, float64) {
+	if outOfChina(lng, lat) {
+		return lng, lat
+	}
+	gLng, gLat := WGS84ToGCJ02(lng, lat)
+	return lng - (gLng - lng), lat - (gLat - lat)
+}
+
+// GCJ02ToBD09 converts GCJ-02 to Baidu's BD-09.
+func GCJ02ToBD09(lng, lat float64) (float64, float64) {
+	z := math.Sqrt(lng*lng+lat*lat) + 0.00002*math.Sin(lat*math.Pi*3000.0/180.0)
+	theta := math.Atan2(lat, lng) + 0.000003*math.Cos(lng*math.Pi*3000.0/180.0)
+	return z*math.Cos(theta) + 0.0065, z*math.Sin(theta) + 0.006
+}
+
+// BD09ToGCJ02 inverts GCJ02ToBD09.
+func BD09ToGCJ02(lng, lat float64) (float64, float64) {
+	x := lng - 0.0065
+	y := lat - 0.006
+	z := math.Sqrt(x*x+y*y) - 0.00002*math.Sin(y*math.Pi*3000.0/180.0)
+	theta := math.Atan2(y, x) - 0.000003*math.Cos(x*math.Pi*3000.0/180.0)
+	return z * math.Cos(theta), z * math.Sin(theta)
+}
+
+func outOfChina(lng, lat float64) bool {
+	return lng < 72.004 || lng > 137.8347 || lat < 0.8293 || lat > 55.8271
+}
+
+func transformLat(x, y float64) float64 {
+	ret := -100.0 + 2.0*x + 3.0*y + 0.2*y*y + 0.1*x*y + 0.2*math.Sqrt(math.Abs(x))
+	ret += (20.0*math.Sin(6.0*x*math.Pi) + 20.0*math.Sin(2.0*x*math.Pi)) * 2.0 / 3.0
+	ret += (20.0*math.Sin(y*math.Pi) + 40.0*math.Sin(y/3.0*math.Pi)) * 2.0 / 3.0
+	ret += (160.0*math.Sin(y/12.0*math.Pi) + 320*math.Sin(y*math.Pi/30.0)) * 2.0 / 3.0
+	return ret
+}
+
+func transformLng(x, y float64) float64 {
+	ret := 300.0 + x + 2.0*y + 0.1*x*x + 0.1*x*y + 0.1*math.Sqrt(math.Abs(x))
+	ret += (20.0*math.Sin(6.0*x*math.Pi) + 20.0*math.Sin(2.0*x*math.Pi)) * 2.0 / 3.0
+	ret += (20.0*math.Sin(x*math.Pi) + 40.0*math.Sin(x/3.0*math.Pi)) * 2.0 / 3.0
+	ret += (150.0*math.Sin(x/12.0*math.Pi) + 300.0*math.Sin(x/30.0*math.Pi)) * 2.0 / 3.0
+	return ret
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"math"
+
+	"just/internal/geom"
+)
+
+// DBSCANResult labels each input point with a cluster id; Noise marks
+// outliers.
+const Noise = -1
+
+// DBSCAN implements the paper's N-M analysis operation st_DBSCAN
+// (Ester et al., KDD'96) with a grid-accelerated neighbor search.
+// radius is in Euclidean degrees (matching the engine's distance
+// convention); minPts includes the point itself. The result maps each
+// input index to a cluster id (0..n) or Noise.
+func DBSCAN(points []geom.Point, minPts int, radius float64) []int {
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	if n == 0 || minPts <= 0 || radius <= 0 {
+		return labels
+	}
+	// Grid of cell size = radius: all neighbors of a point lie in the
+	// 3x3 cell block around it.
+	type cell struct{ x, y int32 }
+	grid := map[cell][]int{}
+	cellOf := func(p geom.Point) cell {
+		return cell{int32(math.Floor(p.Lng / radius)), int32(math.Floor(p.Lat / radius))}
+	}
+	for i, p := range points {
+		c := cellOf(p)
+		grid[c] = append(grid[c], i)
+	}
+	neighbors := func(i int) []int {
+		var out []int
+		c := cellOf(points[i])
+		for dx := int32(-1); dx <= 1; dx++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				for _, j := range grid[cell{c.x + dx, c.y + dy}] {
+					if geom.EuclideanDistance(points[i], points[j]) <= radius {
+						out = append(out, j)
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	visited := make([]bool, n)
+	clusterID := 0
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		nb := neighbors(i)
+		if len(nb) < minPts {
+			continue // noise (may be claimed as a border point later)
+		}
+		labels[i] = clusterID
+		// Expand the cluster with a work queue.
+		queue := append([]int{}, nb...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == Noise {
+				labels[j] = clusterID // border point
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			labels[j] = clusterID
+			nb2 := neighbors(j)
+			if len(nb2) >= minPts {
+				queue = append(queue, nb2...)
+			}
+		}
+		clusterID++
+	}
+	return labels
+}
+
+// ClusterCentroids summarizes a DBSCAN labeling: centroid and size per
+// cluster, ordered by cluster id.
+func ClusterCentroids(points []geom.Point, labels []int) []struct {
+	Center geom.Point
+	Size   int
+} {
+	maxID := -1
+	for _, l := range labels {
+		if l > maxID {
+			maxID = l
+		}
+	}
+	out := make([]struct {
+		Center geom.Point
+		Size   int
+	}, maxID+1)
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		out[l].Center.Lng += points[i].Lng
+		out[l].Center.Lat += points[i].Lat
+		out[l].Size++
+	}
+	for i := range out {
+		if out[i].Size > 0 {
+			out[i].Center.Lng /= float64(out[i].Size)
+			out[i].Center.Lat /= float64(out[i].Size)
+		}
+	}
+	return out
+}

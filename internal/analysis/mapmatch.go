@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"math"
+
+	"just/internal/geom"
+)
+
+// MapMatchOptions tune st_trajMapMatching.
+type MapMatchOptions struct {
+	// SearchRadiusM bounds candidate edges per GPS point; default 100 m.
+	SearchRadiusM float64
+	// MaxCandidates per point; default 5.
+	MaxCandidates int
+	// SigmaM is the GPS noise standard deviation for the emission
+	// probability; default 20 m.
+	SigmaM float64
+	// Beta scales the transition probability's tolerance for detours;
+	// default 200 m.
+	Beta float64
+}
+
+func (o MapMatchOptions) withDefaults() MapMatchOptions {
+	if o.SearchRadiusM <= 0 {
+		o.SearchRadiusM = 100
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 5
+	}
+	if o.SigmaM <= 0 {
+		o.SigmaM = 20
+	}
+	if o.Beta <= 0 {
+		o.Beta = 200
+	}
+	return o
+}
+
+// MatchedPoint is one map-matched GPS sample.
+type MatchedPoint struct {
+	Raw     geom.TPoint
+	Edge    int        // matched road edge id, -1 when unmatched
+	Snapped geom.Point // projection onto the edge
+}
+
+// MapMatch implements st_trajMapMatching: an HMM matcher in the style of
+// Newson & Krumm. States are candidate (edge, projection) pairs per GPS
+// point; emission favors small GPS-to-road distance, transition favors
+// route distances close to the great-circle distance between consecutive
+// samples; Viterbi recovers the most likely path. Unmatchable points get
+// Edge = -1.
+func MapMatch(rn *RoadNetwork, pts []geom.TPoint, opts MapMatchOptions) []MatchedPoint {
+	opts = opts.withDefaults()
+	out := make([]MatchedPoint, len(pts))
+	for i := range out {
+		out[i] = MatchedPoint{Raw: pts[i], Edge: -1}
+	}
+	if len(pts) == 0 {
+		return out
+	}
+	// Candidate states per point.
+	cands := make([][]EdgeCandidate, len(pts))
+	for i, p := range pts {
+		cands[i] = rn.NearestEdges(p.Point, opts.SearchRadiusM, opts.MaxCandidates)
+	}
+	// Viterbi over log-probabilities, restarting after gaps with no
+	// candidates.
+	type cell struct {
+		logp float64
+		prev int
+	}
+	segStart := 0
+	for segStart < len(pts) {
+		// Skip unmatchable points.
+		if len(cands[segStart]) == 0 {
+			segStart++
+			continue
+		}
+		segEnd := segStart
+		for segEnd+1 < len(pts) && len(cands[segEnd+1]) > 0 {
+			segEnd++
+		}
+		// Viterbi on pts[segStart..segEnd].
+		n := segEnd - segStart + 1
+		dp := make([][]cell, n)
+		dp[0] = make([]cell, len(cands[segStart]))
+		for j, c := range cands[segStart] {
+			dp[0][j] = cell{logp: emissionLogP(c.DistM, opts.SigmaM), prev: -1}
+		}
+		for i := 1; i < n; i++ {
+			pi := segStart + i
+			gcDist := geom.HaversineMeters(pts[pi-1].Point, pts[pi].Point)
+			maxRoute := gcDist*4 + 4*opts.SearchRadiusM + 500
+			dp[i] = make([]cell, len(cands[pi]))
+			for j, cj := range cands[pi] {
+				best := math.Inf(-1)
+				bestPrev := -1
+				for k, ck := range cands[pi-1] {
+					if math.IsInf(dp[i-1][k].logp, -1) {
+						continue
+					}
+					route := rn.RouteDistM(ck.Edge, ck.FracAlong, cj.Edge, cj.FracAlong, maxRoute)
+					tp := transitionLogP(gcDist, route, opts.Beta)
+					if lp := dp[i-1][k].logp + tp; lp > best {
+						best = lp
+						bestPrev = k
+					}
+				}
+				dp[i][j] = cell{logp: best + emissionLogP(cj.DistM, opts.SigmaM), prev: bestPrev}
+			}
+		}
+		// Backtrack from the best final state.
+		bestJ, bestLP := -1, math.Inf(-1)
+		for j := range dp[n-1] {
+			if dp[n-1][j].logp > bestLP {
+				bestLP = dp[n-1][j].logp
+				bestJ = j
+			}
+		}
+		for i := n - 1; i >= 0 && bestJ >= 0; i-- {
+			c := cands[segStart+i][bestJ]
+			out[segStart+i].Edge = c.Edge
+			out[segStart+i].Snapped = c.Point
+			bestJ = dp[i][bestJ].prev
+		}
+		segStart = segEnd + 1
+	}
+	return out
+}
+
+func emissionLogP(distM, sigma float64) float64 {
+	return -0.5 * (distM / sigma) * (distM / sigma)
+}
+
+func transitionLogP(gcDist, routeDist, beta float64) float64 {
+	if math.IsInf(routeDist, 1) {
+		return math.Inf(-1)
+	}
+	return -math.Abs(routeDist-gcDist) / beta
+}

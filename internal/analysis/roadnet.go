@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"container/heap"
+	"math"
+
+	"just/internal/geom"
+)
+
+// RoadNetwork is the substrate st_trajMapMatching runs against: a
+// directed graph of road segments with a grid index for nearest-segment
+// lookups. The paper's map recovery application both consumes and
+// produces such networks.
+type RoadNetwork struct {
+	Nodes []geom.Point
+	Edges []RoadEdge
+
+	// adjacency: node -> outgoing edge ids
+	adj [][]int
+	// grid index: cell -> edge ids whose bounding box touches the cell
+	grid     map[gridKey][]int
+	cellSize float64
+}
+
+// RoadEdge is one directed road segment.
+type RoadEdge struct {
+	ID      int
+	From    int // node index
+	To      int // node index
+	LengthM float64
+}
+
+type gridKey struct{ x, y int32 }
+
+// NewRoadNetwork builds a network from nodes and (from, to) pairs;
+// cellSizeDeg tunes the spatial grid (default 0.005 ≈ 500 m).
+func NewRoadNetwork(nodes []geom.Point, pairs [][2]int, cellSizeDeg float64) *RoadNetwork {
+	if cellSizeDeg <= 0 {
+		cellSizeDeg = 0.005
+	}
+	rn := &RoadNetwork{
+		Nodes:    nodes,
+		adj:      make([][]int, len(nodes)),
+		grid:     map[gridKey][]int{},
+		cellSize: cellSizeDeg,
+	}
+	for _, p := range pairs {
+		id := len(rn.Edges)
+		e := RoadEdge{
+			ID: id, From: p[0], To: p[1],
+			LengthM: geom.HaversineMeters(nodes[p[0]], nodes[p[1]]),
+		}
+		rn.Edges = append(rn.Edges, e)
+		rn.adj[p[0]] = append(rn.adj[p[0]], id)
+		rn.indexEdge(id)
+	}
+	return rn
+}
+
+func (rn *RoadNetwork) cellOf(p geom.Point) gridKey {
+	return gridKey{int32(math.Floor(p.Lng / rn.cellSize)), int32(math.Floor(p.Lat / rn.cellSize))}
+}
+
+func (rn *RoadNetwork) indexEdge(id int) {
+	e := rn.Edges[id]
+	a, b := rn.Nodes[e.From], rn.Nodes[e.To]
+	lo := rn.cellOf(geom.Point{Lng: math.Min(a.Lng, b.Lng), Lat: math.Min(a.Lat, b.Lat)})
+	hi := rn.cellOf(geom.Point{Lng: math.Max(a.Lng, b.Lng), Lat: math.Max(a.Lat, b.Lat)})
+	for x := lo.x; x <= hi.x; x++ {
+		for y := lo.y; y <= hi.y; y++ {
+			k := gridKey{x, y}
+			rn.grid[k] = append(rn.grid[k], id)
+		}
+	}
+}
+
+// EdgeCandidate is a candidate projection of a GPS point onto an edge.
+type EdgeCandidate struct {
+	Edge  int
+	Point geom.Point // projection onto the segment
+	DistM float64    // distance from the GPS point to the projection
+	// FracAlong is the projected position along the edge in [0,1].
+	FracAlong float64
+}
+
+// NearestEdges returns up to maxN candidate edges within radiusM of p,
+// nearest first.
+func (rn *RoadNetwork) NearestEdges(p geom.Point, radiusM float64, maxN int) []EdgeCandidate {
+	if maxN <= 0 {
+		maxN = 5
+	}
+	// Search a ring of cells wide enough to cover radiusM.
+	cells := int32(math.Ceil(geom.MetersToDegreesLat(radiusM)/rn.cellSize)) + 1
+	center := rn.cellOf(p)
+	seen := map[int]bool{}
+	var cands []EdgeCandidate
+	for x := center.x - cells; x <= center.x+cells; x++ {
+		for y := center.y - cells; y <= center.y+cells; y++ {
+			for _, id := range rn.grid[gridKey{x, y}] {
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				e := rn.Edges[id]
+				proj, frac := projectOnSegment(p, rn.Nodes[e.From], rn.Nodes[e.To])
+				d := geom.HaversineMeters(p, proj)
+				if d <= radiusM {
+					cands = append(cands, EdgeCandidate{Edge: id, Point: proj, DistM: d, FracAlong: frac})
+				}
+			}
+		}
+	}
+	sortCandidates(cands)
+	if len(cands) > maxN {
+		cands = cands[:maxN]
+	}
+	return cands
+}
+
+func sortCandidates(cs []EdgeCandidate) {
+	// insertion sort: candidate lists are tiny
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].DistM < cs[j-1].DistM; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func projectOnSegment(q, a, b geom.Point) (geom.Point, float64) {
+	abx, aby := b.Lng-a.Lng, b.Lat-a.Lat
+	l2 := abx*abx + aby*aby
+	if l2 == 0 {
+		return a, 0
+	}
+	t := ((q.Lng-a.Lng)*abx + (q.Lat-a.Lat)*aby) / l2
+	t = math.Max(0, math.Min(1, t))
+	return geom.Point{Lng: a.Lng + t*abx, Lat: a.Lat + t*aby}, t
+}
+
+// RouteDistM returns the network distance in meters from a position on
+// edge e1 (frac f1 along it) to a position on edge e2 (frac f2), using
+// Dijkstra over nodes; +Inf when unreachable within maxM.
+func (rn *RoadNetwork) RouteDistM(e1 int, f1 float64, e2 int, f2 float64, maxM float64) float64 {
+	if e1 == e2 {
+		d := (f2 - f1) * rn.Edges[e1].LengthM
+		if d >= 0 {
+			return d
+		}
+		// Moving backwards along a directed edge: loop around.
+	}
+	a := rn.Edges[e1]
+	b := rn.Edges[e2]
+	// Start cost: remaining length of e1 to reach its head node.
+	startCost := (1 - f1) * a.LengthM
+	target := b.From
+	targetCost := f2 * b.LengthM
+
+	dist := rn.dijkstra(a.To, target, maxM)
+	if math.IsInf(dist, 1) {
+		return math.Inf(1)
+	}
+	return startCost + dist + targetCost
+}
+
+type pqItem struct {
+	node int
+	dist float64
+}
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	x := old[n-1]
+	*p = old[:n-1]
+	return x
+}
+
+// dijkstra returns the shortest distance from src to dst, giving up past
+// maxM meters.
+func (rn *RoadNetwork) dijkstra(src, dst int, maxM float64) float64 {
+	if src == dst {
+		return 0
+	}
+	dists := map[int]float64{src: 0}
+	h := &pq{{src, 0}}
+	for h.Len() > 0 {
+		cur := heap.Pop(h).(pqItem)
+		if cur.node == dst {
+			return cur.dist
+		}
+		if cur.dist > maxM {
+			return math.Inf(1)
+		}
+		if cur.dist > dists[cur.node] {
+			continue
+		}
+		for _, eid := range rn.adj[cur.node] {
+			e := rn.Edges[eid]
+			nd := cur.dist + e.LengthM
+			if old, ok := dists[e.To]; !ok || nd < old {
+				dists[e.To] = nd
+				heap.Push(h, pqItem{e.To, nd})
+			}
+		}
+	}
+	return math.Inf(1)
+}
+
+// GridRoadNetwork builds a rectangular-grid road network covering the
+// MBR with the given spacing in meters — a convenient synthetic network
+// for tests, examples and benchmarks (both travel directions included).
+func GridRoadNetwork(area geom.MBR, spacingM float64) *RoadNetwork {
+	dLat := geom.MetersToDegreesLat(spacingM)
+	dLng := geom.MetersToDegreesLng(spacingM, area.Center().Lat)
+	cols := int(area.Width()/dLng) + 1
+	rows := int(area.Height()/dLat) + 1
+	if cols < 2 {
+		cols = 2
+	}
+	if rows < 2 {
+		rows = 2
+	}
+	var nodes []geom.Point
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			nodes = append(nodes, geom.Point{
+				Lng: area.MinLng + float64(c)*dLng,
+				Lat: area.MinLat + float64(r)*dLat,
+			})
+		}
+	}
+	var pairs [][2]int
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				pairs = append(pairs, [2]int{id(r, c), id(r, c+1)}, [2]int{id(r, c+1), id(r, c)})
+			}
+			if r+1 < rows {
+				pairs = append(pairs, [2]int{id(r, c), id(r+1, c)}, [2]int{id(r+1, c), id(r, c)})
+			}
+		}
+	}
+	return NewRoadNetwork(nodes, pairs, 0)
+}

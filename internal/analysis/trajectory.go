@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"just/internal/geom"
+)
+
+// NoiseFilterOptions tune st_trajNoiseFilter.
+type NoiseFilterOptions struct {
+	// MaxSpeedMPS drops a point whose implied speed from its predecessor
+	// exceeds this bound; default 50 m/s (~180 km/h, generous for
+	// couriers).
+	MaxSpeedMPS float64
+}
+
+// NoiseFilter implements the paper's st_trajNoiseFilter 1-N operation:
+// it removes GPS outliers whose implied speed from the previous kept
+// point is implausible.
+func NoiseFilter(pts []geom.TPoint, opts NoiseFilterOptions) []geom.TPoint {
+	if opts.MaxSpeedMPS <= 0 {
+		opts.MaxSpeedMPS = 50
+	}
+	if len(pts) == 0 {
+		return nil
+	}
+	out := make([]geom.TPoint, 0, len(pts))
+	out = append(out, pts[0])
+	for _, p := range pts[1:] {
+		prev := out[len(out)-1]
+		dt := float64(p.T-prev.T) / 1000.0
+		if dt <= 0 {
+			continue // duplicate or out-of-order timestamp
+		}
+		speed := geom.HaversineMeters(prev.Point, p.Point) / dt
+		if speed <= opts.MaxSpeedMPS {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SegmentationOptions tune st_trajSegmentation.
+type SegmentationOptions struct {
+	// MaxGapMS splits a trajectory when consecutive points are further
+	// apart in time; default 10 minutes.
+	MaxGapMS int64
+	// MinPoints drops segments shorter than this; default 2.
+	MinPoints int
+}
+
+// Segmentation implements st_trajSegmentation: it splits a GPS list into
+// sub-trajectories at large temporal gaps.
+func Segmentation(pts []geom.TPoint, opts SegmentationOptions) [][]geom.TPoint {
+	if opts.MaxGapMS <= 0 {
+		opts.MaxGapMS = 10 * 60 * 1000
+	}
+	if opts.MinPoints <= 0 {
+		opts.MinPoints = 2
+	}
+	var out [][]geom.TPoint
+	var cur []geom.TPoint
+	for i, p := range pts {
+		if i > 0 && p.T-pts[i-1].T > opts.MaxGapMS {
+			if len(cur) >= opts.MinPoints {
+				out = append(out, cur)
+			}
+			cur = nil
+		}
+		cur = append(cur, p)
+	}
+	if len(cur) >= opts.MinPoints {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// StayPoint is a detected dwell: the centroid of a point run that stayed
+// within DistM for at least DurationMS.
+type StayPoint struct {
+	Center     geom.Point
+	ArriveMS   int64
+	DepartMS   int64
+	PointCount int
+}
+
+// StayPointOptions tune st_trajStayPoint.
+type StayPointOptions struct {
+	// MaxDistM bounds the spatial extent of a stay; default 200 m.
+	MaxDistM float64
+	// MinDurationMS is the minimal dwell time; default 20 minutes.
+	MinDurationMS int64
+}
+
+// StayPoints implements st_trajStayPoint with the classic Li et al.
+// algorithm: find maximal runs of points within MaxDistM of the run's
+// anchor that span at least MinDurationMS.
+func StayPoints(pts []geom.TPoint, opts StayPointOptions) []StayPoint {
+	if opts.MaxDistM <= 0 {
+		opts.MaxDistM = 200
+	}
+	if opts.MinDurationMS <= 0 {
+		opts.MinDurationMS = 20 * 60 * 1000
+	}
+	var out []StayPoint
+	i := 0
+	for i < len(pts) {
+		j := i + 1
+		for j < len(pts) && geom.HaversineMeters(pts[i].Point, pts[j].Point) <= opts.MaxDistM {
+			j++
+		}
+		if pts[j-1].T-pts[i].T >= opts.MinDurationMS {
+			var sumLng, sumLat float64
+			for _, p := range pts[i:j] {
+				sumLng += p.Lng
+				sumLat += p.Lat
+			}
+			n := float64(j - i)
+			out = append(out, StayPoint{
+				Center:     geom.Point{Lng: sumLng / n, Lat: sumLat / n},
+				ArriveMS:   pts[i].T,
+				DepartMS:   pts[j-1].T,
+				PointCount: j - i,
+			})
+			i = j
+		} else {
+			i++
+		}
+	}
+	return out
+}

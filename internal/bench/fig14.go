@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"time"
+
+	"just/internal/workload"
+)
+
+// RunFig14a reproduces Fig. 14a: indexing time and storage size on the
+// Synthetic dataset vs data size — both grow linearly.
+func (r *Runner) RunFig14a() error {
+	r.header("fig14a", "Scalability (Synthetic): Indexing Time & Storage vs Data Size")
+	syn := workload.Synthetic(r.Trajs(), r.sz.syntheticMult, r.opts.Seed+2)
+	r.printf("%-8s %16s %16s\n", "data%", "index time (ms)", "storage (MiB)")
+	for _, pct := range []int{20, 40, 60, 80, 100} {
+		part := fraction(syn, pct)
+		e, err := r.openJUST("fig14a", variantJUST)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := loadTrajs(e, variantJUST, part); err != nil {
+			e.Close()
+			return err
+		}
+		elapsed := time.Since(start)
+		if err := e.Cluster().Compact(); err != nil {
+			e.Close()
+			return err
+		}
+		size := e.DiskSize()
+		e.Close()
+		r.printf("%-8d %16s %16s\n", pct, ms(elapsed), mb(size))
+	}
+	return nil
+}
+
+// RunFig14b reproduces Fig. 14b: query time on Synthetic vs data size
+// for k-NN, spatial (S) and spatio-temporal (ST) queries. The paper's
+// key observation: ST query time is flat — the qualified time periods
+// hold the same amount of data no matter how big the dataset grows.
+func (r *Runner) RunFig14b() error {
+	r.header("fig14b", "Scalability (Synthetic): Query Time vs Data Size — ms")
+	syn := workload.Synthetic(r.Trajs(), r.sz.syntheticMult, r.opts.Seed+2)
+
+	r.printf("%-8s %10s %10s %10s\n", "data%", "k-NN", "S", "ST")
+	for _, pct := range []int{20, 40, 60, 80, 100} {
+		// The synthetic data spreads over ~10x the base time span; a
+		// 1-day window within the base span sees a constant slice of it.
+		wins := r.defaultWindows(int64(pct) + 300)
+		tws := r.timeWindows(int64(pct)+300, workload.Day)
+		pts := r.knnPoints(int64(pct) + 300)
+		part := fraction(syn, pct)
+		e, err := r.openJUST("fig14b", variantJUST)
+		if err != nil {
+			return err
+		}
+		if err := loadTrajs(e, variantJUST, part); err != nil {
+			e.Close()
+			return err
+		}
+		knn := r.queryKNNJUST(e, "traj", pts, defaultK)
+		s := r.querySpatialJUST(e, "traj", wins)
+		st := r.querySTJUST(e, "traj", wins, tws)
+		e.Close()
+		r.printf("%-8d %10s %10s %10s\n", pct, knn, s, st)
+	}
+	return nil
+}

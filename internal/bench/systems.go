@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"time"
+
+	"just/internal/baseline"
+	"just/internal/core"
+	"just/internal/exec"
+	"just/internal/geom"
+	"just/internal/index"
+	"just/internal/kv"
+	"just/internal/table"
+	"just/internal/workload"
+)
+
+// justVariant describes one JUST configuration from Section VIII-A:
+// JUST (Z2T/XZ2T, day period, compression), JUSTnc (no compression),
+// JUSTd/JUSTy/JUSTc (Z3/XZ3 with day/year/century periods).
+type justVariant struct {
+	name        string
+	compression bool
+	pointIndex  string
+	trajIndex   string
+	period      time.Duration
+}
+
+var (
+	variantJUST   = justVariant{"JUST", true, "z2t", "xz2t", 24 * time.Hour}
+	variantJUSTnc = justVariant{"JUSTnc", false, "z2t", "xz2t", 24 * time.Hour}
+	variantJUSTd  = justVariant{"JUSTd", true, "z3", "xz3", 24 * time.Hour}
+	variantJUSTy  = justVariant{"JUSTy", true, "z3", "xz3", 365 * 24 * time.Hour}
+	variantJUSTc  = justVariant{"JUSTc", true, "z3", "xz3", 36500 * 24 * time.Hour}
+)
+
+// diskMBps simulates the HBase/HDFS read path (HDD + replication + RPC);
+// it is what makes IO-volume effects — the whole point of the paper's
+// compression mechanism — visible on a laptop whose page cache would
+// otherwise serve every block at memory speed.
+const diskMBps = 40
+
+// sparkDispatch is the per-query Spark job scheduling cost charged to
+// the in-memory comparators, scaled from the ~100 ms a real Spark job
+// launch costs by the same factor the datasets are scaled down.
+func (r *Runner) sparkDispatch() time.Duration {
+	if r.opts.Scale == ScaleSmall {
+		return 200 * time.Microsecond
+	}
+	return 500 * time.Microsecond
+}
+
+// openJUST opens an engine for a variant in a fresh scratch directory.
+func (r *Runner) openJUST(tag string, v justVariant) (*core.Engine, error) {
+	dir, err := r.scratch("just-" + v.name + "-" + tag)
+	if err != nil {
+		return nil, err
+	}
+	return core.Open(core.Config{
+		Dir: dir,
+		Cluster: kv.ClusterOptions{Options: kv.Options{
+			DisableWAL:         true,
+			DiskThroughputMBps: diskMBps,
+			// The paper's datasets dwarf the HBase block cache (and its
+			// methodology dodges it with distinct query params); size the
+			// cache well below the datasets so the reproduction does too.
+			BlockCacheBytes: 8 << 20,
+		}},
+		DisableFieldCompression: !v.compression,
+	})
+}
+
+// loadOrders creates the Order common table (Table III: Z2 on point,
+// Z2T — or the variant's strategy — on point and t) and bulk-loads it.
+func loadOrders(e *core.Engine, v justVariant, orders []workload.Order) error {
+	desc := &table.Desc{
+		Name:    "orders",
+		Columns: workload.OrderSchema(),
+		Indexes: []table.IndexDesc{
+			{Strategy: "attr", ID: 0},
+			{Strategy: "z2", ID: 1},
+			{Strategy: v.pointIndex, ID: 2, PeriodMS: v.period.Milliseconds()},
+		},
+	}
+	if err := e.CreateTable(desc); err != nil {
+		return err
+	}
+	return e.BulkInsert("", "orders", workload.OrderRows(orders))
+}
+
+// loadTrajs creates the Traj plugin table (Table III: XZ2 on MBR, XZ2T —
+// or the variant's strategy — on MBR and start time) and bulk-loads it.
+func loadTrajs(e *core.Engine, v justVariant, trajs []*table.Trajectory) error {
+	desc, err := table.NewDescFromPlugin("", "traj", "trajectory")
+	if err != nil {
+		return err
+	}
+	desc.Indexes = []table.IndexDesc{
+		{Strategy: "attr", ID: 0},
+		{Strategy: "xz2", ID: 1},
+		{Strategy: v.trajIndex, ID: 2, PeriodMS: v.period.Milliseconds()},
+	}
+	if err := e.CreateTable(desc); err != nil {
+		return err
+	}
+	rows, err := workload.TrajectoryRows(trajs)
+	if err != nil {
+		return err
+	}
+	return e.BulkInsert("", "traj", rows)
+}
+
+// spatialCount runs a spatial range query and returns the hit count.
+func spatialCount(e *core.Engine, tbl string, win geom.MBR) (int, error) {
+	n := 0
+	err := e.Scan("", tbl, index.Query{Window: win}, func(exec.Row) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// stCount runs a spatio-temporal range query.
+func stCount(e *core.Engine, tbl string, win geom.MBR, tmin, tmax int64) (int, error) {
+	n := 0
+	err := e.Scan("", tbl, index.Query{Window: win, HasTime: true, TMin: tmin, TMax: tmax},
+		func(exec.Row) bool {
+			n++
+			return true
+		})
+	return n, err
+}
+
+// namedSystem pairs a display name with a baseline instance.
+type namedSystem struct {
+	name string
+	sys  baseline.System
+}
+
+// sparkBaselines builds the in-memory comparators with the paper-shaped
+// memory budgets and the scaled job-dispatch cost.
+func (r *Runner) sparkBaselines() []namedSystem {
+	b := r.clusterBudgets()
+	d := r.sparkDispatch()
+	geospark := baseline.NewMemGrid(0)
+	geospark.SetJobOverhead(d)
+	locationspark := baseline.NewMemQuad(b.locationSpark)
+	locationspark.SetJobOverhead(d)
+	spatialspark := baseline.NewMemList(b.spatialSpark)
+	spatialspark.SetJobOverhead(d)
+	simba := baseline.NewMemRTree(b.simba)
+	simba.SetJobOverhead(d)
+	return []namedSystem{
+		{"GeoSpark", geospark},
+		{"LocationSpark", locationspark},
+		{"SpatialSpark", spatialspark},
+		{"Simba", simba},
+	}
+}
+
+// newGeoSpark, newSimba, newSpatialSpark build single comparators with
+// dispatch overhead installed.
+func (r *Runner) newGeoSpark() *baseline.MemGrid {
+	g := baseline.NewMemGrid(0)
+	g.SetJobOverhead(r.sparkDispatch())
+	return g
+}
+
+func (r *Runner) newSimba() *baseline.MemRTree {
+	g := baseline.NewMemRTree(r.clusterBudgets().simba)
+	g.SetJobOverhead(r.sparkDispatch())
+	return g
+}
+
+func (r *Runner) newSpatialSpark() *baseline.MemList {
+	g := baseline.NewMemList(r.clusterBudgets().spatialSpark)
+	g.SetJobOverhead(r.sparkDispatch())
+	return g
+}
+
+func (r *Runner) newLocationSpark() *baseline.MemQuad {
+	g := baseline.NewMemQuad(r.clusterBudgets().locationSpark)
+	g.SetJobOverhead(r.sparkDispatch())
+	return g
+}
+
+// hadoopBaseline builds the SpatialHadoop comparator.
+func (r *Runner) hadoopBaseline(tag string) (baseline.System, error) {
+	dir, err := r.scratch("spatialhadoop-" + tag)
+	if err != nil {
+		return nil, err
+	}
+	return baseline.NewDiskGrid(baseline.DiskGridConfig{
+		Dir: dir, JobOverhead: r.jobOverhead(), DiskThroughputMBps: diskMBps,
+	})
+}
+
+// stHadoopBaseline builds the ST-Hadoop comparator.
+func (r *Runner) stHadoopBaseline(tag string) (baseline.System, error) {
+	dir, err := r.scratch("sthadoop-" + tag)
+	if err != nil {
+		return nil, err
+	}
+	return baseline.NewDiskGridST(baseline.DiskGridConfig{
+		Dir: dir, JobOverhead: r.jobOverhead(), DiskThroughputMBps: diskMBps,
+	}, 0)
+}
+
+// jobOverhead scales the simulated MapReduce launch cost with dataset
+// scale so small runs stay fast.
+func (r *Runner) jobOverhead() time.Duration {
+	if r.opts.Scale == ScaleSmall {
+		return 10 * time.Millisecond
+	}
+	return 50 * time.Millisecond
+}
+
+// ingestSorted feeds records to a system in start-time order (required
+// by the ST-Hadoop model's future-only rule).
+func ingestSorted(sys baseline.System, recs []baseline.Record) error {
+	sorted := append([]baseline.Record{}, recs...)
+	sortRecordsByStart(sorted)
+	return sys.Ingest(sorted)
+}
+
+func sortRecordsByStart(recs []baseline.Record) {
+	// simple sort to avoid importing sort with a closure repeatedly
+	quicksortRecs(recs, 0, len(recs)-1)
+}
+
+func quicksortRecs(recs []baseline.Record, lo, hi int) {
+	for lo < hi {
+		p := recs[(lo+hi)/2].Start
+		i, j := lo, hi
+		for i <= j {
+			for recs[i].Start < p {
+				i++
+			}
+			for recs[j].Start > p {
+				j--
+			}
+			if i <= j {
+				recs[i], recs[j] = recs[j], recs[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quicksortRecs(recs, lo, j)
+			lo = i
+		} else {
+			quicksortRecs(recs, i, hi)
+			hi = j
+		}
+	}
+}

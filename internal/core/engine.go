@@ -1,0 +1,389 @@
+// Package core is the JUST engine: it wires the storage cluster, the
+// catalog, the index strategies and the execution context into the data
+// engine the paper describes — definition, manipulation and query
+// operations over spatio-temporal tables (Sections III–V).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"just/internal/exec"
+	"just/internal/geom"
+	"just/internal/index"
+	"just/internal/kv"
+	"just/internal/table"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Dir is the storage root; required.
+	Dir string
+	// Workers sizes the execution pool (0 = NumCPU).
+	Workers int
+	// MemoryBudget caps DataFrame memory (0 = unlimited).
+	MemoryBudget int64
+	// Shards is the per-index shard count (0 = 4).
+	Shards int
+	// Period is the default time-period length for temporal indexes
+	// (0 = 24h, the paper's Table III setting).
+	Period time.Duration
+	// ViewTTL evicts idle views (0 = never).
+	ViewTTL time.Duration
+	// Cluster overrides the storage cluster options.
+	Cluster kv.ClusterOptions
+	// DisableFieldCompression turns the paper's compression mechanism
+	// off globally (the JUSTnc variant in the evaluation).
+	DisableFieldCompression bool
+}
+
+// Engine is the embedded JUST engine.
+type Engine struct {
+	cfg     Config
+	cluster *kv.Cluster
+	catalog *table.Catalog
+	views   *table.Views
+	ctx     *exec.Context
+
+	mu     sync.Mutex
+	tables map[string]*table.Table // qualified name -> open runtime
+}
+
+// Open creates or reopens an engine rooted at cfg.Dir.
+func Open(cfg Config) (*Engine, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("core: Config.Dir is required")
+	}
+	copts := cfg.Cluster
+	if copts.SplitPoints == nil && copts.Servers == 0 {
+		copts.Servers = 5 // the paper's cluster size
+	}
+	cluster, err := kv.OpenCluster(filepath.Join(cfg.Dir, "data"), copts)
+	if err != nil {
+		return nil, err
+	}
+	catalog, err := table.OpenCatalog(filepath.Join(cfg.Dir, "catalog.json"))
+	if err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	return &Engine{
+		cfg:     cfg,
+		cluster: cluster,
+		catalog: catalog,
+		views:   table.NewViews(cfg.ViewTTL),
+		ctx:     exec.NewContext(cfg.Workers, cfg.MemoryBudget),
+		tables:  map[string]*table.Table{},
+	}, nil
+}
+
+// Close shuts the engine down.
+func (e *Engine) Close() error { return e.cluster.Close() }
+
+// Context returns the shared execution context (the paper's shared Spark
+// context, Section VII-A).
+func (e *Engine) Context() *exec.Context { return e.ctx }
+
+// Catalog exposes the meta table.
+func (e *Engine) Catalog() *table.Catalog { return e.catalog }
+
+// Views exposes the view registry.
+func (e *Engine) Views() *table.Views { return e.views }
+
+// Cluster exposes the storage fabric (for metrics and benchmarks).
+func (e *Engine) Cluster() *kv.Cluster { return e.cluster }
+
+// indexConfig materializes the engine-wide strategy tunables.
+func (e *Engine) indexConfig() table.IndexConfig {
+	return table.IndexConfig{Shards: e.cfg.Shards, Period: e.cfg.Period}
+}
+
+// CreateTable registers a common table. When desc.Indexes is empty the
+// engine picks the paper's defaults: attr plus Z2/Z2T for point
+// geometry columns, XZ2/XZ2T for non-point ones (we treat geometry
+// subtype "point" as point-based).
+func (e *Engine) CreateTable(desc *table.Desc) error {
+	if e.cfg.DisableFieldCompression {
+		for i := range desc.Columns {
+			desc.Columns[i].Compress = ""
+		}
+	}
+	e.inferRoles(desc)
+	if len(desc.Indexes) == 0 {
+		desc.Indexes = e.defaultIndexes(desc)
+	}
+	if desc.Kind == "" {
+		desc.Kind = table.KindCommon
+	}
+	return e.catalog.Create(desc)
+}
+
+// CreateTableAs registers a plugin table ("CREATE TABLE t AS trajectory").
+func (e *Engine) CreateTableAs(user, name, plugin string) error {
+	desc, err := table.NewDescFromPlugin(user, name, plugin)
+	if err != nil {
+		return err
+	}
+	if e.cfg.DisableFieldCompression {
+		for i := range desc.Columns {
+			desc.Columns[i].Compress = ""
+		}
+	}
+	return e.catalog.Create(desc)
+}
+
+// inferRoles fills FidColumn / GeomColumn / TimeColumn from the schema
+// when unset: the primary-key column, the first geometry column, the
+// first date column.
+func (e *Engine) inferRoles(desc *table.Desc) {
+	for _, c := range desc.Columns {
+		if desc.FidColumn == "" && c.PrimaryKey {
+			desc.FidColumn = c.Name
+		}
+		if desc.GeomColumn == "" && c.Type == exec.TypeGeometry {
+			desc.GeomColumn = c.Name
+		}
+		if desc.TimeColumn == "" && c.Type == exec.TypeTime {
+			desc.TimeColumn = c.Name
+		}
+	}
+	if desc.FidColumn == "" && len(desc.Columns) > 0 {
+		desc.FidColumn = desc.Columns[0].Name
+	}
+}
+
+// defaultIndexes picks attr + spatial (+ spatio-temporal when the table
+// has a time column) strategies.
+func (e *Engine) defaultIndexes(desc *table.Desc) []table.IndexDesc {
+	out := []table.IndexDesc{{Strategy: "attr", ID: 0}}
+	if desc.GeomColumn == "" {
+		return out
+	}
+	point := true
+	if c, ok := desc.Column(desc.GeomColumn); ok {
+		switch c.Subtype {
+		case "", "point":
+			point = true
+		default:
+			point = false
+		}
+	}
+	temporal := desc.TimeColumn != ""
+	spatial := index.DefaultFor(point, false, index.Config{})
+	out = append(out, table.IndexDesc{Strategy: spatial.Name(), ID: 1})
+	if temporal {
+		st := index.DefaultFor(point, true, index.Config{})
+		out = append(out, table.IndexDesc{Strategy: st.Name(), ID: 2})
+	}
+	return out
+}
+
+// OpenTable returns the runtime for a registered table, cached.
+func (e *Engine) OpenTable(user, name string) (*table.Table, error) {
+	desc, err := e.catalog.Get(user, name)
+	if err != nil {
+		return nil, err
+	}
+	qn := table.QualifiedName(desc.User, desc.Name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t, ok := e.tables[qn]; ok {
+		return t, nil
+	}
+	t, err := table.Open(desc, e.cluster, e.indexConfig())
+	if err != nil {
+		return nil, err
+	}
+	e.tables[qn] = t
+	return t, nil
+}
+
+// DropTable removes a table: data first, then the catalog entry.
+func (e *Engine) DropTable(user, name string) error {
+	t, err := e.OpenTable(user, name)
+	if err != nil {
+		return err
+	}
+	if err := t.DropData(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	delete(e.tables, table.QualifiedName(t.Desc.User, t.Desc.Name))
+	e.mu.Unlock()
+	return e.catalog.Drop(t.Desc.User, t.Desc.Name)
+}
+
+// Insert writes rows into a table and updates meta statistics.
+func (e *Engine) Insert(user, name string, rows []exec.Row) error {
+	t, err := e.OpenTable(user, name)
+	if err != nil {
+		return err
+	}
+	minT, maxT := int64(0), int64(0)
+	first := true
+	ti := t.TimeIndex()
+	for _, row := range rows {
+		if err := t.Insert(row); err != nil {
+			return err
+		}
+		if ti >= 0 {
+			if ts, ok := row[ti].(int64); ok {
+				if first || ts < minT {
+					minT = ts
+				}
+				if first || ts > maxT {
+					maxT = ts
+				}
+				first = false
+			}
+		}
+	}
+	return e.catalog.UpdateStats(t.Desc.User, t.Desc.Name, int64(len(rows)), minT, maxT)
+}
+
+// BulkInsert parallelizes ingest across the execution pool (the paper's
+// Spark-driven batch load in Fig. 2) and flushes when done.
+func (e *Engine) BulkInsert(user, name string, rows []exec.Row) error {
+	t, err := e.OpenTable(user, name)
+	if err != nil {
+		return err
+	}
+	w := e.ctx.Workers()
+	chunk := (len(rows) + w - 1) / w
+	if chunk == 0 {
+		chunk = 1
+	}
+	var chunks [][]exec.Row
+	for start := 0; start < len(rows); start += chunk {
+		end := start + chunk
+		if end > len(rows) {
+			end = len(rows)
+		}
+		chunks = append(chunks, rows[start:end])
+	}
+	err = e.ctx.RunParallel(len(chunks), func(i int) error {
+		for _, row := range chunks[i] {
+			if err := t.Insert(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := e.cluster.Flush(); err != nil {
+		return err
+	}
+	minT, maxT := int64(0), int64(0)
+	first := true
+	if ti := t.TimeIndex(); ti >= 0 {
+		for _, row := range rows {
+			if ts, ok := row[ti].(int64); ok {
+				if first || ts < minT {
+					minT = ts
+				}
+				if first || ts > maxT {
+					maxT = ts
+				}
+				first = false
+			}
+		}
+	}
+	return e.catalog.UpdateStats(t.Desc.User, t.Desc.Name, int64(len(rows)), minT, maxT)
+}
+
+// StreamInsert consumes rows from ch until it closes, writing them in
+// batches and updating meta statistics per batch — the streaming-source
+// ingestion the paper lists as future work (Section IX), made trivial by
+// update-enabled keys: no index ever needs rebuilding.
+func (e *Engine) StreamInsert(user, name string, ch <-chan exec.Row, batchSize int) error {
+	if batchSize <= 0 {
+		batchSize = 1024
+	}
+	batch := make([]exec.Row, 0, batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := e.Insert(user, name, batch); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for row := range ch {
+		batch = append(batch, row)
+		if len(batch) == batchSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return e.cluster.Flush()
+}
+
+// SpatialRange answers a spatial range query (Section V-C): all records
+// whose geometry intersects the window. The result is a DataFrame so
+// further Spark-SQL-style operations compose (Fig. 2).
+func (e *Engine) SpatialRange(user, name string, window geom.MBR) (*exec.DataFrame, error) {
+	return e.rangeQuery(user, name, index.Query{Window: window})
+}
+
+// STRange answers a spatio-temporal range query: records intersecting
+// the window generated during [tmin, tmax] (Unix ms, inclusive).
+func (e *Engine) STRange(user, name string, window geom.MBR, tmin, tmax int64) (*exec.DataFrame, error) {
+	return e.rangeQuery(user, name, index.Query{
+		Window: window, HasTime: true, TMin: tmin, TMax: tmax,
+	})
+}
+
+func (e *Engine) rangeQuery(user, name string, q index.Query) (*exec.DataFrame, error) {
+	t, err := e.OpenTable(user, name)
+	if err != nil {
+		return nil, err
+	}
+	var rows []exec.Row
+	gi := t.GeomIndex()
+	err = t.ScanQuery(q, func(row exec.Row) bool {
+		// Exact geometry refinement on top of the MBR-level post-filter.
+		if gi >= 0 {
+			if g, ok := row[gi].(geom.Geometry); ok && !geom.IntersectsMBR(g, q.Window) {
+				return true
+			}
+		}
+		rows = append(rows, row)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewDataFrame(e.ctx, t.Schema(), rows)
+}
+
+// Scan streams raw matching rows without materializing a frame; emit
+// returning false stops early.
+func (e *Engine) Scan(user, name string, q index.Query, emit func(exec.Row) bool) error {
+	t, err := e.OpenTable(user, name)
+	if err != nil {
+		return err
+	}
+	return t.ScanQuery(q, emit)
+}
+
+// Flush persists all buffered writes.
+func (e *Engine) Flush() error { return e.cluster.Flush() }
+
+// DiskSize reports total on-disk bytes (storage cost in Fig. 10).
+func (e *Engine) DiskSize() int64 { return e.cluster.DiskSize() }
+
+// String describes the engine briefly.
+func (e *Engine) String() string {
+	return fmt.Sprintf("just.Engine(dir=%s, regions=%d)", e.cfg.Dir, e.cluster.Regions())
+}

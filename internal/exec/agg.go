@@ -1,0 +1,402 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AggKind enumerates aggregate functions.
+type AggKind uint8
+
+// Supported aggregates.
+const (
+	AggCount AggKind = iota + 1
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// ParseAgg resolves an aggregate function name.
+func ParseAgg(name string) (AggKind, bool) {
+	switch name {
+	case "count":
+		return AggCount, true
+	case "sum":
+		return AggSum, true
+	case "min":
+		return AggMin, true
+	case "max":
+		return AggMax, true
+	case "avg":
+		return AggAvg, true
+	default:
+		return 0, false
+	}
+}
+
+// Agg describes one aggregate column: fn(Col) AS Name.
+type Agg struct {
+	Kind AggKind
+	Col  string // ignored for COUNT(*) when "*"
+	Name string
+}
+
+type accumulator struct {
+	count int64
+	sum   float64
+	min   any
+	max   any
+	hasNF bool // saw a non-float value for sum/avg
+}
+
+func (a *accumulator) add(v any) {
+	a.count++
+	if v == nil {
+		return
+	}
+	switch x := v.(type) {
+	case int64:
+		a.sum += float64(x)
+	case float64:
+		a.sum += x
+	default:
+		a.hasNF = true
+	}
+	if a.min == nil {
+		a.min = v
+	} else if c, ok := Compare(v, a.min); ok && c < 0 {
+		a.min = v
+	}
+	if a.max == nil {
+		a.max = v
+	} else if c, ok := Compare(v, a.max); ok && c > 0 {
+		a.max = v
+	}
+}
+
+func (a *accumulator) merge(o *accumulator) {
+	a.count += o.count
+	a.sum += o.sum
+	a.hasNF = a.hasNF || o.hasNF
+	if o.min != nil {
+		if a.min == nil {
+			a.min = o.min
+		} else if c, ok := Compare(o.min, a.min); ok && c < 0 {
+			a.min = o.min
+		}
+	}
+	if o.max != nil {
+		if a.max == nil {
+			a.max = o.max
+		} else if c, ok := Compare(o.max, a.max); ok && c > 0 {
+			a.max = o.max
+		}
+	}
+}
+
+func (a *accumulator) result(kind AggKind) (any, error) {
+	switch kind {
+	case AggCount:
+		return a.count, nil
+	case AggSum:
+		if a.hasNF {
+			return nil, fmt.Errorf("exec: SUM over non-numeric column")
+		}
+		return a.sum, nil
+	case AggAvg:
+		if a.hasNF {
+			return nil, fmt.Errorf("exec: AVG over non-numeric column")
+		}
+		if a.count == 0 {
+			return nil, nil
+		}
+		return a.sum / float64(a.count), nil
+	case AggMin:
+		return a.min, nil
+	case AggMax:
+		return a.max, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown aggregate %d", kind)
+	}
+}
+
+type group struct {
+	key  Row
+	accs []*accumulator
+}
+
+// GroupBy aggregates the frame by the key columns (which may be empty
+// for a global aggregate). The result schema is keys followed by one
+// column per aggregate.
+func (d *DataFrame) GroupBy(keys []string, aggs []Agg) (*DataFrame, error) {
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		j := d.schema.Index(k)
+		if j < 0 {
+			return nil, fmt.Errorf("exec: unknown group key %q", k)
+		}
+		keyIdx[i] = j
+	}
+	aggIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Col == "*" || a.Col == "" {
+			aggIdx[i] = -1
+			continue
+		}
+		j := d.schema.Index(a.Col)
+		if j < 0 {
+			return nil, fmt.Errorf("exec: unknown aggregate column %q", a.Col)
+		}
+		aggIdx[i] = j
+	}
+
+	// Phase 1: parallel partial aggregation per partition.
+	partials := make([]map[uint64][]*group, len(d.parts))
+	err := d.ctx.runParallel(len(d.parts), func(p int) error {
+		local := make(map[uint64][]*group)
+		for _, r := range d.parts[p] {
+			h := rowHash(r, keyIdx)
+			var g *group
+			for _, cand := range local[h] {
+				if keyEqual(cand.key, r, keyIdx) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				key := make(Row, len(keyIdx))
+				for i, j := range keyIdx {
+					key[i] = r[j]
+				}
+				g = &group{key: key, accs: make([]*accumulator, len(aggs))}
+				for i := range g.accs {
+					g.accs[i] = &accumulator{}
+				}
+				local[h] = append(local[h], g)
+			}
+			for i, j := range aggIdx {
+				if j < 0 {
+					g.accs[i].add(int64(1)) // COUNT(*)
+				} else {
+					g.accs[i].add(r[j])
+				}
+			}
+		}
+		partials[p] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: merge partials.
+	var mu sync.Mutex
+	merged := make(map[uint64][]*group)
+	for _, local := range partials {
+		for h, gs := range local {
+			mu.Lock()
+			for _, g := range gs {
+				var target *group
+				for _, cand := range merged[h] {
+					if keyRowsEqual(cand.key, g.key) {
+						target = cand
+						break
+					}
+				}
+				if target == nil {
+					merged[h] = append(merged[h], g)
+				} else {
+					for i := range target.accs {
+						target.accs[i].merge(g.accs[i])
+					}
+				}
+			}
+			mu.Unlock()
+		}
+	}
+
+	// Build the output frame.
+	fields := make([]Field, 0, len(keys)+len(aggs))
+	for i, k := range keys {
+		fields = append(fields, Field{Name: k, Type: d.schema.Field(keyIdx[i]).Type})
+	}
+	for i, a := range aggs {
+		t := TypeFloat
+		if a.Kind == AggCount {
+			t = TypeInt
+		} else if aggIdx[i] >= 0 && (a.Kind == AggMin || a.Kind == AggMax) {
+			t = d.schema.Field(aggIdx[i]).Type
+		}
+		name := a.Name
+		if name == "" {
+			name = fmt.Sprintf("%s_%s", aggName(a.Kind), a.Col)
+		}
+		fields = append(fields, Field{Name: name, Type: t})
+	}
+	var rows []Row
+	for _, gs := range merged {
+		for _, g := range gs {
+			row := make(Row, 0, len(fields))
+			row = append(row, g.key...)
+			for i, a := range aggs {
+				v, err := g.accs[i].result(a.Kind)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, v)
+			}
+			rows = append(rows, row)
+		}
+	}
+	// Special case: global aggregate over an empty frame still yields one
+	// row of zero counts / nil extrema.
+	if len(keys) == 0 && len(rows) == 0 {
+		row := make(Row, len(aggs))
+		for i, a := range aggs {
+			if a.Kind == AggCount {
+				row[i] = int64(0)
+			}
+		}
+		rows = []Row{row}
+	}
+	return NewDataFrame(d.ctx, &Schema{Fields: fields}, rows)
+}
+
+func aggName(k AggKind) string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	}
+	return "agg"
+}
+
+func keyEqual(key Row, r Row, idx []int) bool {
+	for i, j := range idx {
+		if !valueEq(key[i], r[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+func keyRowsEqual(a, b Row) bool {
+	for i := range a {
+		if !valueEq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func valueEq(a, b any) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if c, ok := Compare(a, b); ok {
+		return c == 0
+	}
+	return fmt.Sprint(a) == fmt.Sprint(b)
+}
+
+// JoinType selects the join semantics.
+type JoinType uint8
+
+// Supported join types.
+const (
+	InnerJoin JoinType = iota + 1
+	LeftJoin
+)
+
+// Join hash-joins d (left) with o (right) on equality of the named
+// columns. The result schema is left columns followed by right columns
+// (right join keys included, names deduplicated with a "r_" prefix).
+func (d *DataFrame) Join(o *DataFrame, leftKeys, rightKeys []string, jt JoinType) (*DataFrame, error) {
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		return nil, fmt.Errorf("exec: join requires matching key lists")
+	}
+	lIdx := make([]int, len(leftKeys))
+	for i, k := range leftKeys {
+		j := d.schema.Index(k)
+		if j < 0 {
+			return nil, fmt.Errorf("exec: unknown left join key %q", k)
+		}
+		lIdx[i] = j
+	}
+	rIdx := make([]int, len(rightKeys))
+	for i, k := range rightKeys {
+		j := o.schema.Index(k)
+		if j < 0 {
+			return nil, fmt.Errorf("exec: unknown right join key %q", k)
+		}
+		rIdx[i] = j
+	}
+	// Build on the right side.
+	build := make(map[uint64][]Row)
+	for _, p := range o.parts {
+		for _, r := range p {
+			h := rowHash(r, rIdx)
+			build[h] = append(build[h], r)
+		}
+	}
+	fields := append([]Field{}, d.schema.Fields...)
+	taken := map[string]bool{}
+	for _, f := range fields {
+		taken[f.Name] = true
+	}
+	for _, f := range o.schema.Fields {
+		name := f.Name
+		if taken[name] {
+			name = "r_" + name
+		}
+		taken[name] = true
+		fields = append(fields, Field{Name: name, Type: f.Type})
+	}
+	schema := &Schema{Fields: fields}
+
+	outParts := make([][]Row, len(d.parts))
+	err := d.ctx.runParallel(len(d.parts), func(p int) error {
+		var out []Row
+		for _, lr := range d.parts[p] {
+			h := rowHash(lr, lIdx)
+			matched := false
+			for _, rr := range build[h] {
+				if joinKeysEqual(lr, lIdx, rr, rIdx) {
+					matched = true
+					nr := make(Row, 0, len(lr)+len(rr))
+					nr = append(nr, lr...)
+					nr = append(nr, rr...)
+					out = append(out, nr)
+				}
+			}
+			if !matched && jt == LeftJoin {
+				nr := make(Row, len(lr)+o.schema.Len())
+				copy(nr, lr)
+				out = append(out, nr)
+			}
+		}
+		outParts[p] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newFrame(d.ctx, schema, outParts)
+}
+
+func joinKeysEqual(l Row, lIdx []int, r Row, rIdx []int) bool {
+	for i := range lIdx {
+		if !valueEq(l[lIdx[i]], r[rIdx[i]]) {
+			return false
+		}
+	}
+	return true
+}

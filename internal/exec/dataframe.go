@@ -1,0 +1,359 @@
+package exec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Context owns the worker pool and memory budget shared by all frames of
+// one query or session — the analogue of the shared Spark context the
+// paper's service layer maintains (Section VII-A).
+type Context struct {
+	workers int
+	sem     chan struct{}
+
+	memBudget int64 // 0 = unlimited
+	memUsed   atomic.Int64
+}
+
+// NewContext creates a context. workers <= 0 selects NumCPU;
+// memBudget <= 0 disables memory accounting failure.
+func NewContext(workers int, memBudget int64) *Context {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Context{
+		workers:   workers,
+		sem:       make(chan struct{}, workers),
+		memBudget: memBudget,
+	}
+}
+
+// DefaultContext returns a context with NumCPU workers and no memory cap.
+func DefaultContext() *Context { return NewContext(0, 0) }
+
+// Workers returns the configured parallelism.
+func (c *Context) Workers() int { return c.workers }
+
+// reserve accounts n bytes; it fails when the budget is exhausted.
+func (c *Context) reserve(n int64) error {
+	used := c.memUsed.Add(n)
+	if c.memBudget > 0 && used > c.memBudget {
+		c.memUsed.Add(-n)
+		return ErrOutOfMemory
+	}
+	return nil
+}
+
+// release returns n bytes to the budget.
+func (c *Context) release(n int64) { c.memUsed.Add(-n) }
+
+// MemUsed reports the currently accounted bytes.
+func (c *Context) MemUsed() int64 { return c.memUsed.Load() }
+
+// RunParallel executes fn for i in [0, n) on the worker pool and returns
+// the first error. It is the scheduling primitive behind every operator
+// and is exported for bulk ingest and the benchmark harness.
+func (c *Context) RunParallel(n int, fn func(i int) error) error {
+	return c.runParallel(n, fn)
+}
+
+// runParallel executes fn for each partition index on the pool and
+// returns the first error.
+func (c *Context) runParallel(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return fn(0)
+	}
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		c.sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-c.sem }()
+			if firstErr.Load() != nil {
+				return
+			}
+			if err := fn(i); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		return err.(error)
+	}
+	return nil
+}
+
+// DataFrame is a schema-ed, partitioned row collection. Operators return
+// new frames; partitions are processed in parallel on the context pool.
+type DataFrame struct {
+	ctx    *Context
+	schema *Schema
+	parts  [][]Row
+	mem    int64 // accounted bytes, released by Release
+}
+
+// NewDataFrame wraps rows into a frame with the context's default
+// partitioning.
+func NewDataFrame(ctx *Context, schema *Schema, rows []Row) (*DataFrame, error) {
+	parts := partition(rows, ctx.workers)
+	return newFrame(ctx, schema, parts)
+}
+
+// NewDataFramePartitioned wraps pre-partitioned rows.
+func NewDataFramePartitioned(ctx *Context, schema *Schema, parts [][]Row) (*DataFrame, error) {
+	return newFrame(ctx, schema, parts)
+}
+
+func newFrame(ctx *Context, schema *Schema, parts [][]Row) (*DataFrame, error) {
+	var mem int64
+	for _, p := range parts {
+		for _, r := range p {
+			mem += RowSize(r)
+		}
+	}
+	if err := ctx.reserve(mem); err != nil {
+		return nil, err
+	}
+	return &DataFrame{ctx: ctx, schema: schema, parts: parts, mem: mem}, nil
+}
+
+func partition(rows []Row, n int) [][]Row {
+	if n < 1 {
+		n = 1
+	}
+	if len(rows) == 0 {
+		return make([][]Row, 1)
+	}
+	per := (len(rows) + n - 1) / n
+	var parts [][]Row
+	for start := 0; start < len(rows); start += per {
+		end := start + per
+		if end > len(rows) {
+			end = len(rows)
+		}
+		parts = append(parts, rows[start:end])
+	}
+	return parts
+}
+
+// Release returns the frame's memory to the context budget. Frames are
+// small-lived; views call this when dropped.
+func (d *DataFrame) Release() {
+	d.ctx.release(d.mem)
+	d.mem = 0
+	d.parts = nil
+}
+
+// Schema returns the frame's schema.
+func (d *DataFrame) Schema() *Schema { return d.schema }
+
+// Count returns the number of rows.
+func (d *DataFrame) Count() int {
+	n := 0
+	for _, p := range d.parts {
+		n += len(p)
+	}
+	return n
+}
+
+// Partitions returns the number of partitions.
+func (d *DataFrame) Partitions() int { return len(d.parts) }
+
+// Collect concatenates every partition into one slice (the driver-side
+// materialization of Fig. 2).
+func (d *DataFrame) Collect() []Row {
+	out := make([]Row, 0, d.Count())
+	for _, p := range d.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// transform maps each partition through fn in parallel and wraps the
+// result with the same schema unless newSchema is non-nil.
+func (d *DataFrame) transform(newSchema *Schema, fn func(part []Row) ([]Row, error)) (*DataFrame, error) {
+	outParts := make([][]Row, len(d.parts))
+	err := d.ctx.runParallel(len(d.parts), func(i int) error {
+		rows, err := fn(d.parts[i])
+		if err != nil {
+			return err
+		}
+		outParts[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if newSchema == nil {
+		newSchema = d.schema
+	}
+	return newFrame(d.ctx, newSchema, outParts)
+}
+
+// Filter keeps rows where pred returns true.
+func (d *DataFrame) Filter(pred func(Row) (bool, error)) (*DataFrame, error) {
+	return d.transform(nil, func(part []Row) ([]Row, error) {
+		out := make([]Row, 0, len(part))
+		for _, r := range part {
+			ok, err := pred(r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	})
+}
+
+// Map rewrites every row with fn under a new schema (Spark SQL UDF — the
+// paper's 1-1 analysis operations).
+func (d *DataFrame) Map(schema *Schema, fn func(Row) (Row, error)) (*DataFrame, error) {
+	return d.transform(schema, func(part []Row) ([]Row, error) {
+		out := make([]Row, len(part))
+		for i, r := range part {
+			nr, err := fn(r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = nr
+		}
+		return out, nil
+	})
+}
+
+// FlatMap expands each row to zero or more rows (the paper's 1-N
+// analysis operations, which Spark UDFs cannot express).
+func (d *DataFrame) FlatMap(schema *Schema, fn func(Row) ([]Row, error)) (*DataFrame, error) {
+	return d.transform(schema, func(part []Row) ([]Row, error) {
+		var out []Row
+		for _, r := range part {
+			rs, err := fn(r)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rs...)
+		}
+		return out, nil
+	})
+}
+
+// Select projects the frame onto the named columns.
+func (d *DataFrame) Select(names ...string) (*DataFrame, error) {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j := d.schema.Index(n)
+		if j < 0 {
+			return nil, fmt.Errorf("exec: unknown column %q", n)
+		}
+		idx[i] = j
+	}
+	schema := d.schema.Project(idx)
+	return d.transform(schema, func(part []Row) ([]Row, error) {
+		out := make([]Row, len(part))
+		for i, r := range part {
+			nr := make(Row, len(idx))
+			for k, j := range idx {
+				nr[k] = r[j]
+			}
+			out[i] = nr
+		}
+		return out, nil
+	})
+}
+
+// SortBy globally sorts the frame with the comparator (stable).
+func (d *DataFrame) SortBy(less func(a, b Row) bool) (*DataFrame, error) {
+	rows := d.Collect()
+	sorted := make([]Row, len(rows))
+	copy(sorted, rows)
+	sort.SliceStable(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
+	return NewDataFrame(d.ctx, d.schema, sorted)
+}
+
+// Limit keeps the first n rows in partition order.
+func (d *DataFrame) Limit(n int) (*DataFrame, error) {
+	var out []Row
+	for _, p := range d.parts {
+		for _, r := range p {
+			if len(out) == n {
+				return NewDataFrame(d.ctx, d.schema, out)
+			}
+			out = append(out, r)
+		}
+	}
+	return NewDataFrame(d.ctx, d.schema, out)
+}
+
+// Union appends another frame with an identical schema length.
+func (d *DataFrame) Union(o *DataFrame) (*DataFrame, error) {
+	if d.schema.Len() != o.schema.Len() {
+		return nil, fmt.Errorf("exec: union arity mismatch: %d vs %d", d.schema.Len(), o.schema.Len())
+	}
+	parts := append(append([][]Row{}, d.parts...), o.parts...)
+	return newFrame(d.ctx, d.schema, parts)
+}
+
+// Distinct removes duplicate rows (by fingerprint of all columns).
+func (d *DataFrame) Distinct() (*DataFrame, error) {
+	seen := make(map[uint64][]Row)
+	var out []Row
+	for _, p := range d.parts {
+	rowLoop:
+		for _, r := range p {
+			h := rowHash(r, nil)
+			for _, prev := range seen[h] {
+				if rowsEqual(prev, r) {
+					continue rowLoop
+				}
+			}
+			seen[h] = append(seen[h], r)
+			out = append(out, r)
+		}
+	}
+	return NewDataFrame(d.ctx, d.schema, out)
+}
+
+func rowsEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			if fmt.Sprint(a[i]) != fmt.Sprint(b[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// rowHash fingerprints the key columns (all columns when idx is nil).
+func rowHash(r Row, idx []int) uint64 {
+	h := fnv.New64a()
+	write := func(v any) {
+		fmt.Fprintf(h, "%v|", v)
+	}
+	if idx == nil {
+		for _, v := range r {
+			write(v)
+		}
+	} else {
+		for _, i := range idx {
+			write(r[i])
+		}
+	}
+	return h.Sum64()
+}

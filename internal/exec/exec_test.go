@@ -1,0 +1,461 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func testFrame(t *testing.T, n int) *DataFrame {
+	t.Helper()
+	ctx := NewContext(4, 0)
+	schema := NewSchema(
+		Field{"id", TypeInt},
+		Field{"name", TypeString},
+		Field{"score", TypeFloat},
+		Field{"grp", TypeString},
+	)
+	rows := make([]Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = Row{int64(i), fmt.Sprintf("name-%d", i), float64(i % 10), fmt.Sprintf("g%d", i%3)}
+	}
+	df, err := NewDataFrame(ctx, schema, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return df
+}
+
+func TestParseType(t *testing.T) {
+	cases := map[string]DataType{
+		"integer": TypeInt, "int": TypeInt, "double": TypeFloat,
+		"string": TypeString, "date": TypeTime, "point": TypeGeometry,
+		"linestring": TypeGeometry, "st_series": TypeSTSeries,
+		"t_series": TypeTSeries, "bool": TypeBool, "bytes": TypeBytes,
+	}
+	for s, want := range cases {
+		got, ok := ParseType(s)
+		if !ok || got != want {
+			t.Errorf("ParseType(%q) = %v,%v, want %v", s, got, ok, want)
+		}
+	}
+	if _, ok := ParseType("uuid"); ok {
+		t.Error("unknown type should not parse")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	df := testFrame(t, 100)
+	out, err := df.Filter(func(r Row) (bool, error) { return r[0].(int64) < 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count() != 10 {
+		t.Fatalf("filter count = %d, want 10", out.Count())
+	}
+}
+
+func TestSelect(t *testing.T) {
+	df := testFrame(t, 10)
+	out, err := df.Select("name", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema().Len() != 2 || out.Schema().Field(0).Name != "name" {
+		t.Fatalf("schema = %v", out.Schema().Names())
+	}
+	rows := out.Collect()
+	if rows[0][0] != "name-0" || rows[0][1] != int64(0) {
+		t.Fatalf("row = %v", rows[0])
+	}
+	if _, err := df.Select("nope"); err == nil {
+		t.Fatal("unknown column should fail")
+	}
+}
+
+func TestMapAndFlatMap(t *testing.T) {
+	df := testFrame(t, 10)
+	schema := NewSchema(Field{"doubled", TypeInt})
+	out, err := df.Map(schema, func(r Row) (Row, error) {
+		return Row{r[0].(int64) * 2}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Collect()[3][0] != int64(6) {
+		t.Fatal("map failed")
+	}
+	fm, err := df.FlatMap(schema, func(r Row) ([]Row, error) {
+		if r[0].(int64)%2 == 0 {
+			return []Row{{r[0]}, {r[0]}}, nil
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Count() != 10 {
+		t.Fatalf("flatmap count = %d, want 10", fm.Count())
+	}
+}
+
+func TestSortLimit(t *testing.T) {
+	df := testFrame(t, 50)
+	sorted, err := df.SortBy(func(a, b Row) bool { return a[0].(int64) > b[0].(int64) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := sorted.Collect()
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][0].(int64) < rows[i][0].(int64) {
+			t.Fatal("not sorted descending")
+		}
+	}
+	top, err := sorted.Limit(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Count() != 5 || top.Collect()[0][0] != int64(49) {
+		t.Fatalf("limit = %v", top.Collect())
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	df := testFrame(t, 90) // grp g0,g1,g2 x 30 each
+	out, err := df.GroupBy([]string{"grp"}, []Agg{
+		{Kind: AggCount, Col: "*", Name: "n"},
+		{Kind: AggSum, Col: "score", Name: "total"},
+		{Kind: AggMin, Col: "id", Name: "lo"},
+		{Kind: AggMax, Col: "id", Name: "hi"},
+		{Kind: AggAvg, Col: "score", Name: "mean"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.Collect()
+	if len(rows) != 3 {
+		t.Fatalf("groups = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r[1].(int64) != 30 {
+			t.Errorf("group %v count = %v, want 30", r[0], r[1])
+		}
+		grp := r[0].(string)
+		wantLo := map[string]int64{"g0": 0, "g1": 1, "g2": 2}[grp]
+		if r[3].(int64) != wantLo {
+			t.Errorf("group %s lo = %v, want %d", grp, r[3], wantLo)
+		}
+		mean := r[5].(float64)
+		sum := r[2].(float64)
+		if mean != sum/30 {
+			t.Errorf("group %s mean inconsistent", grp)
+		}
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	df := testFrame(t, 100)
+	out, err := df.GroupBy(nil, []Agg{{Kind: AggCount, Col: "*", Name: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.Collect()
+	if len(rows) != 1 || rows[0][0].(int64) != 100 {
+		t.Fatalf("global count = %v", rows)
+	}
+	// Empty frame still produces a zero-count row.
+	empty, _ := df.Filter(func(Row) (bool, error) { return false, nil })
+	out2, err := empty.GroupBy(nil, []Agg{{Kind: AggCount, Col: "*", Name: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Collect()[0][0].(int64) != 0 {
+		t.Fatal("empty global count should be 0")
+	}
+}
+
+func TestGroupBySumMatchesSequential(t *testing.T) {
+	// Property: parallel grouped sums equal a sequential reference.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(300)
+		rows := make([]Row, n)
+		ref := map[string]float64{}
+		for i := range rows {
+			g := fmt.Sprintf("g%d", rng.Intn(7))
+			v := float64(rng.Intn(1000))
+			rows[i] = Row{g, v}
+			ref[g] += v
+		}
+		ctx := NewContext(8, 0)
+		df, err := NewDataFrame(ctx, NewSchema(Field{"g", TypeString}, Field{"v", TypeFloat}), rows)
+		if err != nil {
+			return false
+		}
+		out, err := df.GroupBy([]string{"g"}, []Agg{{Kind: AggSum, Col: "v", Name: "s"}})
+		if err != nil {
+			return false
+		}
+		got := map[string]float64{}
+		for _, r := range out.Collect() {
+			got[r[0].(string)] = r[1].(float64)
+		}
+		if len(got) != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinInner(t *testing.T) {
+	ctx := NewContext(4, 0)
+	left, _ := NewDataFrame(ctx,
+		NewSchema(Field{"id", TypeInt}, Field{"name", TypeString}),
+		[]Row{{int64(1), "a"}, {int64(2), "b"}, {int64(3), "c"}})
+	right, _ := NewDataFrame(ctx,
+		NewSchema(Field{"uid", TypeInt}, Field{"city", TypeString}),
+		[]Row{{int64(1), "bj"}, {int64(1), "sh"}, {int64(3), "gz"}})
+	out, err := left.Join(right, []string{"id"}, []string{"uid"}, InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.Collect()
+	if len(rows) != 3 {
+		t.Fatalf("inner join rows = %d, want 3", len(rows))
+	}
+	if out.Schema().Index("city") < 0 {
+		t.Fatal("joined schema missing right column")
+	}
+}
+
+func TestJoinLeft(t *testing.T) {
+	ctx := NewContext(4, 0)
+	left, _ := NewDataFrame(ctx,
+		NewSchema(Field{"id", TypeInt}),
+		[]Row{{int64(1)}, {int64(9)}})
+	right, _ := NewDataFrame(ctx,
+		NewSchema(Field{"id", TypeInt}, Field{"v", TypeString}),
+		[]Row{{int64(1), "x"}})
+	out, err := left.Join(right, []string{"id"}, []string{"id"}, LeftJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.Collect()
+	if len(rows) != 2 {
+		t.Fatalf("left join rows = %d, want 2", len(rows))
+	}
+	var unmatched Row
+	for _, r := range rows {
+		if r[0].(int64) == 9 {
+			unmatched = r
+		}
+	}
+	if unmatched == nil || unmatched[2] != nil {
+		t.Fatalf("unmatched row = %v", unmatched)
+	}
+	// Duplicate right column name gets prefixed.
+	if out.Schema().Index("r_id") < 0 {
+		t.Fatalf("schema = %v", out.Schema().Names())
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	ctx := NewContext(2, 0)
+	df, _ := NewDataFrame(ctx, NewSchema(Field{"v", TypeInt}),
+		[]Row{{int64(1)}, {int64(2)}, {int64(1)}, {int64(3)}, {int64(2)}})
+	out, err := df.Distinct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count() != 3 {
+		t.Fatalf("distinct = %d, want 3", out.Count())
+	}
+}
+
+func TestUnion(t *testing.T) {
+	ctx := NewContext(2, 0)
+	a, _ := NewDataFrame(ctx, NewSchema(Field{"v", TypeInt}), []Row{{int64(1)}})
+	b, _ := NewDataFrame(ctx, NewSchema(Field{"v", TypeInt}), []Row{{int64(2)}, {int64(3)}})
+	out, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count() != 3 {
+		t.Fatalf("union count = %d", out.Count())
+	}
+	c, _ := NewDataFrame(ctx, NewSchema(Field{"x", TypeInt}, Field{"y", TypeInt}), nil)
+	if _, err := a.Union(c); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+}
+
+func TestMemoryBudget(t *testing.T) {
+	ctx := NewContext(2, 10<<10) // 10 KiB budget
+	schema := NewSchema(Field{"s", TypeString})
+	big := make([]Row, 1000)
+	for i := range big {
+		big[i] = Row{fmt.Sprintf("some-reasonably-long-string-%d", i)}
+	}
+	if _, err := NewDataFrame(ctx, schema, big); err != ErrOutOfMemory {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	// Small frames still fit, and Release frees budget.
+	small, err := NewDataFrame(ctx, schema, big[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := ctx.MemUsed()
+	if used <= 0 {
+		t.Fatal("no memory accounted")
+	}
+	small.Release()
+	if ctx.MemUsed() != 0 {
+		t.Fatalf("after release used = %d", ctx.MemUsed())
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b any
+		want int
+	}{
+		{int64(1), int64(2), -1},
+		{int64(2), int64(2), 0},
+		{float64(3), int64(2), 1},
+		{int64(2), float64(2.5), -1},
+		{"a", "b", -1},
+		{nil, "x", -1},
+		{true, false, 1},
+	}
+	for _, c := range cases {
+		got, ok := Compare(c.a, c.b)
+		if !ok || got != c.want {
+			t.Errorf("Compare(%v,%v) = %d,%v, want %d", c.a, c.b, got, ok, c.want)
+		}
+	}
+	if _, ok := Compare("a", int64(1)); ok {
+		t.Error("incomparable types should return ok=false")
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	rows := make([]Row, 103)
+	parts := partition(rows, 4)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 103 {
+		t.Fatalf("partition lost rows: %d", total)
+	}
+	if len(parts) > 4 {
+		t.Fatalf("too many partitions: %d", len(parts))
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	ctx := NewContext(2, 0)
+	df, _ := NewDataFrame(ctx, NewSchema(Field{"k", TypeInt}, Field{"seq", TypeInt}),
+		[]Row{{int64(1), int64(0)}, {int64(1), int64(1)}, {int64(0), int64(2)}, {int64(1), int64(3)}})
+	sorted, _ := df.SortBy(func(a, b Row) bool { return a[0].(int64) < b[0].(int64) })
+	rows := sorted.Collect()
+	var seqs []int64
+	for _, r := range rows {
+		if r[0].(int64) == 1 {
+			seqs = append(seqs, r[1].(int64))
+		}
+	}
+	if !sort.SliceIsSorted(seqs, func(i, j int) bool { return seqs[i] < seqs[j] }) {
+		t.Fatalf("sort not stable: %v", seqs)
+	}
+}
+
+func TestSizeOfEstimates(t *testing.T) {
+	cases := []struct {
+		v   any
+		min int64
+	}{
+		{nil, 1},
+		{int64(5), 8},
+		{"hello", 5},
+		{[]byte{1, 2, 3}, 3},
+		{make([]float64, 10), 80},
+	}
+	for _, c := range cases {
+		if got := SizeOf(c.v); got < c.min {
+			t.Errorf("SizeOf(%T) = %d, want >= %d", c.v, got, c.min)
+		}
+	}
+	row := Row{int64(1), "abc", 2.5}
+	if RowSize(row) < SizeOf(int64(1))+SizeOf("abc")+SizeOf(2.5) {
+		t.Error("RowSize should be at least the sum of its values")
+	}
+}
+
+func TestContextDefaults(t *testing.T) {
+	ctx := DefaultContext()
+	if ctx.Workers() < 1 {
+		t.Fatal("workers must be positive")
+	}
+	if err := ctx.reserve(1 << 40); err != nil {
+		t.Fatal("unlimited budget should accept anything")
+	}
+	ctx.release(1 << 40)
+}
+
+func TestRunParallelPropagatesError(t *testing.T) {
+	ctx := NewContext(4, 0)
+	err := ctx.RunParallel(10, func(i int) error {
+		if i == 7 {
+			return ErrOutOfMemory
+		}
+		return nil
+	})
+	if err != ErrOutOfMemory {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	ctx := DefaultContext()
+	rows := make([]Row, 100000)
+	for i := range rows {
+		rows[i] = Row{fmt.Sprintf("g%d", i%100), float64(i)}
+	}
+	df, _ := NewDataFrame(ctx, NewSchema(Field{"g", TypeString}, Field{"v", TypeFloat}), rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := df.GroupBy([]string{"g"}, []Agg{{Kind: AggSum, Col: "v"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out.Release()
+	}
+}
+
+func BenchmarkFilter(b *testing.B) {
+	ctx := DefaultContext()
+	rows := make([]Row, 100000)
+	for i := range rows {
+		rows[i] = Row{int64(i)}
+	}
+	df, _ := NewDataFrame(ctx, NewSchema(Field{"v", TypeInt}), rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := df.Filter(func(r Row) (bool, error) { return r[0].(int64)%2 == 0, nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		out.Release()
+	}
+}

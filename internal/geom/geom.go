@@ -1,0 +1,175 @@
+// Package geom provides the geometry types and spatial predicates used
+// throughout JUST: points, line strings, polygons, minimum bounding
+// rectangles, WKT encoding, and distance functions.
+//
+// Coordinates are WGS84 longitude/latitude degrees unless stated otherwise.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used by Haversine.
+const EarthRadiusMeters = 6371008.8
+
+// Point is a 2-D geographic point (longitude, latitude in degrees).
+type Point struct {
+	Lng float64
+	Lat float64
+}
+
+// TPoint is a timestamped point, the atom of trajectory data.
+// T is Unix milliseconds.
+type TPoint struct {
+	Point
+	T int64
+}
+
+// MBR is a minimum bounding rectangle in lng/lat space.
+type MBR struct {
+	MinLng, MinLat, MaxLng, MaxLat float64
+}
+
+// WorldMBR covers the whole valid coordinate space.
+var WorldMBR = MBR{MinLng: -180, MinLat: -90, MaxLng: 180, MaxLat: 90}
+
+// NewMBR returns the MBR spanning the two corner points, normalizing
+// the corner order.
+func NewMBR(lng1, lat1, lng2, lat2 float64) MBR {
+	return MBR{
+		MinLng: math.Min(lng1, lng2),
+		MinLat: math.Min(lat1, lat2),
+		MaxLng: math.Max(lng1, lng2),
+		MaxLat: math.Max(lat1, lat2),
+	}
+}
+
+// Contains reports whether p lies inside or on the boundary of m.
+func (m MBR) Contains(p Point) bool {
+	return p.Lng >= m.MinLng && p.Lng <= m.MaxLng && p.Lat >= m.MinLat && p.Lat <= m.MaxLat
+}
+
+// ContainsMBR reports whether o is entirely inside m.
+func (m MBR) ContainsMBR(o MBR) bool {
+	return o.MinLng >= m.MinLng && o.MaxLng <= m.MaxLng && o.MinLat >= m.MinLat && o.MaxLat <= m.MaxLat
+}
+
+// Intersects reports whether m and o share any point.
+func (m MBR) Intersects(o MBR) bool {
+	return m.MinLng <= o.MaxLng && m.MaxLng >= o.MinLng && m.MinLat <= o.MaxLat && m.MaxLat >= o.MinLat
+}
+
+// Extend returns the smallest MBR covering both m and o.
+func (m MBR) Extend(o MBR) MBR {
+	return MBR{
+		MinLng: math.Min(m.MinLng, o.MinLng),
+		MinLat: math.Min(m.MinLat, o.MinLat),
+		MaxLng: math.Max(m.MaxLng, o.MaxLng),
+		MaxLat: math.Max(m.MaxLat, o.MaxLat),
+	}
+}
+
+// ExtendPoint returns the smallest MBR covering m and p.
+func (m MBR) ExtendPoint(p Point) MBR {
+	return m.Extend(MBR{p.Lng, p.Lat, p.Lng, p.Lat})
+}
+
+// Center returns the midpoint of m.
+func (m MBR) Center() Point {
+	return Point{Lng: (m.MinLng + m.MaxLng) / 2, Lat: (m.MinLat + m.MaxLat) / 2}
+}
+
+// Width returns the longitudinal extent in degrees.
+func (m MBR) Width() float64 { return m.MaxLng - m.MinLng }
+
+// Height returns the latitudinal extent in degrees.
+func (m MBR) Height() float64 { return m.MaxLat - m.MinLat }
+
+// Area returns the area in square degrees.
+func (m MBR) Area() float64 { return m.Width() * m.Height() }
+
+// IsValid reports whether the rectangle is inside the world and
+// non-inverted.
+func (m MBR) IsValid() bool {
+	return m.MinLng <= m.MaxLng && m.MinLat <= m.MaxLat && WorldMBR.ContainsMBR(m)
+}
+
+// Clip returns m clipped to o. The result may be inverted (empty) if the
+// rectangles do not intersect; callers should check Intersects first.
+func (m MBR) Clip(o MBR) MBR {
+	return MBR{
+		MinLng: math.Max(m.MinLng, o.MinLng),
+		MinLat: math.Max(m.MinLat, o.MinLat),
+		MaxLng: math.Min(m.MaxLng, o.MaxLng),
+		MaxLat: math.Min(m.MaxLat, o.MaxLat),
+	}
+}
+
+// QuadSplit partitions m into its four equal quadrants, ordered
+// SW, SE, NW, NE.
+func (m MBR) QuadSplit() [4]MBR {
+	c := m.Center()
+	return [4]MBR{
+		{m.MinLng, m.MinLat, c.Lng, c.Lat},
+		{c.Lng, m.MinLat, m.MaxLng, c.Lat},
+		{m.MinLng, c.Lat, c.Lng, m.MaxLat},
+		{c.Lng, c.Lat, m.MaxLng, m.MaxLat},
+	}
+}
+
+// MinDistance returns the minimum Euclidean-degree distance between p and
+// any point of m (0 if p is inside m). This is dA(q, a) of the paper's
+// k-NN Lemma 1.
+func (m MBR) MinDistance(p Point) float64 {
+	dx := math.Max(0, math.Max(m.MinLng-p.Lng, p.Lng-m.MaxLng))
+	dy := math.Max(0, math.Max(m.MinLat-p.Lat, p.Lat-m.MaxLat))
+	return math.Hypot(dx, dy)
+}
+
+func (m MBR) String() string {
+	return fmt.Sprintf("MBR(%g %g, %g %g)", m.MinLng, m.MinLat, m.MaxLng, m.MaxLat)
+}
+
+// EuclideanDistance returns the flat-plane distance between two points in
+// degrees. The paper's experiments adopt Euclidean distance for k-NN.
+func EuclideanDistance(a, b Point) float64 {
+	return math.Hypot(a.Lng-b.Lng, a.Lat-b.Lat)
+}
+
+// HaversineMeters returns the great-circle distance between a and b in
+// meters.
+func HaversineMeters(a, b Point) float64 {
+	lat1 := a.Lat * math.Pi / 180
+	lat2 := b.Lat * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLng := (b.Lng - a.Lng) * math.Pi / 180
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLng/2)*math.Sin(dLng/2)
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// MetersToDegreesLat converts a distance in meters to latitude degrees.
+func MetersToDegreesLat(m float64) float64 {
+	return m / 111320.0
+}
+
+// MetersToDegreesLng converts a distance in meters to longitude degrees at
+// the given latitude.
+func MetersToDegreesLng(m, atLat float64) float64 {
+	c := math.Cos(atLat * math.Pi / 180)
+	if c < 1e-9 {
+		c = 1e-9
+	}
+	return m / (111320.0 * c)
+}
+
+// SquareAround returns an MBR approximating a sideMeters × sideMeters
+// square centered at p, used to build the paper's "N×N km spatial window"
+// query workloads.
+func SquareAround(p Point, sideMeters float64) MBR {
+	halfLat := MetersToDegreesLat(sideMeters / 2)
+	halfLng := MetersToDegreesLng(sideMeters/2, p.Lat)
+	m := MBR{p.Lng - halfLng, p.Lat - halfLat, p.Lng + halfLng, p.Lat + halfLat}
+	return m.Clip(WorldMBR)
+}

@@ -1,0 +1,200 @@
+// Package index implements JUST's indexing strategies: GeoMesa's native
+// Z2, Z3, XZ2 and XZ3, and the paper's novel Z2T and XZ2T (Section IV).
+//
+// A strategy maps a record to a one-dimensional row key so that records
+// close in space and time get lexicographically close keys, and maps a
+// spatio-temporal window query to a small set of key ranges for the
+// storage layer to SCAN.
+//
+// Key layouts (all integers big-endian so byte order equals numeric order):
+//
+//	Z2   : [shard u8][z2 u64][fid]
+//	XZ2  : [shard u8][xz2 u64][fid]
+//	Z3   : [shard u8][period u32][z3 u64][fid]
+//	XZ3  : [shard u8][period u32][xz3 u64][fid]
+//	Z2T  : [shard u8][period u32][z2 u64][fid]     (Equ. 2 of the paper)
+//	XZ2T : [shard u8][period u32][xz2 u64][fid]    (Equ. 3 of the paper)
+//
+// The shard byte plays GeoMesa's "random prefix" role, spreading load
+// across regions; we derive it from the record id so rewrites of the same
+// record land on the same key (that is what makes JUST update-enabled).
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"just/internal/geom"
+	"just/internal/kv"
+	"just/internal/zorder"
+)
+
+// Errors returned by strategies.
+var (
+	// ErrNeedTime reports a temporal strategy asked to plan a query with
+	// no time bounds.
+	ErrNeedTime = errors.New("index: query has no time interval for a temporal index")
+	// ErrNeedGeom reports a record without a geometry.
+	ErrNeedGeom = errors.New("index: record has no geometry")
+)
+
+// Record is the indexable digest of a row: its id, geometry and time span.
+type Record struct {
+	FID  []byte
+	Geom geom.Geometry
+	// Start and End are Unix milliseconds; End == Start for instant
+	// records. Zero values are valid times (the epoch).
+	Start, End int64
+}
+
+// Query is a spatio-temporal window.
+type Query struct {
+	Window geom.MBR
+	// HasTime gates the temporal constraint [TMin, TMax] (inclusive, ms).
+	HasTime    bool
+	TMin, TMax int64
+}
+
+// Strategy converts records to keys and queries to key ranges.
+type Strategy interface {
+	// Name returns the strategy identifier used in USERDATA hints
+	// (e.g. "z2t").
+	Name() string
+	// Temporal reports whether the strategy partitions by time period.
+	Temporal() bool
+	// Key builds the row key for a record.
+	Key(rec Record) ([]byte, error)
+	// Plan produces the key ranges a SCAN must cover so that every
+	// record matching q is visited (over-approximate; callers refine).
+	Plan(q Query) ([]kv.KeyRange, error)
+}
+
+// Config carries the tunables shared by all strategies.
+type Config struct {
+	// Shards is the number of shard prefixes; default 4.
+	Shards int
+	// Period is the time-period length for temporal strategies;
+	// default 24h (the paper's Table III setting).
+	Period time.Duration
+	// MaxRecordPeriods bounds how many periods a single record may span
+	// (its index period is that of its start time); queries look this
+	// many extra periods back. Default 1.
+	MaxRecordPeriods int
+	// ExtraLevels tunes Z-range decomposition depth; 0 = default.
+	ExtraLevels int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Period <= 0 {
+		c.Period = 24 * time.Hour
+	}
+	if c.MaxRecordPeriods <= 0 {
+		c.MaxRecordPeriods = 1
+	}
+	return c
+}
+
+// shardOf hashes the record id to a stable shard byte.
+func shardOf(fid []byte, shards int) byte {
+	h := fnv.New32a()
+	h.Write(fid)
+	return byte(h.Sum32() % uint32(shards))
+}
+
+// periodOf implements Equ. (1): Num(t) = floor((t - RefTime) / PeriodLen)
+// with RefTime = the Unix epoch.
+func periodOf(tms int64, period time.Duration) int64 {
+	pl := period.Milliseconds()
+	n := tms / pl
+	if tms%pl < 0 {
+		n-- // floor division for pre-epoch times
+	}
+	return n
+}
+
+// periodStart returns the first millisecond of period n.
+func periodStart(n int64, period time.Duration) int64 {
+	return n * period.Milliseconds()
+}
+
+// fracInPeriod maps tms to its fraction within period n, clamped to [0,1].
+func fracInPeriod(tms, pstart int64, period time.Duration) float64 {
+	f := float64(tms-pstart) / float64(period.Milliseconds())
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// putU32 appends big-endian v.
+func putU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// putU64 appends big-endian v.
+func putU64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+// codeRangeToKeyRange converts an inclusive curve-code range under a key
+// prefix into a half-open kv range covering every fid suffix.
+func codeRangeToKeyRange(prefix []byte, r zorder.Range) kv.KeyRange {
+	start := putU64(append([]byte(nil), prefix...), r.Min)
+	var end []byte
+	if r.Max == ^uint64(0) {
+		// No 8-byte code exceeds Max: end at the next prefix value.
+		end = nextPrefix(prefix)
+	} else {
+		end = putU64(append([]byte(nil), prefix...), r.Max+1)
+	}
+	return kv.KeyRange{Start: start, End: end}
+}
+
+// nextPrefix returns the smallest byte string greater than every string
+// starting with p, or nil (open end) when p is all 0xFF.
+func nextPrefix(p []byte) []byte {
+	out := append([]byte(nil), p...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}
+
+// recordPeriods returns the index period of rec (that of its start time).
+func recordPeriod(rec Record, period time.Duration) int64 {
+	return periodOf(rec.Start, period)
+}
+
+// queryPeriods lists the periods a temporal plan must visit: every period
+// intersecting [TMin, TMax], extended maxBack periods earlier to catch
+// records that started before the window but extend into it.
+func queryPeriods(q Query, period time.Duration, maxBack int) (lo, hi int64) {
+	lo = periodOf(q.TMin, period) - int64(maxBack)
+	hi = periodOf(q.TMax, period)
+	return lo, hi
+}
+
+// validateRecord checks the common preconditions.
+func validateRecord(rec Record) error {
+	if rec.Geom == nil {
+		return ErrNeedGeom
+	}
+	if len(rec.FID) == 0 {
+		return fmt.Errorf("index: record has no fid")
+	}
+	return nil
+}

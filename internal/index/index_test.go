@@ -1,0 +1,451 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"just/internal/geom"
+	"just/internal/kv"
+	"just/internal/zorder"
+)
+
+const dayMs = int64(24 * 60 * 60 * 1000)
+
+func coveredBy(ranges []kv.KeyRange, key []byte) bool {
+	for _, r := range ranges {
+		if r.Contains(key) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPeriodOf(t *testing.T) {
+	day := 24 * time.Hour
+	cases := []struct {
+		t    int64
+		want int64
+	}{
+		{0, 0},
+		{1, 0},
+		{dayMs - 1, 0},
+		{dayMs, 1},
+		{10*dayMs + 5, 10},
+		{-1, -1},
+		{-dayMs, -1},
+		{-dayMs - 1, -2},
+	}
+	for _, c := range cases {
+		if got := periodOf(c.t, day); got != c.want {
+			t.Errorf("periodOf(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestEncodePeriodPreservesOrder(t *testing.T) {
+	prev := uint32(0)
+	first := true
+	for _, n := range []int64{-1000, -2, -1, 0, 1, 2, 1000} {
+		e := encodePeriod(n)
+		if !first && e <= prev {
+			t.Fatalf("encodePeriod not monotone at %d", n)
+		}
+		prev, first = e, false
+	}
+}
+
+func TestCodeRangeToKeyRangeMaxOverflow(t *testing.T) {
+	// A range ending at MaxUint64 must produce a half-open end at the
+	// next prefix rather than wrapping to zero.
+	r := codeRangeToKeyRange([]byte{0x01}, zorder.Range{Min: 0, Max: ^uint64(0)})
+	if string(r.End) != string([]byte{0x02}) {
+		t.Fatalf("end = %x, want prefix+1", r.End)
+	}
+	keyInRange := append([]byte{0x01}, putU64(nil, ^uint64(0))...)
+	if !r.Contains(keyInRange) {
+		t.Fatal("max code key must be inside the range")
+	}
+	// All-0xFF prefix: open-ended.
+	r = codeRangeToKeyRange([]byte{0xFF}, zorder.Range{Min: 5, Max: ^uint64(0)})
+	if r.End != nil {
+		t.Fatalf("end = %x, want open", r.End)
+	}
+}
+
+func TestNextPrefix(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte{0x01}, []byte{0x02}},
+		{[]byte{0x01, 0xFF}, []byte{0x02}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{[]byte{0x01, 0x02}, []byte{0x01, 0x03}},
+	}
+	for _, c := range cases {
+		got := nextPrefix(c.in)
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("nextPrefix(%x) = %x, want %x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestShardStability(t *testing.T) {
+	// Same fid must always produce the same shard (update-enabled).
+	for i := 0; i < 100; i++ {
+		fid := []byte(fmt.Sprintf("rec-%d", i))
+		a := shardOf(fid, 4)
+		b := shardOf(fid, 4)
+		if a != b {
+			t.Fatal("shard not stable")
+		}
+		if a > 3 {
+			t.Fatalf("shard %d out of range", a)
+		}
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		counts[shardOf([]byte(fmt.Sprintf("rec-%d", i)), 4)]++
+	}
+	for s, n := range counts {
+		if n < 700 || n > 1300 {
+			t.Errorf("shard %d has %d records, want ~1000", s, n)
+		}
+	}
+}
+
+func randPointRecord(rng *rand.Rand, i int) Record {
+	p := geom.Point{Lng: rng.Float64()*360 - 180, Lat: rng.Float64()*180 - 90}
+	return Record{
+		FID:   []byte(fmt.Sprintf("fid-%06d", i)),
+		Geom:  p,
+		Start: rng.Int63n(30 * dayMs),
+	}
+}
+
+func randTrajRecord(rng *rand.Rand, i int) Record {
+	cx := rng.Float64()*300 - 150
+	cy := rng.Float64()*140 - 70
+	var pts []geom.Point
+	for j := 0; j < 5; j++ {
+		pts = append(pts, geom.Point{
+			Lng: cx + rng.Float64()*0.1,
+			Lat: cy + rng.Float64()*0.1,
+		})
+	}
+	start := rng.Int63n(30 * dayMs)
+	return Record{
+		FID:   []byte(fmt.Sprintf("traj-%06d", i)),
+		Geom:  &geom.LineString{Points: pts},
+		Start: start,
+		End:   start + rng.Int63n(dayMs), // up to one period long
+	}
+}
+
+func randQuery(rng *rand.Rand) Query {
+	cx := rng.Float64()*300 - 150
+	cy := rng.Float64()*140 - 70
+	w := rng.Float64()*4 + 0.01
+	tmin := rng.Int63n(25 * dayMs)
+	return Query{
+		Window:  geom.NewMBR(cx-w, cy-w, cx+w, cy+w).Clip(geom.WorldMBR),
+		HasTime: true,
+		TMin:    tmin,
+		TMax:    tmin + rng.Int63n(3*dayMs),
+	}
+}
+
+func recordMatches(rec Record, q Query) bool {
+	if !rec.Geom.MBR().Intersects(q.Window) {
+		return false
+	}
+	if !q.HasTime {
+		return true
+	}
+	end := rec.End
+	if end < rec.Start {
+		end = rec.Start
+	}
+	return rec.Start <= q.TMax && end >= q.TMin
+}
+
+// TestStrategyNoFalseNegatives is the central correctness property of
+// every indexing strategy: any record whose MBR and time span intersect
+// the query must have its key covered by the planned ranges.
+func TestStrategyNoFalseNegatives(t *testing.T) {
+	cfg := Config{Shards: 4, Period: 24 * time.Hour}
+	pointStrategies := []Strategy{NewZ2(cfg), NewZ3(cfg), NewZ2T(cfg)}
+	trajStrategies := []Strategy{NewXZ2(cfg), NewXZ3(cfg), NewXZ2T(cfg)}
+
+	rng := rand.New(rand.NewSource(2024))
+	var points, trajs []Record
+	for i := 0; i < 400; i++ {
+		points = append(points, randPointRecord(rng, i))
+		trajs = append(trajs, randTrajRecord(rng, i))
+	}
+	for iter := 0; iter < 60; iter++ {
+		q := randQuery(rng)
+		for _, s := range pointStrategies {
+			ranges, err := s.Plan(q)
+			if err != nil {
+				t.Fatalf("%s.Plan: %v", s.Name(), err)
+			}
+			for _, rec := range points {
+				if !recordMatches(rec, q) {
+					continue
+				}
+				key, err := s.Key(rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !coveredBy(ranges, key) {
+					t.Fatalf("%s: record %s at %v t=%d not covered by %d ranges for %+v",
+						s.Name(), rec.FID, rec.Geom.MBR(), rec.Start, len(ranges), q)
+				}
+			}
+		}
+		for _, s := range trajStrategies {
+			ranges, err := s.Plan(q)
+			if err != nil {
+				t.Fatalf("%s.Plan: %v", s.Name(), err)
+			}
+			for _, rec := range trajs {
+				if !recordMatches(rec, q) {
+					continue
+				}
+				key, err := s.Key(rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !coveredBy(ranges, key) {
+					t.Fatalf("%s: record %s span %v t=[%d,%d] not covered for %+v",
+						s.Name(), rec.FID, rec.Geom.MBR(), rec.Start, rec.End, q)
+				}
+			}
+		}
+	}
+}
+
+// TestZ2TSelectivity demonstrates the paper's core claim: for a small
+// spatial window and a time window that covers a large share of a period,
+// Z2T scans far fewer key space than Z3 (Fig. 4's motivation).
+func TestZ2TSelectivity(t *testing.T) {
+	cfg := Config{Shards: 1, Period: 24 * time.Hour}
+	z3 := NewZ3(cfg)
+	z2t := NewZ2T(cfg)
+	// 1km x 1km window, 01:00-13:00 within one day (the paper's example).
+	q := Query{
+		Window:  geom.SquareAround(geom.Point{Lng: 116.40, Lat: 39.90}, 1000),
+		HasTime: true,
+		TMin:    1 * 60 * 60 * 1000,
+		TMax:    13 * 60 * 60 * 1000,
+	}
+	span := func(ranges []kv.KeyRange) float64 {
+		// Total covered key volume, approximated by the code spans.
+		var total float64
+		for _, r := range ranges {
+			// Code portion begins after the prefix; compare the whole key
+			// lexicographically via the first differing 8 bytes.
+			total += keyRangeVolume(r)
+		}
+		return total
+	}
+	r3, err := z3.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2t, err := z2t.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span(r2t) >= span(r3) {
+		t.Fatalf("Z2T volume %g should be below Z3 volume %g", span(r2t), span(r3))
+	}
+}
+
+// keyRangeVolume approximates the covered code volume of a key range by
+// interpreting the final 8 bytes of start/end as the curve code.
+func keyRangeVolume(r kv.KeyRange) float64 {
+	tail := func(b []byte) float64 {
+		if len(b) < 8 {
+			return 0
+		}
+		var v uint64
+		for _, x := range b[len(b)-8:] {
+			v = v<<8 | uint64(x)
+		}
+		return float64(v)
+	}
+	return tail(r.End) - tail(r.Start)
+}
+
+func TestTemporalPlanRequiresTime(t *testing.T) {
+	cfg := Config{}
+	for _, s := range []Strategy{NewZ3(cfg), NewXZ3(cfg), NewZ2T(cfg), NewXZ2T(cfg)} {
+		if _, err := s.Plan(Query{Window: geom.WorldMBR}); err != ErrNeedTime {
+			t.Errorf("%s: err = %v, want ErrNeedTime", s.Name(), err)
+		}
+	}
+}
+
+func TestSpatialPlanIgnoresTime(t *testing.T) {
+	cfg := Config{}
+	q := Query{Window: geom.SquareAround(geom.Point{Lng: 10, Lat: 10}, 5000)}
+	for _, s := range []Strategy{NewZ2(cfg), NewXZ2(cfg)} {
+		ranges, err := s.Plan(q)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(ranges) == 0 {
+			t.Fatalf("%s: empty plan", s.Name())
+		}
+	}
+}
+
+func TestKeyRejectsBadRecords(t *testing.T) {
+	cfg := Config{}
+	strategies := []Strategy{NewZ2(cfg), NewZ2T(cfg), NewXZ2T(cfg)}
+	for _, s := range strategies {
+		if _, err := s.Key(Record{FID: []byte("x")}); err == nil {
+			t.Errorf("%s: nil geometry should fail", s.Name())
+		}
+		if _, err := s.Key(Record{Geom: geom.Point{}}); err == nil {
+			t.Errorf("%s: empty fid should fail", s.Name())
+		}
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	names := []string{"z2", "xz2", "z3", "xz3", "z2t", "xz2t", "attr"}
+	for _, n := range names {
+		s, ok := New(n, Config{})
+		if !ok || s.Name() != n {
+			t.Errorf("New(%q) = %v, %v", n, s, ok)
+		}
+	}
+	if _, ok := New("rtree", Config{}); ok {
+		t.Error("unknown strategy should not resolve")
+	}
+}
+
+func TestDefaultFor(t *testing.T) {
+	cases := []struct {
+		point, temporal bool
+		want            string
+	}{
+		{true, true, "z2t"},
+		{true, false, "z2"},
+		{false, true, "xz2t"},
+		{false, false, "xz2"},
+	}
+	for _, c := range cases {
+		if got := DefaultFor(c.point, c.temporal, Config{}).Name(); got != c.want {
+			t.Errorf("DefaultFor(%v,%v) = %s, want %s", c.point, c.temporal, got, c.want)
+		}
+	}
+}
+
+func TestPlanPeriodCount(t *testing.T) {
+	// A 3-day query against a 1-day period must visit >= 3 periods.
+	cfg := Config{Shards: 1, Period: 24 * time.Hour}
+	z2t := NewZ2T(cfg)
+	q := Query{
+		Window:  geom.SquareAround(geom.Point{Lng: 10, Lat: 10}, 1000),
+		HasTime: true,
+		TMin:    0,
+		TMax:    3*dayMs - 1,
+	}
+	ranges, err := z2t.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	periods := map[uint32]bool{}
+	for _, r := range ranges {
+		if len(r.Start) >= 5 {
+			periods[uint32(r.Start[1])<<24|uint32(r.Start[2])<<16|uint32(r.Start[3])<<8|uint32(r.Start[4])] = true
+		}
+	}
+	if len(periods) != 3 {
+		t.Fatalf("plan visits %d periods, want 3", len(periods))
+	}
+}
+
+func TestLongRecordsNeedMaxRecordPeriods(t *testing.T) {
+	// A record spanning 2.5 periods is indexed under its start period
+	// (Equ. 3); a query hitting only its tail is found iff
+	// MaxRecordPeriods covers the span.
+	line := &geom.LineString{Points: []geom.Point{{Lng: 10, Lat: 10}, {Lng: 10.1, Lat: 10.1}}}
+	rec := Record{
+		FID:   []byte("long"),
+		Geom:  line,
+		Start: 0,
+		End:   dayMs*2 + dayMs/2,
+	}
+	q := Query{
+		Window:  geom.NewMBR(9.9, 9.9, 10.2, 10.2),
+		HasTime: true,
+		TMin:    2*dayMs + 1, // tail period only
+		TMax:    2*dayMs + 2,
+	}
+	day := 24 * time.Hour
+	tight := NewXZ2T(Config{Shards: 1, Period: day, MaxRecordPeriods: 1})
+	wide := NewXZ2T(Config{Shards: 1, Period: day, MaxRecordPeriods: 3})
+	key, err := wide.Key(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tightRanges, _ := tight.Plan(q)
+	wideRanges, _ := wide.Plan(q)
+	if coveredBy(tightRanges, key) {
+		t.Log("note: tight plan happened to cover the key (over-approximation)")
+	}
+	if !coveredBy(wideRanges, key) {
+		t.Fatal("MaxRecordPeriods=3 must cover a 2.5-period record")
+	}
+}
+
+func TestKeyDeterminism(t *testing.T) {
+	cfg := Config{}
+	rec := Record{FID: []byte("abc"), Geom: geom.Point{Lng: 1, Lat: 2}, Start: 12345}
+	for _, s := range []Strategy{NewZ2(cfg), NewZ3(cfg), NewZ2T(cfg)} {
+		k1, _ := s.Key(rec)
+		k2, _ := s.Key(rec)
+		if !bytes.Equal(k1, k2) {
+			t.Errorf("%s: keys differ for identical record", s.Name())
+		}
+	}
+}
+
+func BenchmarkZ2TPlan(b *testing.B) {
+	cfg := Config{Shards: 4, Period: 24 * time.Hour}
+	s := NewZ2T(cfg)
+	q := Query{
+		Window:  geom.SquareAround(geom.Point{Lng: 116.4, Lat: 39.9}, 3000),
+		HasTime: true,
+		TMin:    0,
+		TMax:    dayMs - 1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Plan(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZ2TKey(b *testing.B) {
+	s := NewZ2T(Config{})
+	rec := Record{FID: []byte("fid-123456"), Geom: geom.Point{Lng: 116.4, Lat: 39.9}, Start: 12345678}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Key(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,492 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ClusterOptions configure a Cluster.
+type ClusterOptions struct {
+	// Store-level options applied to every region.
+	Options
+	// Servers is the number of simulated region servers; defaults to 5,
+	// matching the paper's evaluation cluster.
+	Servers int
+	// TasksPerServer bounds concurrent scan tasks per region server;
+	// defaults to max(2, NumCPU/Servers).
+	TasksPerServer int
+	// SplitPoints pre-splits the key space, mirroring how GeoMesa's
+	// shard prefixes spread writes across HBase regions. Points must be
+	// sorted ascending; n points create n+1 regions.
+	SplitPoints [][]byte
+	// MaxRegionBytes triggers an automatic region split when a region's
+	// on-disk size exceeds it; 0 disables auto-splitting.
+	MaxRegionBytes int64
+}
+
+// Cluster is the storage fabric: a sorted key space partitioned into
+// regions, each an LSM store, hosted by simulated region servers that
+// bound scan concurrency. It stands in for the HBase cluster under
+// GeoMesa in the paper's deployment.
+type Cluster struct {
+	dir   string
+	opts  ClusterOptions
+	cache *blockCache
+	met   Metrics
+
+	mu      sync.RWMutex
+	regions []*regionHandle
+	servers []*regionServer
+	nextID  int
+	closed  bool
+}
+
+// regionHandle binds a region to its key range and hosting server.
+type regionHandle struct {
+	r      *region
+	kr     KeyRange
+	server *regionServer
+}
+
+// regionServer models one node: a semaphore bounding concurrent tasks.
+type regionServer struct {
+	id    int
+	slots chan struct{}
+	scans atomic.Int64 // tasks executed, for observability
+}
+
+func (s *regionServer) run(task func()) {
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+	s.scans.Add(1)
+	task()
+}
+
+// OpenCluster opens (or creates) a cluster rooted at dir.
+func OpenCluster(dir string, opts ClusterOptions) (*Cluster, error) {
+	opts.Options = opts.Options.withDefaults()
+	if opts.Servers <= 0 {
+		opts.Servers = 5
+	}
+	if opts.TasksPerServer <= 0 {
+		opts.TasksPerServer = runtime.NumCPU() / opts.Servers
+		if opts.TasksPerServer < 2 {
+			opts.TasksPerServer = 2
+		}
+	}
+	c := &Cluster{dir: dir, opts: opts, cache: newBlockCache(opts.BlockCacheBytes)}
+	for i := 0; i < opts.Servers; i++ {
+		c.servers = append(c.servers, &regionServer{
+			id:    i,
+			slots: make(chan struct{}, opts.TasksPerServer),
+		})
+	}
+	// Region boundaries: (-inf, p0), [p0, p1), ... [pn, +inf).
+	bounds := make([]KeyRange, 0, len(opts.SplitPoints)+1)
+	var prev []byte
+	for _, p := range opts.SplitPoints {
+		if prev != nil && bytes.Compare(p, prev) <= 0 {
+			return nil, fmt.Errorf("kv: split points not ascending")
+		}
+		bounds = append(bounds, KeyRange{Start: prev, End: p})
+		prev = p
+	}
+	bounds = append(bounds, KeyRange{Start: prev})
+	for i, kr := range bounds {
+		r, err := openRegion(i, filepath.Join(dir, fmt.Sprintf("region-%04d", i)), opts.Options, c.cache, &c.met)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.regions = append(c.regions, &regionHandle{
+			r:      r,
+			kr:     kr,
+			server: c.servers[i%len(c.servers)],
+		})
+		c.nextID = i + 1
+	}
+	return c, nil
+}
+
+// regionFor locates the handle owning key (regions are sorted by range).
+func (c *Cluster) regionFor(key []byte) *regionHandle {
+	// The first region whose End is nil or > key.
+	i := sort.Search(len(c.regions), func(i int) bool {
+		end := c.regions[i].kr.End
+		return end == nil || bytes.Compare(key, end) < 0
+	})
+	return c.regions[i]
+}
+
+// Put stores key → value.
+func (c *Cluster) Put(key, value []byte) error {
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return ErrClosed
+	}
+	h := c.regionFor(key)
+	c.mu.RUnlock()
+	if err := h.r.Put(key, value); err != nil {
+		return err
+	}
+	return c.maybeSplit(h)
+}
+
+// Delete removes key.
+func (c *Cluster) Delete(key []byte) error {
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return ErrClosed
+	}
+	h := c.regionFor(key)
+	c.mu.RUnlock()
+	return h.r.Delete(key)
+}
+
+// Get fetches the value for key or ErrNotFound.
+func (c *Cluster) Get(key []byte) ([]byte, error) {
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	h := c.regionFor(key)
+	c.mu.RUnlock()
+	return h.r.Get(key)
+}
+
+// Flush persists all memtables; call after bulk loads and before
+// measuring on-disk size.
+func (c *Cluster) Flush() error {
+	c.mu.RLock()
+	hs := append([]*regionHandle(nil), c.regions...)
+	c.mu.RUnlock()
+	for _, h := range hs {
+		if err := h.r.flush(); err != nil {
+			return err
+		}
+		if err := c.maybeSplit(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact fully compacts every region.
+func (c *Cluster) Compact() error {
+	c.mu.RLock()
+	hs := append([]*regionHandle(nil), c.regions...)
+	c.mu.RUnlock()
+	for _, h := range hs {
+		if err := h.r.compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanRange streams pairs of one range in key order; emit returning false
+// stops the scan early.
+func (c *Cluster) ScanRange(kr KeyRange, emit func(key, value []byte) bool) error {
+	c.mu.RLock()
+	hs := append([]*regionHandle(nil), c.regions...)
+	c.mu.RUnlock()
+	for _, h := range hs {
+		sub, ok := h.kr.Intersect(kr)
+		if !ok {
+			continue
+		}
+		it := h.r.Scan(sub)
+		for it.Next() {
+			if !emit(it.Key(), it.Value()) {
+				it.Close()
+				return nil
+			}
+		}
+		if err := it.Err(); err != nil {
+			it.Close()
+			return err
+		}
+		it.Close()
+	}
+	return nil
+}
+
+// ScanRanges runs one scan task per (region × range) in parallel across
+// region servers — the paper's "trigger SCAN operations over the
+// underlying key-value data store in parallel". Results are delivered to
+// emit serially, in arbitrary inter-range order; emit returning false
+// cancels outstanding tasks. Pairs passed to emit are valid only during
+// the call.
+func (c *Cluster) ScanRanges(ranges []KeyRange, emit func(key, value []byte) bool) error {
+	c.mu.RLock()
+	hs := append([]*regionHandle(nil), c.regions...)
+	c.mu.RUnlock()
+
+	type task struct {
+		h  *regionHandle
+		kr KeyRange
+	}
+	var tasks []task
+	for _, kr := range ranges {
+		for _, h := range hs {
+			if sub, ok := h.kr.Intersect(kr); ok {
+				tasks = append(tasks, task{h, sub})
+			}
+		}
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+	if len(tasks) <= 4 {
+		// Small plans: goroutine fan-out costs more than it saves.
+		for _, t := range tasks {
+			stop := false
+			err := c.scanOne(t.h, t.kr, func(k, v []byte) bool {
+				if !emit(k, v) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if err != nil || stop {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var cancelled atomic.Bool
+	batches := make(chan []Pair, len(c.servers)*2)
+	errc := make(chan error, len(tasks))
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		wg.Add(1)
+		go func(t task) {
+			defer wg.Done()
+			t.h.server.run(func() {
+				if cancelled.Load() {
+					return
+				}
+				const batchSize = 512
+				batch := make([]Pair, 0, batchSize)
+				it := t.h.r.Scan(t.kr)
+				defer it.Close()
+				for it.Next() {
+					if cancelled.Load() {
+						return
+					}
+					batch = append(batch, Pair{
+						Key:   append([]byte(nil), it.Key()...),
+						Value: append([]byte(nil), it.Value()...),
+					})
+					if len(batch) == batchSize {
+						batches <- batch
+						batch = make([]Pair, 0, batchSize)
+					}
+				}
+				if err := it.Err(); err != nil {
+					errc <- err
+					return
+				}
+				if len(batch) > 0 {
+					batches <- batch
+				}
+			})
+		}(t)
+	}
+	go func() {
+		wg.Wait()
+		close(batches)
+	}()
+	for batch := range batches {
+		if cancelled.Load() {
+			continue // drain
+		}
+		for _, p := range batch {
+			if !emit(p.Key, p.Value) {
+				cancelled.Store(true)
+				break
+			}
+		}
+	}
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+func (c *Cluster) scanOne(h *regionHandle, kr KeyRange, emit func(k, v []byte) bool) error {
+	var err error
+	h.server.run(func() {
+		it := h.r.Scan(kr)
+		defer it.Close()
+		for it.Next() {
+			if !emit(it.Key(), it.Value()) {
+				return
+			}
+		}
+		err = it.Err()
+	})
+	return err
+}
+
+// maybeSplit splits h into two regions if it outgrew MaxRegionBytes.
+func (c *Cluster) maybeSplit(h *regionHandle) error {
+	max := c.opts.MaxRegionBytes
+	if max <= 0 || h.r.DiskSize() <= max {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Re-check under the lock; another writer may have split already.
+	idx := -1
+	for i, cur := range c.regions {
+		if cur == h {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || h.r.DiskSize() <= max {
+		return nil
+	}
+	mid := h.r.middleKey()
+	if mid == nil || !h.kr.Contains(mid) {
+		return nil // cannot find an interior split point
+	}
+	left, err := openRegion(c.nextID, filepath.Join(c.dir, fmt.Sprintf("region-%04d", c.nextID)), c.opts.Options, c.cache, &c.met)
+	if err != nil {
+		return err
+	}
+	c.nextID++
+	right, err := openRegion(c.nextID, filepath.Join(c.dir, fmt.Sprintf("region-%04d", c.nextID)), c.opts.Options, c.cache, &c.met)
+	if err != nil {
+		left.Close()
+		return err
+	}
+	c.nextID++
+	// Rewrite the parent's live entries into the daughters.
+	it := h.r.Scan(KeyRange{})
+	for it.Next() {
+		dst := left
+		if bytes.Compare(it.Key(), mid) >= 0 {
+			dst = right
+		}
+		if err := dst.Put(it.Key(), it.Value()); err != nil {
+			it.Close()
+			left.Close()
+			right.Close()
+			return err
+		}
+	}
+	if err := it.Err(); err != nil {
+		left.Close()
+		right.Close()
+		return err
+	}
+	it.Close()
+	if err := left.flush(); err != nil {
+		return err
+	}
+	if err := right.flush(); err != nil {
+		return err
+	}
+	parentDir := h.r.dir
+	h.r.Close()
+	os.RemoveAll(parentDir)
+	// The busier half goes to the least-loaded server.
+	lh := &regionHandle{r: left, kr: KeyRange{Start: h.kr.Start, End: mid}, server: h.server}
+	rh := &regionHandle{r: right, kr: KeyRange{Start: mid, End: h.kr.End}, server: c.leastLoadedServer()}
+	c.regions = append(c.regions[:idx], append([]*regionHandle{lh, rh}, c.regions[idx+1:]...)...)
+	return nil
+}
+
+func (c *Cluster) leastLoadedServer() *regionServer {
+	counts := make(map[*regionServer]int, len(c.servers))
+	for _, h := range c.regions {
+		counts[h.server]++
+	}
+	best := c.servers[0]
+	for _, s := range c.servers[1:] {
+		if counts[s] < counts[best] {
+			best = s
+		}
+	}
+	return best
+}
+
+// DiskSize returns the total on-disk bytes across all regions.
+func (c *Cluster) DiskSize() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var total int64
+	for _, h := range c.regions {
+		total += h.r.DiskSize()
+	}
+	return total
+}
+
+// Regions returns the current number of regions (grows with splits).
+func (c *Cluster) Regions() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.regions)
+}
+
+// Metrics returns a snapshot of cumulative storage metrics.
+func (c *Cluster) Metrics() Metrics {
+	return Metrics{
+		BytesWritten:     atomic.LoadInt64(&c.met.BytesWritten),
+		BytesRead:        atomic.LoadInt64(&c.met.BytesRead),
+		BlocksRead:       atomic.LoadInt64(&c.met.BlocksRead),
+		BlockCacheHits:   atomic.LoadInt64(&c.met.BlockCacheHits),
+		BlockCacheMisses: atomic.LoadInt64(&c.met.BlockCacheMisses),
+		BloomNegatives:   atomic.LoadInt64(&c.met.BloomNegatives),
+		Flushes:          atomic.LoadInt64(&c.met.Flushes),
+		Compactions:      atomic.LoadInt64(&c.met.Compactions),
+	}
+}
+
+// Close shuts down every region.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var first error
+	for _, h := range c.regions {
+		if err := h.r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// middleKey returns an approximate median key of the region, used as a
+// split point: the first key of the middle block of the largest SSTable.
+func (r *region) middleKey() []byte {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var biggest *table
+	for _, t := range r.tables {
+		if biggest == nil || t.size > biggest.size {
+			biggest = t
+		}
+	}
+	if biggest == nil || len(biggest.index) < 2 {
+		return nil
+	}
+	return biggest.index[len(biggest.index)/2].firstKey
+}

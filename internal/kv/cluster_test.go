@@ -1,0 +1,268 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func newTestCluster(t *testing.T, opts ClusterOptions) *Cluster {
+	t.Helper()
+	c, err := OpenCluster(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClusterRouting(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{
+		SplitPoints: [][]byte{{0x40}, {0x80}, {0xC0}},
+	})
+	if got := c.Regions(); got != 4 {
+		t.Fatalf("regions = %d, want 4", got)
+	}
+	keys := [][]byte{{0x00, 1}, {0x40, 1}, {0x7F}, {0x80}, {0xFF, 9}}
+	for i, k := range keys {
+		if err := c.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		v, err := c.Get(k)
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%x) = %q, %v", k, v, err)
+		}
+	}
+	// Each key must be routed to the region whose range contains it.
+	for _, k := range keys {
+		h := c.regionFor(k)
+		if !h.kr.Contains(k) {
+			t.Fatalf("key %x routed to region %v", k, h.kr)
+		}
+	}
+}
+
+func TestClusterScanRangeOrdered(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{SplitPoints: [][]byte{[]byte("m")}})
+	for i := 0; i < 1000; i++ {
+		c.Put([]byte(fmt.Sprintf("%c%04d", 'a'+i%26, i)), []byte("v"))
+	}
+	c.Flush()
+	var prev []byte
+	n := 0
+	err := c.ScanRange(KeyRange{}, func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("ScanRange out of order: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("scanned %d, want 1000", n)
+	}
+}
+
+func TestClusterScanRangesParallel(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{
+		SplitPoints: [][]byte{[]byte("3"), []byte("6")},
+	})
+	want := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("%d-%04d", i%10, i)
+		c.Put([]byte(k), []byte("v"))
+		if k[0] == '2' || k[0] == '7' {
+			want[k] = true
+		}
+	}
+	c.Flush()
+	ranges := []KeyRange{
+		{Start: []byte("2"), End: []byte("3")},
+		{Start: []byte("7"), End: []byte("8")},
+	}
+	got := map[string]bool{}
+	err := c.ScanRanges(ranges, func(k, v []byte) bool {
+		got[string(k)] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing key %q", k)
+		}
+	}
+}
+
+func TestClusterScanEarlyStop(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{})
+	for i := 0; i < 5000; i++ {
+		c.Put([]byte(fmt.Sprintf("k-%05d", i)), []byte("v"))
+	}
+	c.Flush()
+	n := 0
+	err := c.ScanRanges([]KeyRange{{}}, func(k, v []byte) bool {
+		n++
+		return n < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("emit called %d times, want 10", n)
+	}
+}
+
+func TestClusterConcurrentReadWrite(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{
+		Options: Options{MemtableBytes: 16 << 10},
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Put([]byte(fmt.Sprintf("w%d-%04d", w, i)), []byte("v"))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			c.ScanRange(KeyRange{}, func(k, v []byte) bool { return true })
+		}
+	}()
+	wg.Wait()
+	n := 0
+	c.ScanRange(KeyRange{}, func(k, v []byte) bool { n++; return true })
+	if n != 2000 {
+		t.Fatalf("final count = %d, want 2000", n)
+	}
+}
+
+func TestClusterAutoSplit(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{
+		Options:        Options{MemtableBytes: 8 << 10, DisableWAL: true},
+		MaxRegionBytes: 64 << 10,
+	})
+	before := c.Regions()
+	rng := rand.New(rand.NewSource(9))
+	val := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 20000; i++ {
+		c.Put([]byte(fmt.Sprintf("k-%08d", rng.Intn(1e8))), val)
+	}
+	c.Flush()
+	if c.Regions() <= before {
+		t.Fatalf("regions = %d, want > %d after heavy load", c.Regions(), before)
+	}
+	// All data still reachable and ordered per scan.
+	n := 0
+	var prev []byte
+	err := c.ScanRange(KeyRange{}, func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("post-split scan unordered")
+		}
+		prev = append(prev[:0], k...)
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no data after split")
+	}
+}
+
+func TestClusterMetrics(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{})
+	for i := 0; i < 100; i++ {
+		c.Put([]byte(fmt.Sprintf("k-%03d", i)), bytes.Repeat([]byte("v"), 100))
+	}
+	c.Flush()
+	c.ScanRange(KeyRange{}, func(k, v []byte) bool { return true })
+	m := c.Metrics()
+	if m.BytesWritten == 0 {
+		t.Error("BytesWritten should be > 0")
+	}
+	if m.Flushes == 0 {
+		t.Error("Flushes should be > 0")
+	}
+	if m.BlocksRead+m.BlockCacheHits == 0 {
+		t.Error("scan should have touched blocks")
+	}
+}
+
+func TestClusterDiskSizeCompression(t *testing.T) {
+	// Highly compressible values should occupy much less disk with
+	// compression enabled — the substrate behaviour behind Fig. 10.
+	load := func(compress bool) int64 {
+		dir := t.TempDir()
+		c, err := OpenCluster(dir, ClusterOptions{
+			Options: Options{Compress: compress, DisableWAL: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		val := bytes.Repeat([]byte("abcdefgh"), 128) // 1 KiB compressible
+		for i := 0; i < 2000; i++ {
+			c.Put([]byte(fmt.Sprintf("k-%06d", i)), val)
+		}
+		c.Flush()
+		return c.DiskSize()
+	}
+	plain := load(false)
+	compressed := load(true)
+	if compressed >= plain/2 {
+		t.Fatalf("compressed %d should be far below plain %d", compressed, plain)
+	}
+}
+
+func BenchmarkClusterPut(b *testing.B) {
+	c, err := OpenCluster(b.TempDir(), ClusterOptions{Options: Options{DisableWAL: true}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	val := bytes.Repeat([]byte("v"), 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put([]byte(fmt.Sprintf("k-%09d", i)), val)
+	}
+}
+
+func BenchmarkClusterScan(b *testing.B) {
+	c, err := OpenCluster(b.TempDir(), ClusterOptions{Options: Options{DisableWAL: true}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	val := bytes.Repeat([]byte("v"), 100)
+	for i := 0; i < 100000; i++ {
+		c.Put([]byte(fmt.Sprintf("k-%09d", i)), val)
+	}
+	c.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		c.ScanRange(KeyRange{Start: []byte("k-000050000"), End: []byte("k-000051000")},
+			func(k, v []byte) bool { n++; return true })
+		if n != 1000 {
+			b.Fatalf("scan = %d", n)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package kv implements the distributed NoSQL storage substrate of JUST.
+//
+// The paper deploys JUST on Apache HBase; this package supplies the HBase
+// semantics the index layer relies on — a sorted key space with random
+// PUT/DELETE, point GET and range SCAN — as a from-scratch LSM engine:
+//
+//   - a write-ahead log with CRC-checked records,
+//   - a skiplist memtable,
+//   - immutable SSTables with 4 KiB data blocks, a block index, a bloom
+//     filter, and optional per-block gzip compression,
+//   - size-tiered compaction,
+//   - an LRU block cache (HBase's block cache, which the paper works
+//     around in its evaluation methodology),
+//   - range-partitioned regions hosted by region servers with parallel
+//     multi-range scans (the paper's "trigger SCAN operations ... in
+//     parallel").
+package kv
+
+import (
+	"bytes"
+	"errors"
+)
+
+// Errors returned by the store.
+var (
+	// ErrNotFound reports a missing key on Get.
+	ErrNotFound = errors.New("kv: key not found")
+	// ErrClosed reports use of a closed store.
+	ErrClosed = errors.New("kv: store closed")
+	// ErrCorrupt reports an unreadable on-disk structure.
+	ErrCorrupt = errors.New("kv: corrupt data")
+)
+
+// kind tags an entry as a live value or a deletion tombstone.
+type kind uint8
+
+const (
+	kindPut kind = iota + 1
+	kindDelete
+)
+
+// Pair is a key-value record returned by scans.
+type Pair struct {
+	Key   []byte
+	Value []byte
+}
+
+// KeyRange is a half-open scan interval [Start, End). A nil Start means
+// the beginning of the key space; a nil End means the end.
+type KeyRange struct {
+	Start, End []byte
+}
+
+// Contains reports whether key k falls inside r.
+func (r KeyRange) Contains(k []byte) bool {
+	if r.Start != nil && bytes.Compare(k, r.Start) < 0 {
+		return false
+	}
+	if r.End != nil && bytes.Compare(k, r.End) >= 0 {
+		return false
+	}
+	return true
+}
+
+// Overlaps reports whether two ranges share any key.
+func (r KeyRange) Overlaps(o KeyRange) bool {
+	if r.End != nil && o.Start != nil && bytes.Compare(r.End, o.Start) <= 0 {
+		return false
+	}
+	if o.End != nil && r.Start != nil && bytes.Compare(o.End, r.Start) <= 0 {
+		return false
+	}
+	return true
+}
+
+// Intersect clips r to o. Returns false if the ranges are disjoint.
+func (r KeyRange) Intersect(o KeyRange) (KeyRange, bool) {
+	if !r.Overlaps(o) {
+		return KeyRange{}, false
+	}
+	out := r
+	if o.Start != nil && (out.Start == nil || bytes.Compare(o.Start, out.Start) > 0) {
+		out.Start = o.Start
+	}
+	if o.End != nil && (out.End == nil || bytes.Compare(o.End, out.End) < 0) {
+		out.End = o.End
+	}
+	return out, true
+}
+
+// Iterator walks key-value pairs in ascending key order.
+type Iterator interface {
+	// Next advances to the next pair; it must be called before the first
+	// Key/Value access. It returns false when exhausted or on error.
+	Next() bool
+	// Key returns the current key. The slice is only valid until the
+	// next call to Next.
+	Key() []byte
+	// Value returns the current value, valid until the next call to Next.
+	Value() []byte
+	// Err returns the first error encountered, if any.
+	Err() error
+	// Close releases resources held by the iterator.
+	Close() error
+}
+
+// Metrics counts the physical work a store performed; the benchmark
+// harness reads them to report storage sizes and IO volumes.
+type Metrics struct {
+	BytesWritten     int64 // bytes appended to WAL + SSTables
+	BytesRead        int64 // bytes read from SSTables (compressed size)
+	BlocksRead       int64 // data blocks fetched from disk
+	BlockCacheHits   int64
+	BlockCacheMisses int64
+	BloomNegatives   int64 // gets short-circuited by the bloom filter
+	Flushes          int64
+	Compactions      int64
+}

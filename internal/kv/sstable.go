@@ -1,0 +1,539 @@
+package kv
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// SSTable layout:
+//
+//	[data block]* [bloom filter] [block index] [footer]
+//
+// Data blocks hold sorted entries `[kind u8][klen uvarint][vlen uvarint]
+// [key][value]` and are individually (and optionally) gzip-compressed —
+// the storage half of the paper's compression mechanism lives at the
+// value layer, but block compression keeps the substrate honest about IO
+// volume. The index records each block's first key, so a scan seeks
+// directly to its first candidate block.
+const (
+	blockTargetSize = 4 << 10
+	footerSize      = 48
+	tableMagic      = 0x4a555354_53535431 // "JUSTSST1"
+)
+
+type blockHandle struct {
+	firstKey   []byte
+	offset     uint64
+	length     uint32
+	rawLen     uint32
+	compressed bool
+}
+
+type tableWriter struct {
+	w        *bufio.Writer
+	f        *os.File
+	path     string
+	compress bool
+
+	block     bytes.Buffer
+	blockKey  []byte // first key of the current block
+	index     []blockHandle
+	bloomKeys [][]byte
+	offset    uint64
+	count     uint64
+	lastKey   []byte
+}
+
+func newTableWriter(path string, compress bool) (*tableWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("kv: create sstable: %w", err)
+	}
+	return &tableWriter{f: f, w: bufio.NewWriterSize(f, 256<<10), path: path, compress: compress}, nil
+}
+
+// add appends an entry; keys must arrive in strictly ascending order.
+func (t *tableWriter) add(key, value []byte, k kind) error {
+	if t.lastKey != nil && bytes.Compare(key, t.lastKey) <= 0 {
+		return fmt.Errorf("kv: sstable keys out of order: %q after %q", key, t.lastKey)
+	}
+	if t.block.Len() == 0 {
+		t.blockKey = append([]byte(nil), key...)
+	}
+	var hdr [1 + 2*binary.MaxVarintLen32]byte
+	hdr[0] = byte(k)
+	n := 1
+	n += binary.PutUvarint(hdr[n:], uint64(len(key)))
+	n += binary.PutUvarint(hdr[n:], uint64(len(value)))
+	t.block.Write(hdr[:n])
+	t.block.Write(key)
+	t.block.Write(value)
+	t.bloomKeys = append(t.bloomKeys, append([]byte(nil), key...))
+	t.lastKey = append(t.lastKey[:0], key...)
+	t.count++
+	if t.block.Len() >= blockTargetSize {
+		return t.flushBlock()
+	}
+	return nil
+}
+
+func (t *tableWriter) flushBlock() error {
+	if t.block.Len() == 0 {
+		return nil
+	}
+	raw := t.block.Bytes()
+	out := raw
+	compressed := false
+	if t.compress {
+		var cb bytes.Buffer
+		zw, _ := gzip.NewWriterLevel(&cb, gzip.BestSpeed)
+		zw.Write(raw)
+		zw.Close()
+		if cb.Len() < len(raw) {
+			out = cb.Bytes()
+			compressed = true
+		}
+	}
+	if _, err := t.w.Write(out); err != nil {
+		return err
+	}
+	t.index = append(t.index, blockHandle{
+		firstKey:   t.blockKey,
+		offset:     t.offset,
+		length:     uint32(len(out)),
+		rawLen:     uint32(len(raw)),
+		compressed: compressed,
+	})
+	t.offset += uint64(len(out))
+	t.block.Reset()
+	return nil
+}
+
+// finish writes the bloom filter, index and footer, then syncs the file.
+// It returns the total file size.
+func (t *tableWriter) finish() (int64, error) {
+	if err := t.flushBlock(); err != nil {
+		return 0, err
+	}
+	bloom := newBloomFilter(len(t.bloomKeys))
+	for _, k := range t.bloomKeys {
+		bloom.add(k)
+	}
+	bloomBytes := bloom.marshal()
+	bloomOff := t.offset
+	if _, err := t.w.Write(bloomBytes); err != nil {
+		return 0, err
+	}
+	t.offset += uint64(len(bloomBytes))
+
+	var idx bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		idx.Write(scratch[:n])
+	}
+	writeUvarint(uint64(len(t.index)))
+	for _, h := range t.index {
+		writeUvarint(uint64(len(h.firstKey)))
+		idx.Write(h.firstKey)
+		writeUvarint(h.offset)
+		writeUvarint(uint64(h.length))
+		writeUvarint(uint64(h.rawLen))
+		if h.compressed {
+			idx.WriteByte(1)
+		} else {
+			idx.WriteByte(0)
+		}
+	}
+	writeUvarint(uint64(len(t.lastKey)))
+	idx.Write(t.lastKey)
+	indexOff := t.offset
+	if _, err := t.w.Write(idx.Bytes()); err != nil {
+		return 0, err
+	}
+	t.offset += uint64(idx.Len())
+
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:], bloomOff)
+	binary.LittleEndian.PutUint64(footer[8:], uint64(len(bloomBytes)))
+	binary.LittleEndian.PutUint64(footer[16:], indexOff)
+	binary.LittleEndian.PutUint64(footer[24:], uint64(idx.Len()))
+	binary.LittleEndian.PutUint64(footer[32:], t.count)
+	binary.LittleEndian.PutUint64(footer[40:], tableMagic)
+	if _, err := t.w.Write(footer[:]); err != nil {
+		return 0, err
+	}
+	t.offset += footerSize
+	if err := t.w.Flush(); err != nil {
+		return 0, err
+	}
+	if err := t.f.Sync(); err != nil {
+		return 0, err
+	}
+	if err := t.f.Close(); err != nil {
+		return 0, err
+	}
+	return int64(t.offset), nil
+}
+
+// abort discards a partially written table.
+func (t *tableWriter) abort() {
+	t.f.Close()
+	os.Remove(t.path)
+}
+
+var nextTableID atomic.Uint64
+
+// table is an open, immutable SSTable.
+type table struct {
+	id      uint64
+	path    string
+	f       *os.File
+	index   []blockHandle
+	bloom   *bloomFilter
+	lastKey []byte
+	count   uint64
+	size    int64
+
+	cache   *blockCache
+	metrics *Metrics
+	// mbps > 0 simulates cluster-storage read throughput (Options.
+	// DiskThroughputMBps): block reads sleep size/mbps.
+	mbps int
+}
+
+func openTable(path string, cache *blockCache, metrics *Metrics, mbps int) (*table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < footerSize {
+		f.Close()
+		return nil, fmt.Errorf("%w: sstable %s too small", ErrCorrupt, path)
+	}
+	var footer [footerSize]byte
+	if _, err := f.ReadAt(footer[:], st.Size()-footerSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(footer[40:]) != tableMagic {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad magic in %s", ErrCorrupt, path)
+	}
+	bloomOff := binary.LittleEndian.Uint64(footer[0:])
+	bloomLen := binary.LittleEndian.Uint64(footer[8:])
+	indexOff := binary.LittleEndian.Uint64(footer[16:])
+	indexLen := binary.LittleEndian.Uint64(footer[24:])
+	count := binary.LittleEndian.Uint64(footer[32:])
+
+	bloomBytes := make([]byte, bloomLen)
+	if _, err := f.ReadAt(bloomBytes, int64(bloomOff)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	bloom, err := unmarshalBloom(bloomBytes)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	idxBytes := make([]byte, indexLen)
+	if _, err := f.ReadAt(idxBytes, int64(indexOff)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	index, lastKey, err := decodeIndex(idxBytes)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &table{
+		id:      nextTableID.Add(1),
+		path:    path,
+		f:       f,
+		index:   index,
+		bloom:   bloom,
+		lastKey: lastKey,
+		count:   count,
+		size:    st.Size(),
+		cache:   cache,
+		metrics: metrics,
+		mbps:    mbps,
+	}, nil
+}
+
+func decodeIndex(b []byte) ([]blockHandle, []byte, error) {
+	r := bytes.NewReader(b)
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, nil, ErrCorrupt
+	}
+	index := make([]blockHandle, 0, n)
+	readBytes := func() ([]byte, error) {
+		l, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		out := make([]byte, l)
+		if _, err := io.ReadFull(r, out); err != nil {
+			return nil, ErrCorrupt
+		}
+		return out, nil
+	}
+	for i := uint64(0); i < n; i++ {
+		firstKey, err := readBytes()
+		if err != nil {
+			return nil, nil, err
+		}
+		off, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, nil, ErrCorrupt
+		}
+		length, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, nil, ErrCorrupt
+		}
+		rawLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, nil, ErrCorrupt
+		}
+		cflag, err := r.ReadByte()
+		if err != nil {
+			return nil, nil, ErrCorrupt
+		}
+		index = append(index, blockHandle{
+			firstKey:   firstKey,
+			offset:     off,
+			length:     uint32(length),
+			rawLen:     uint32(rawLen),
+			compressed: cflag == 1,
+		})
+	}
+	lastKey, err := readBytes()
+	if err != nil {
+		return nil, nil, err
+	}
+	return index, lastKey, nil
+}
+
+func (t *table) close() error { return t.f.Close() }
+
+// firstKey returns the smallest key in the table.
+func (t *table) firstKey() []byte {
+	if len(t.index) == 0 {
+		return nil
+	}
+	return t.index[0].firstKey
+}
+
+// loadBlock returns the decompressed contents of block i, via the cache.
+func (t *table) loadBlock(i int) ([]byte, error) {
+	if t.cache != nil {
+		if b, ok := t.cache.get(t.id, i); ok {
+			if t.metrics != nil {
+				atomic.AddInt64(&t.metrics.BlockCacheHits, 1)
+			}
+			return b, nil
+		}
+		if t.metrics != nil {
+			atomic.AddInt64(&t.metrics.BlockCacheMisses, 1)
+		}
+	}
+	h := t.index[i]
+	buf := make([]byte, h.length)
+	if _, err := t.f.ReadAt(buf, int64(h.offset)); err != nil {
+		return nil, err
+	}
+	if t.mbps > 0 {
+		// Simulated cluster read path: size / throughput.
+		time.Sleep(time.Duration(int64(h.length)) * time.Second / time.Duration(t.mbps<<20))
+	}
+	if t.metrics != nil {
+		atomic.AddInt64(&t.metrics.BytesRead, int64(h.length))
+		atomic.AddInt64(&t.metrics.BlocksRead, 1)
+	}
+	if h.compressed {
+		zr, err := gzip.NewReader(bytes.NewReader(buf))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		raw := make([]byte, h.rawLen)
+		if _, err := io.ReadFull(zr, raw); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		zr.Close()
+		buf = raw
+	}
+	if t.cache != nil {
+		t.cache.put(t.id, i, buf)
+	}
+	return buf, nil
+}
+
+// blockFor returns the index of the block that could contain key: the
+// last block whose first key is <= key.
+func (t *table) blockFor(key []byte) int {
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].firstKey, key) > 0
+	})
+	return i - 1 // may be -1 when key sorts before the first block
+}
+
+// get looks up key; ok is false if the table cannot contain it.
+func (t *table) get(key []byte) (value []byte, k kind, ok bool, err error) {
+	if len(t.index) == 0 || bytes.Compare(key, t.lastKey) > 0 {
+		return nil, 0, false, nil
+	}
+	if !t.bloom.mayContain(key) {
+		if t.metrics != nil {
+			atomic.AddInt64(&t.metrics.BloomNegatives, 1)
+		}
+		return nil, 0, false, nil
+	}
+	bi := t.blockFor(key)
+	if bi < 0 {
+		return nil, 0, false, nil
+	}
+	block, err := t.loadBlock(bi)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	it := blockIter{data: block}
+	for it.next() {
+		switch bytes.Compare(it.key, key) {
+		case 0:
+			return it.value, it.kind, true, nil
+		case 1:
+			return nil, 0, false, nil
+		}
+	}
+	return nil, 0, false, it.err
+}
+
+// blockIter walks entries inside a single decompressed block.
+type blockIter struct {
+	data  []byte
+	pos   int
+	key   []byte
+	value []byte
+	kind  kind
+	err   error
+}
+
+func (b *blockIter) next() bool {
+	if b.pos >= len(b.data) {
+		return false
+	}
+	p := b.data[b.pos:]
+	if len(p) < 1 {
+		b.err = ErrCorrupt
+		return false
+	}
+	k := kind(p[0])
+	p = p[1:]
+	klen, n1 := binary.Uvarint(p)
+	if n1 <= 0 {
+		b.err = ErrCorrupt
+		return false
+	}
+	p = p[n1:]
+	vlen, n2 := binary.Uvarint(p)
+	if n2 <= 0 {
+		b.err = ErrCorrupt
+		return false
+	}
+	p = p[n2:]
+	if uint64(len(p)) < klen+vlen {
+		b.err = ErrCorrupt
+		return false
+	}
+	b.key = p[:klen]
+	b.value = p[klen : klen+vlen]
+	b.kind = k
+	b.pos += 1 + n1 + n2 + int(klen) + int(vlen)
+	return true
+}
+
+// tableIter iterates a key range of one table.
+type tableIter struct {
+	t     *table
+	r     KeyRange
+	bi    int
+	block blockIter
+	done  bool
+	err   error
+}
+
+func (t *table) iter(r KeyRange) *tableIter {
+	it := &tableIter{t: t, r: r, bi: -1}
+	if len(t.index) == 0 {
+		it.done = true
+		return it
+	}
+	if r.Start != nil {
+		bi := t.blockFor(r.Start)
+		if bi < 0 {
+			bi = 0
+		}
+		it.bi = bi - 1
+	}
+	return it
+}
+
+func (it *tableIter) Next() bool {
+	for {
+		if it.done || it.err != nil {
+			return false
+		}
+		if it.block.data != nil && it.block.next() {
+			if it.r.Start != nil && bytes.Compare(it.block.key, it.r.Start) < 0 {
+				continue
+			}
+			if it.r.End != nil && bytes.Compare(it.block.key, it.r.End) >= 0 {
+				it.done = true
+				return false
+			}
+			return true
+		}
+		if it.block.err != nil {
+			it.err = it.block.err
+			return false
+		}
+		it.bi++
+		if it.bi >= len(it.t.index) {
+			it.done = true
+			return false
+		}
+		// Stop early if the next block starts past the range end.
+		if it.r.End != nil && bytes.Compare(it.t.index[it.bi].firstKey, it.r.End) >= 0 {
+			it.done = true
+			return false
+		}
+		data, err := it.t.loadBlock(it.bi)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.block = blockIter{data: data}
+	}
+}
+
+func (it *tableIter) Key() []byte   { return it.block.key }
+func (it *tableIter) Value() []byte { return it.block.value }
+func (it *tableIter) entryKind() kind {
+	return it.block.kind
+}
+func (it *tableIter) Err() error   { return it.err }
+func (it *tableIter) Close() error { return nil }

@@ -1,0 +1,217 @@
+// Package server implements JUST's service layer (Section VII): an HTTP
+// PaaS front end over one shared engine. All users share the engine's
+// execution context (the paper's shared Spark context); each user gets a
+// private table/view namespace; large results are returned in multiple
+// transmissions through cursors, which the SDKs page through
+// transparently (Fig. 2).
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"just/internal/core"
+	"just/internal/exec"
+	"just/internal/geom"
+	"just/internal/sql"
+)
+
+// Options tune the server.
+type Options struct {
+	// PageSize bounds rows per transmission; default 1000 (the paper's
+	// configurable split threshold).
+	PageSize int
+	// CursorTTL expires abandoned cursors; default 5 minutes.
+	CursorTTL time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize <= 0 {
+		o.PageSize = 1000
+	}
+	if o.CursorTTL <= 0 {
+		o.CursorTTL = 5 * time.Minute
+	}
+	return o
+}
+
+// Server is the HTTP front end.
+type Server struct {
+	engine *core.Engine
+	opts   Options
+
+	mu      sync.Mutex
+	cursors map[string]*cursor
+	nextID  int64
+	now     func() time.Time
+}
+
+type cursor struct {
+	rows    [][]any
+	columns []string
+	expires time.Time
+}
+
+// New creates a server over an engine.
+func New(engine *core.Engine, opts Options) *Server {
+	return &Server{
+		engine:  engine,
+		opts:    opts.withDefaults(),
+		cursors: map[string]*cursor{},
+		now:     time.Now,
+	}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/sql", s.handleSQL)
+	mux.HandleFunc("/api/v1/fetch", s.handleFetch)
+	mux.HandleFunc("/api/v1/health", s.handleHealth)
+	return mux
+}
+
+// sqlRequest is the body of POST /api/v1/sql.
+type sqlRequest struct {
+	User string `json:"user"`
+	SQL  string `json:"sql"`
+}
+
+// sqlResponse carries the first page of a result.
+type sqlResponse struct {
+	Message string   `json:"message,omitempty"`
+	Columns []string `json:"columns,omitempty"`
+	Rows    [][]any  `json:"rows,omitempty"`
+	Cursor  string   `json:"cursor,omitempty"`
+	Total   int      `json:"total"`
+	Error   string   `json:"error,omitempty"`
+}
+
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req sqlRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, sqlResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if req.User == "" {
+		req.User = r.Header.Get("X-JUST-User")
+	}
+	sess := sql.NewSession(s.engine, req.User)
+	res, err := sess.Execute(req.SQL)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, sqlResponse{Error: err.Error()})
+		return
+	}
+	resp := sqlResponse{Message: res.Message}
+	if res.Frame != nil {
+		resp.Columns = res.Frame.Schema().Names()
+		all := res.Frame.Collect()
+		resp.Total = len(all)
+		encoded := make([][]any, len(all))
+		for i, row := range all {
+			encoded[i] = encodeRow(row)
+		}
+		res.Frame.Release()
+		if len(encoded) > s.opts.PageSize {
+			resp.Rows = encoded[:s.opts.PageSize]
+			resp.Cursor = s.storeCursor(resp.Columns, encoded[s.opts.PageSize:])
+		} else {
+			resp.Rows = encoded
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) storeCursor(columns []string, rest [][]any) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gcLocked()
+	s.nextID++
+	id := fmt.Sprintf("cur-%d", s.nextID)
+	s.cursors[id] = &cursor{
+		rows:    rest,
+		columns: columns,
+		expires: s.now().Add(s.opts.CursorTTL),
+	}
+	return id
+}
+
+func (s *Server) gcLocked() {
+	now := s.now()
+	for id, c := range s.cursors {
+		if c.expires.Before(now) {
+			delete(s.cursors, id)
+		}
+	}
+}
+
+func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("cursor")
+	s.mu.Lock()
+	s.gcLocked()
+	c, ok := s.cursors[id]
+	if ok {
+		delete(s.cursors, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, sqlResponse{Error: "unknown or expired cursor"})
+		return
+	}
+	resp := sqlResponse{Columns: c.columns, Total: len(c.rows)}
+	if len(c.rows) > s.opts.PageSize {
+		resp.Rows = c.rows[:s.opts.PageSize]
+		resp.Cursor = s.storeCursor(c.columns, c.rows[s.opts.PageSize:])
+	} else {
+		resp.Rows = c.rows
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"regions": s.engine.Cluster().Regions(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// encodeRow converts engine values into JSON-friendly forms: geometry to
+// WKT, st_series to [[lng,lat,t]...], bytes to base64.
+func encodeRow(row exec.Row) []any {
+	out := make([]any, len(row))
+	for i, v := range row {
+		out[i] = encodeValue(v)
+	}
+	return out
+}
+
+func encodeValue(v any) any {
+	switch x := v.(type) {
+	case geom.Geometry:
+		return map[string]any{"wkt": x.WKT()}
+	case []geom.TPoint:
+		pts := make([][3]float64, len(x))
+		for i, p := range x {
+			pts[i] = [3]float64{p.Lng, p.Lat, float64(p.T)}
+		}
+		return map[string]any{"st_series": pts}
+	case []byte:
+		return map[string]any{"bytes": base64.StdEncoding.EncodeToString(x)}
+	default:
+		return v
+	}
+}

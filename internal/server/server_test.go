@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"just/internal/core"
+	"just/internal/geom"
+	"just/internal/kv"
+	"just/pkg/client"
+)
+
+func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Server) {
+	t.Helper()
+	eng, err := core.Open(core.Config{
+		Dir:     t.TempDir(),
+		Workers: 2,
+		Cluster: kv.ClusterOptions{Options: kv.Options{DisableWAL: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	s := New(eng, opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+func post(t *testing.T, url, user, sqlText string) sqlResponse {
+	t.Helper()
+	body, _ := json.Marshal(sqlRequest{User: user, SQL: sqlText})
+	resp, err := http.Post(url+"/api/v1/sql", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out sqlResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestServerDDLAndQuery(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	res := post(t, ts.URL, "u1", `CREATE TABLE p (fid integer:primary key, geom point)`)
+	if res.Error != "" || !strings.Contains(res.Message, "created") {
+		t.Fatalf("create = %+v", res)
+	}
+	res = post(t, ts.URL, "u1", `INSERT INTO p VALUES (1, st_makePoint(116.4, 39.9))`)
+	if res.Error != "" {
+		t.Fatalf("insert = %+v", res)
+	}
+	res = post(t, ts.URL, "u1", `SELECT fid, geom FROM p WHERE geom WITHIN st_makeMBR(116, 39, 117, 40)`)
+	if res.Error != "" || res.Total != 1 {
+		t.Fatalf("select = %+v", res)
+	}
+	if res.Columns[1] != "geom" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	g, ok := res.Rows[0][1].(map[string]any)
+	if !ok || !strings.HasPrefix(g["wkt"].(string), "POINT") {
+		t.Fatalf("geometry encoding = %v", res.Rows[0][1])
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	res := post(t, ts.URL, "u1", `SELEKT * FROM x`)
+	if res.Error == "" {
+		t.Fatal("bad SQL should report an error")
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/api/v1/fetch?cursor=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("bogus cursor status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerHealth(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/api/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health = %d", resp.StatusCode)
+	}
+}
+
+func TestCursorPagingWithSDK(t *testing.T) {
+	ts, _ := newTestServer(t, Options{PageSize: 10})
+	c := client.Connect(ts.URL, "u1")
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(`CREATE TABLE p (fid integer:primary key, geom point)`); err != nil {
+		t.Fatal(err)
+	}
+	var values []string
+	for i := 0; i < 35; i++ {
+		values = append(values, fmt.Sprintf("(%d, st_makePoint(%g, 39.9))", i, 116.0+float64(i)*0.001))
+	}
+	if _, err := c.Execute(`INSERT INTO p VALUES ` + strings.Join(values, ",")); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.ExecuteQuery(`SELECT fid FROM p WHERE geom WITHIN st_makeMBR(115,39,117,40) ORDER BY fid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 35 rows with page size 10: the Fig. 2 multi-transmission path.
+	n := 0
+	for rs.HasNext() {
+		row, err := rs.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(row[0].(float64)) != n {
+			t.Fatalf("row %d = %v", n, row)
+		}
+		n++
+	}
+	if rs.Err() != nil {
+		t.Fatal(rs.Err())
+	}
+	if n != 35 {
+		t.Fatalf("paged through %d rows, want 35", n)
+	}
+}
+
+func TestCursorExpiry(t *testing.T) {
+	ts, s := newTestServer(t, Options{PageSize: 5, CursorTTL: time.Minute})
+	now := time.Unix(0, 0)
+	s.now = func() time.Time { return now }
+	c := client.Connect(ts.URL, "u1")
+	c.Execute(`CREATE TABLE p (fid integer:primary key, geom point)`)
+	var values []string
+	for i := 0; i < 20; i++ {
+		values = append(values, fmt.Sprintf("(%d, st_makePoint(116.0, 39.9))", i))
+	}
+	c.Execute(`INSERT INTO p VALUES ` + strings.Join(values, ","))
+	rs, err := c.ExecuteQuery(`SELECT fid FROM p WHERE geom WITHIN st_makeMBR(115,39,117,40)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the first page, then let the cursor expire.
+	for i := 0; i < 5; i++ {
+		if !rs.HasNext() {
+			t.Fatal("first page short")
+		}
+		rs.Next()
+	}
+	now = now.Add(2 * time.Minute)
+	if rs.HasNext() {
+		t.Fatal("expired cursor should stop paging")
+	}
+	if rs.Err() == nil {
+		t.Fatal("expiry should surface as an error")
+	}
+}
+
+func TestEncodeValueForms(t *testing.T) {
+	got := encodeValue([]geom.TPoint{{Point: geom.Point{Lng: 1, Lat: 2}, T: 3}})
+	m, ok := got.(map[string]any)
+	if !ok {
+		t.Fatalf("st_series encoded as %T", got)
+	}
+	pts := m["st_series"].([][3]float64)
+	if len(pts) != 1 || pts[0] != [3]float64{1, 2, 3} {
+		t.Fatalf("st_series = %v", pts)
+	}
+	b := encodeValue([]byte{1, 2, 3}).(map[string]any)
+	if b["bytes"] != "AQID" {
+		t.Fatalf("bytes = %v", b)
+	}
+	if encodeValue(int64(5)) != int64(5) {
+		t.Fatal("scalars pass through")
+	}
+	g := encodeValue(geom.Point{Lng: 1, Lat: 2}).(map[string]any)
+	if g["wkt"] != "POINT (1 2)" {
+		t.Fatalf("wkt = %v", g)
+	}
+}
+
+func TestUserIsolationOverHTTP(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	a := client.Connect(ts.URL, "alice")
+	b := client.Connect(ts.URL, "bob")
+	a.Execute(`CREATE TABLE t (fid integer:primary key, geom point)`)
+	a.Execute(`INSERT INTO t VALUES (1, st_makePoint(1,1))`)
+	if _, err := b.ExecuteQuery(`SELECT * FROM t`); err == nil {
+		t.Fatal("bob should not see alice's table")
+	}
+}

@@ -1,0 +1,233 @@
+// Package sql implements the JustQL engine (Section VI): a lexer, a
+// recursive-descent parser, an analyzer backed by the meta table, a
+// rule-based optimizer (constant folding, predicate pushdown, projection
+// pruning), and an executor that lowers spatio-temporal predicates to
+// index scans and everything else to DataFrame operators.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp   // punctuation and operators
+	tokJSON // balanced {...} blob (after USERDATA / CONFIG)
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes JustQL. Keywords are case-insensitive and reported as
+// upper-cased idents.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+	i    int
+}
+
+func newLexer(src string) (*lexer, error) {
+	l := &lexer{src: src}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// ErrSyntax wraps lexical and grammatical errors.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func (l *lexer) run() error {
+	s := l.src
+	for l.pos < len(s) {
+		c := s[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(s) && s[l.pos+1] == '-':
+			for l.pos < len(s) && s[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '{':
+			start := l.pos
+			blob, err := l.captureBalanced()
+			if err != nil {
+				return err
+			}
+			l.toks = append(l.toks, token{tokJSON, blob, start})
+		case c == '\'' || c == '"':
+			start := l.pos
+			quote := c
+			l.pos++
+			var sb strings.Builder
+			for l.pos < len(s) && s[l.pos] != quote {
+				if s[l.pos] == '\\' && l.pos+1 < len(s) {
+					l.pos++
+				}
+				sb.WriteByte(s[l.pos])
+				l.pos++
+			}
+			if l.pos >= len(s) {
+				return &SyntaxError{start, "unterminated string"}
+			}
+			l.pos++ // closing quote
+			l.toks = append(l.toks, token{tokString, sb.String(), start})
+		case c >= '0' && c <= '9' || (c == '.' && l.pos+1 < len(s) && s[l.pos+1] >= '0' && s[l.pos+1] <= '9'):
+			start := l.pos
+			for l.pos < len(s) && (isDigit(s[l.pos]) || s[l.pos] == '.' || s[l.pos] == 'e' || s[l.pos] == 'E' ||
+				((s[l.pos] == '+' || s[l.pos] == '-') && l.pos > start && (s[l.pos-1] == 'e' || s[l.pos-1] == 'E'))) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokNumber, s[start:l.pos], start})
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(s) && isIdentPart(rune(s[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokIdent, s[start:l.pos], start})
+		default:
+			start := l.pos
+			// Two-char operators first.
+			if l.pos+1 < len(s) {
+				two := s[l.pos : l.pos+2]
+				switch two {
+				case "<=", ">=", "!=", "<>", "::":
+					l.toks = append(l.toks, token{tokOp, two, start})
+					l.pos += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', ';', ':', '=', '<', '>', '+', '-', '*', '/', '.', '|':
+				l.toks = append(l.toks, token{tokOp, string(c), start})
+				l.pos++
+			default:
+				return &SyntaxError{start, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", len(s)})
+	return nil
+}
+
+// captureBalanced consumes a balanced {...} blob, respecting quoted
+// strings inside.
+func (l *lexer) captureBalanced() (string, error) {
+	s := l.src
+	start := l.pos
+	depth := 0
+	for l.pos < len(s) {
+		switch s[l.pos] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				l.pos++
+				return s[start:l.pos], nil
+			}
+		case '\'', '"':
+			quote := s[l.pos]
+			l.pos++
+			for l.pos < len(s) && s[l.pos] != quote {
+				if s[l.pos] == '\\' {
+					l.pos++
+				}
+				l.pos++
+			}
+		}
+		l.pos++
+	}
+	return "", &SyntaxError{start, "unterminated { ... } block"}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+// peek returns the current token without consuming it.
+func (l *lexer) peek() token { return l.toks[l.i] }
+
+// next consumes and returns the current token.
+func (l *lexer) next() token {
+	t := l.toks[l.i]
+	if l.i < len(l.toks)-1 {
+		l.i++
+	}
+	return t
+}
+
+// matchKeyword consumes the token if it is the given keyword
+// (case-insensitive).
+func (l *lexer) matchKeyword(kw string) bool {
+	t := l.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		l.next()
+		return true
+	}
+	return false
+}
+
+// expectKeyword consumes a required keyword.
+func (l *lexer) expectKeyword(kw string) error {
+	if !l.matchKeyword(kw) {
+		t := l.peek()
+		return &SyntaxError{t.pos, fmt.Sprintf("expected %s, got %q", kw, t.text)}
+	}
+	return nil
+}
+
+// matchOp consumes the token if it is the given operator.
+func (l *lexer) matchOp(op string) bool {
+	t := l.peek()
+	if t.kind == tokOp && t.text == op {
+		l.next()
+		return true
+	}
+	return false
+}
+
+// expectOp consumes a required operator.
+func (l *lexer) expectOp(op string) error {
+	if !l.matchOp(op) {
+		t := l.peek()
+		return &SyntaxError{t.pos, fmt.Sprintf("expected %q, got %q", op, t.text)}
+	}
+	return nil
+}
+
+// expectIdent consumes a required identifier.
+func (l *lexer) expectIdent() (string, error) {
+	t := l.peek()
+	if t.kind != tokIdent {
+		return "", &SyntaxError{t.pos, fmt.Sprintf("expected identifier, got %q", t.text)}
+	}
+	l.next()
+	return t.text, nil
+}
+
+// isKeyword reports whether the current token equals the keyword without
+// consuming it.
+func (l *lexer) isKeyword(kw string) bool {
+	t := l.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

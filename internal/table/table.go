@@ -1,0 +1,432 @@
+package table
+
+import (
+	"fmt"
+	"time"
+
+	"just/internal/exec"
+	"just/internal/geom"
+	"just/internal/index"
+	"just/internal/kv"
+)
+
+// Table binds a catalog descriptor to the storage cluster: it knows how
+// to encode rows, build every configured index key, and plan scans. It
+// is the runtime behind both common and plugin tables.
+type Table struct {
+	Desc    *Desc
+	codec   *Codec
+	cluster *kv.Cluster
+
+	strategies []index.Strategy // parallel to Desc.Indexes
+	attr       *index.AttrStrategy
+	attrID     uint8
+
+	fidIdx  int
+	geomIdx int // -1 when the table has no geometry
+	timeIdx int // -1 when the table has no time column
+	endIdx  int
+}
+
+// IndexConfig carries strategy tunables shared by a table's indexes.
+type IndexConfig = index.Config
+
+// Open binds a descriptor to the cluster.
+func Open(d *Desc, cluster *kv.Cluster, cfg IndexConfig) (*Table, error) {
+	t := &Table{
+		Desc:    d,
+		codec:   NewCodec(d.Columns),
+		cluster: cluster,
+		fidIdx:  -1, geomIdx: -1, timeIdx: -1, endIdx: -1,
+	}
+	schema := d.Schema()
+	if d.FidColumn != "" {
+		t.fidIdx = schema.Index(d.FidColumn)
+	}
+	if t.fidIdx < 0 {
+		return nil, fmt.Errorf("%w: table %s has no primary key column", ErrBadSchema, d.Name)
+	}
+	if d.GeomColumn != "" {
+		t.geomIdx = schema.Index(d.GeomColumn)
+	}
+	if d.TimeColumn != "" {
+		t.timeIdx = schema.Index(d.TimeColumn)
+	}
+	if d.EndTimeColumn != "" {
+		t.endIdx = schema.Index(d.EndTimeColumn)
+	}
+	for _, id := range d.Indexes {
+		if id.Strategy == "attr" {
+			t.attr = index.NewAttr()
+			t.attrID = id.ID
+			continue
+		}
+		c := cfg
+		if id.PeriodMS > 0 {
+			c.Period = time.Duration(id.PeriodMS) * time.Millisecond
+		}
+		s, ok := index.New(id.Strategy, c)
+		if !ok {
+			return nil, fmt.Errorf("table: unknown index strategy %q", id.Strategy)
+		}
+		t.strategies = append(t.strategies, s)
+	}
+	if t.attr == nil {
+		return nil, fmt.Errorf("%w: table %s missing attr index", ErrBadSchema, d.Name)
+	}
+	return t, nil
+}
+
+// Schema returns the table's exec schema.
+func (t *Table) Schema() *exec.Schema { return t.Desc.Schema() }
+
+// keyPrefix builds [tableID u32][indexID u8].
+func (t *Table) keyPrefix(indexID uint8) []byte {
+	id := t.Desc.TableID
+	return []byte{byte(id >> 24), byte(id >> 16), byte(id >> 8), byte(id), indexID}
+}
+
+// prefixRange re-anchors a strategy-local key range under the table and
+// index key prefix.
+func prefixRange(prefix []byte, r kv.KeyRange) kv.KeyRange {
+	out := kv.KeyRange{
+		Start: append(append([]byte(nil), prefix...), r.Start...),
+	}
+	if r.End != nil {
+		out.End = append(append([]byte(nil), prefix...), r.End...)
+	} else {
+		out.End = nextKeyPrefix(prefix)
+	}
+	return out
+}
+
+func nextKeyPrefix(p []byte) []byte {
+	out := append([]byte(nil), p...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}
+
+// FIDBytes canonicalizes a primary-key value.
+func FIDBytes(v any) []byte {
+	return []byte(fmt.Sprintf("%v", v))
+}
+
+// record extracts the indexable digest from a row.
+func (t *Table) record(row exec.Row) (index.Record, error) {
+	rec := index.Record{FID: FIDBytes(row[t.fidIdx])}
+	if t.geomIdx >= 0 {
+		if g, ok := row[t.geomIdx].(geom.Geometry); ok {
+			rec.Geom = g
+		}
+	}
+	if t.timeIdx >= 0 {
+		if ts, ok := row[t.timeIdx].(int64); ok {
+			rec.Start, rec.End = ts, ts
+		}
+	}
+	if t.endIdx >= 0 {
+		if te, ok := row[t.endIdx].(int64); ok {
+			rec.End = te
+		}
+	}
+	return rec, nil
+}
+
+// Insert writes the row into the attribute index and every spatial
+// index. Re-inserting the same fid overwrites all copies — the
+// update-enabled property: keys depend only on the record itself
+// (Section I, characteristic 3). When the update moves the record in
+// space or time, the superseded index entries are tombstoned first
+// (GeoMesa's delete-before-write upsert); the attribute index's bloom
+// filters make the existence probe cheap for fresh fids.
+func (t *Table) Insert(row exec.Row) error {
+	rec, err := t.record(row)
+	if err != nil {
+		return err
+	}
+	value, err := t.codec.Encode(row)
+	if err != nil {
+		return err
+	}
+	newKeys := make([][]byte, len(t.strategies))
+	for i, s := range t.strategies {
+		if rec.Geom == nil {
+			continue // non-spatial rows live only in the attribute index
+		}
+		key, err := s.Key(rec)
+		if err != nil {
+			return err
+		}
+		newKeys[i] = append(t.keyPrefix(t.Desc.Indexes[indexSlot(t.Desc, i)].ID), key...)
+	}
+	// Tombstone index entries of a previous version that landed on
+	// different keys (the record moved).
+	attrKey := append(t.keyPrefix(t.attrID), t.attr.KeyForFID(rec.FID)...)
+	if oldValue, err := t.cluster.Get(attrKey); err == nil {
+		oldRow, err := t.codec.Decode(oldValue)
+		if err != nil {
+			return err
+		}
+		oldRec, err := t.record(oldRow)
+		if err != nil {
+			return err
+		}
+		for i, s := range t.strategies {
+			if oldRec.Geom == nil {
+				continue
+			}
+			oldKey, err := s.Key(oldRec)
+			if err != nil {
+				return err
+			}
+			full := append(t.keyPrefix(t.Desc.Indexes[indexSlot(t.Desc, i)].ID), oldKey...)
+			if newKeys[i] == nil || !bytesEqual(full, newKeys[i]) {
+				if err := t.cluster.Delete(full); err != nil {
+					return err
+				}
+			}
+		}
+	} else if err != kv.ErrNotFound {
+		return err
+	}
+	if err := t.cluster.Put(attrKey, value); err != nil {
+		return err
+	}
+	for _, key := range newKeys {
+		if key == nil {
+			continue
+		}
+		if err := t.cluster.Put(key, value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// indexSlot maps the i-th non-attr strategy back to its Desc.Indexes
+// position.
+func indexSlot(d *Desc, i int) int {
+	n := 0
+	for j, id := range d.Indexes {
+		if id.Strategy == "attr" {
+			continue
+		}
+		if n == i {
+			return j
+		}
+		n++
+	}
+	return -1
+}
+
+// Get fetches a row by primary key.
+func (t *Table) Get(fid any) (exec.Row, error) {
+	key := append(t.keyPrefix(t.attrID), t.attr.KeyForFID(FIDBytes(fid))...)
+	v, err := t.cluster.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	return t.codec.Decode(v)
+}
+
+// Delete removes a row (all index copies) by primary key.
+func (t *Table) Delete(fid any) error {
+	row, err := t.Get(fid)
+	if err != nil {
+		return err
+	}
+	rec, err := t.record(row)
+	if err != nil {
+		return err
+	}
+	for i, s := range t.strategies {
+		if rec.Geom == nil {
+			continue
+		}
+		key, err := s.Key(rec)
+		if err != nil {
+			return err
+		}
+		full := append(t.keyPrefix(t.Desc.Indexes[indexSlot(t.Desc, i)].ID), key...)
+		if err := t.cluster.Delete(full); err != nil {
+			return err
+		}
+	}
+	attrKey := append(t.keyPrefix(t.attrID), t.attr.KeyForFID(rec.FID)...)
+	return t.cluster.Delete(attrKey)
+}
+
+// chooseStrategy picks the most selective index for a query: a temporal
+// strategy when the query has time bounds and one exists, otherwise a
+// spatial one.
+func (t *Table) chooseStrategy(q index.Query) (index.Strategy, uint8, bool) {
+	var spatial, temporal index.Strategy
+	var spatialID, temporalID uint8
+	for i, s := range t.strategies {
+		id := t.Desc.Indexes[indexSlot(t.Desc, i)].ID
+		if s.Temporal() {
+			if temporal == nil {
+				temporal, temporalID = s, id
+			}
+		} else if spatial == nil {
+			spatial, spatialID = s, id
+		}
+	}
+	if q.HasTime && temporal != nil {
+		return temporal, temporalID, true
+	}
+	if spatial != nil {
+		return spatial, spatialID, true
+	}
+	if temporal != nil {
+		return temporal, temporalID, true
+	}
+	return nil, 0, false
+}
+
+// ScanQuery streams rows matching the spatio-temporal window: it plans
+// key ranges on the best index, SCANs them in parallel, decodes, and
+// post-filters on the record's MBR and time span (the curve-level
+// over-approximation is removed here; exact geometry refinement belongs
+// to the caller, which knows the predicate).
+func (t *Table) ScanQuery(q index.Query, emit func(exec.Row) bool) error {
+	s, indexID, ok := t.chooseStrategy(q)
+	if !ok {
+		return t.FullScan(func(row exec.Row) bool {
+			keep, err := t.matches(row, q)
+			if err != nil || !keep {
+				return true
+			}
+			return emit(row)
+		})
+	}
+	planQ := q
+	if s.Temporal() && !q.HasTime {
+		// Fall back to the table's known time span from the meta table.
+		planQ.HasTime = true
+		planQ.TMin = t.Desc.MinTimeMS
+		planQ.TMax = t.Desc.MaxTimeMS
+	}
+	ranges, err := s.Plan(planQ)
+	if err != nil {
+		return err
+	}
+	prefix := t.keyPrefix(indexID)
+	full := make([]kv.KeyRange, len(ranges))
+	for i, r := range ranges {
+		full[i] = prefixRange(prefix, r)
+	}
+	var decodeErr error
+	err = t.cluster.ScanRanges(full, func(k, v []byte) bool {
+		row, err := t.codec.Decode(v)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		keep, err := t.matches(row, q)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		if !keep {
+			return true
+		}
+		return emit(row)
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return err
+}
+
+// matches post-filters a decoded row against the query window.
+func (t *Table) matches(row exec.Row, q index.Query) (bool, error) {
+	if t.geomIdx >= 0 {
+		g, _ := row[t.geomIdx].(geom.Geometry)
+		if g == nil {
+			return false, nil
+		}
+		if !g.MBR().Intersects(q.Window) {
+			return false, nil
+		}
+	}
+	if q.HasTime && t.timeIdx >= 0 {
+		start, _ := row[t.timeIdx].(int64)
+		end := start
+		if t.endIdx >= 0 {
+			if e, ok := row[t.endIdx].(int64); ok {
+				end = e
+			}
+		}
+		if start > q.TMax || end < q.TMin {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// FullScan streams every row via the attribute index.
+func (t *Table) FullScan(emit func(exec.Row) bool) error {
+	prefix := t.keyPrefix(t.attrID)
+	kr := kv.KeyRange{Start: prefix, End: nextKeyPrefix(prefix)}
+	var decodeErr error
+	err := t.cluster.ScanRange(kr, func(k, v []byte) bool {
+		row, err := t.codec.Decode(v)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		return emit(row)
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return err
+}
+
+// DropData deletes every key owned by the table. (DROP TABLE deletes the
+// catalog entry and the stored data.)
+func (t *Table) DropData() error {
+	id := t.Desc.TableID
+	prefix := []byte{byte(id >> 24), byte(id >> 16), byte(id >> 8), byte(id)}
+	kr := kv.KeyRange{Start: prefix, End: nextKeyPrefix(prefix)}
+	var keys [][]byte
+	if err := t.cluster.ScanRange(kr, func(k, v []byte) bool {
+		keys = append(keys, append([]byte(nil), k...))
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := t.cluster.Delete(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GeomIndex returns the geometry column position or -1.
+func (t *Table) GeomIndex() int { return t.geomIdx }
+
+// TimeIndex returns the time column position or -1.
+func (t *Table) TimeIndex() int { return t.timeIdx }
+
+// FidIndex returns the primary-key column position.
+func (t *Table) FidIndex() int { return t.fidIdx }

@@ -1,0 +1,340 @@
+// Package workload generates the datasets and query workloads of the
+// paper's evaluation (Section VIII-A) at reproduction scale:
+//
+//   - Traj: lorry trajectories from JD Logistics — few records, each with
+//     a large GPS list (the paper: 314,086 records, 886M points over one
+//     month). We generate random-walk trajectories with the same
+//     character: hundreds of points each, clustered in a metro area.
+//   - Order: JD Mall purchase orders — many small point records
+//     (71M in the paper, two months). We generate points drawn from a
+//     Gaussian mixture over urban hotspots.
+//   - Synthetic: the Traj dataset copied & resampled to scale (the paper
+//     scales to 1 TB; we scale by a multiplier).
+//
+// All generators are seeded and deterministic.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"just/internal/exec"
+	"just/internal/geom"
+	"just/internal/table"
+)
+
+// Region is the metro area datasets are generated in (Beijing-ish).
+var Region = geom.MBR{MinLng: 116.10, MinLat: 39.70, MaxLng: 116.70, MaxLat: 40.10}
+
+const dayMS = int64(24 * 60 * 60 * 1000)
+
+// TrajConfig tunes the Traj generator.
+type TrajConfig struct {
+	// N is the number of trajectories.
+	N int
+	// PointsPerTraj is the mean GPS list length (the paper notes
+	// "hundreds of GPS points in a trajectory").
+	PointsPerTraj int
+	// Days is the time span (paper: one month).
+	Days int
+	// Seed makes the dataset reproducible.
+	Seed int64
+	// Region overrides the default area.
+	Region geom.MBR
+}
+
+func (c TrajConfig) withDefaults() TrajConfig {
+	if c.N <= 0 {
+		c.N = 1000
+	}
+	if c.PointsPerTraj <= 0 {
+		c.PointsPerTraj = 300
+	}
+	if c.Days <= 0 {
+		c.Days = 30
+	}
+	if c.Region == (geom.MBR{}) {
+		c.Region = Region
+	}
+	return c
+}
+
+// Trajectories generates the Traj dataset.
+func Trajectories(cfg TrajConfig) []*table.Trajectory {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]*table.Trajectory, cfg.N)
+	for i := range out {
+		out[i] = randomWalk(rng, cfg, fmt.Sprintf("traj-%07d", i))
+	}
+	return out
+}
+
+// randomWalk simulates one courier trip: start at a random point, walk
+// with piecewise-constant heading and ~8 m/s speed, one sample per ~15 s.
+func randomWalk(rng *rand.Rand, cfg TrajConfig, id string) *table.Trajectory {
+	n := cfg.PointsPerTraj/2 + rng.Intn(cfg.PointsPerTraj)
+	if n < 2 {
+		n = 2
+	}
+	start := geom.Point{
+		Lng: cfg.Region.MinLng + rng.Float64()*cfg.Region.Width(),
+		Lat: cfg.Region.MinLat + rng.Float64()*cfg.Region.Height(),
+	}
+	tms := rng.Int63n(int64(cfg.Days) * dayMS)
+	heading := rng.Float64() * 2 * math.Pi
+	speed := 5 + rng.Float64()*6 // m/s
+	pts := make([]geom.TPoint, 0, n)
+	cur := start
+	for j := 0; j < n; j++ {
+		pts = append(pts, geom.TPoint{Point: cur, T: tms})
+		dt := 10.0 + rng.Float64()*10 // seconds between fixes
+		tms += int64(dt * 1000)
+		if rng.Intn(10) == 0 {
+			heading += (rng.Float64() - 0.5) * math.Pi
+		}
+		// Couriers dwell at delivery stops (~2% of samples start a
+		// 15-40 minute pause sampled every ~5 minutes); stay-point
+		// detection depends on these.
+		if rng.Intn(50) == 0 {
+			dwellSamples := 3 + rng.Intn(5)
+			for d := 0; d < dwellSamples; d++ {
+				tms += int64(4+rng.Intn(3)) * 60 * 1000
+				pts = append(pts, geom.TPoint{Point: cur, T: tms})
+			}
+			tms += 30 * 1000 // back on the road
+		}
+		distM := speed * dt
+		cur = geom.Point{
+			Lng: cur.Lng + geom.MetersToDegreesLng(distM*math.Cos(heading), cur.Lat),
+			Lat: cur.Lat + geom.MetersToDegreesLat(distM*math.Sin(heading)),
+		}
+		cur.Lng = clamp(cur.Lng, cfg.Region.MinLng, cfg.Region.MaxLng)
+		cur.Lat = clamp(cur.Lat, cfg.Region.MinLat, cfg.Region.MaxLat)
+	}
+	return &table.Trajectory{ID: id, Points: pts}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// TrajectoryRows converts trajectories to plugin-table rows.
+func TrajectoryRows(trajs []*table.Trajectory) ([]exec.Row, error) {
+	rows := make([]exec.Row, len(trajs))
+	for i, tr := range trajs {
+		row, err := tr.Row()
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// OrderConfig tunes the Order generator.
+type OrderConfig struct {
+	// N is the number of orders.
+	N int
+	// Hotspots is the number of Gaussian urban centers.
+	Hotspots int
+	// Days is the time span (paper: two months).
+	Days int
+	// Seed makes the dataset reproducible.
+	Seed int64
+	// Region overrides the default area.
+	Region geom.MBR
+}
+
+func (c OrderConfig) withDefaults() OrderConfig {
+	if c.N <= 0 {
+		c.N = 100000
+	}
+	if c.Hotspots <= 0 {
+		c.Hotspots = 20
+	}
+	if c.Days <= 0 {
+		c.Days = 60
+	}
+	if c.Region == (geom.MBR{}) {
+		c.Region = Region
+	}
+	return c
+}
+
+// Order is one purchase order: a delivery point with an order time (the
+// address is biased for privacy, which the generator mimics with noise).
+type Order struct {
+	ID    int64
+	Point geom.Point
+	TMS   int64
+}
+
+// Orders generates the Order dataset from a seeded Gaussian mixture with
+// a daily demand cycle.
+func Orders(cfg OrderConfig) []Order {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type hotspot struct {
+		center geom.Point
+		sigma  float64
+	}
+	hs := make([]hotspot, cfg.Hotspots)
+	for i := range hs {
+		hs[i] = hotspot{
+			center: geom.Point{
+				Lng: cfg.Region.MinLng + rng.Float64()*cfg.Region.Width(),
+				Lat: cfg.Region.MinLat + rng.Float64()*cfg.Region.Height(),
+			},
+			sigma: 0.005 + rng.Float64()*0.02,
+		}
+	}
+	out := make([]Order, cfg.N)
+	for i := range out {
+		h := hs[rng.Intn(len(hs))]
+		day := rng.Int63n(int64(cfg.Days))
+		// Orders peak around 20:00.
+		hour := int64(math.Mod(20+rng.NormFloat64()*4+24, 24) * float64(dayMS) / 24)
+		out[i] = Order{
+			ID: int64(i),
+			Point: geom.Point{
+				Lng: clamp(h.center.Lng+rng.NormFloat64()*h.sigma, cfg.Region.MinLng, cfg.Region.MaxLng),
+				Lat: clamp(h.center.Lat+rng.NormFloat64()*h.sigma, cfg.Region.MinLat, cfg.Region.MaxLat),
+			},
+			TMS: day*dayMS + hour,
+		}
+	}
+	return out
+}
+
+// OrderSchema is the common-table layout of the Order dataset
+// (Table III: Z2 on point, Z2T on point and t).
+func OrderSchema() []table.Column {
+	return []table.Column{
+		{Name: "fid", Type: exec.TypeInt, PrimaryKey: true},
+		{Name: "time", Type: exec.TypeTime},
+		{Name: "geom", Type: exec.TypeGeometry, Subtype: "point", SRID: 4326},
+	}
+}
+
+// OrderRows converts orders to common-table rows.
+func OrderRows(orders []Order) []exec.Row {
+	rows := make([]exec.Row, len(orders))
+	for i, o := range orders {
+		rows[i] = exec.Row{o.ID, o.TMS, o.Point}
+	}
+	return rows
+}
+
+// Synthetic scales the Traj dataset by copying & resampling (the paper's
+// method for the 1 TB Synthetic dataset): each copy re-jitters the source
+// trajectory in space and time and gets a fresh id.
+func Synthetic(base []*table.Trajectory, multiplier int, seed int64) []*table.Trajectory {
+	if multiplier <= 1 {
+		return base
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*table.Trajectory, 0, len(base)*multiplier)
+	out = append(out, base...)
+	for m := 1; m < multiplier; m++ {
+		for i, src := range base {
+			dLng := (rng.Float64() - 0.5) * 0.2
+			dLat := (rng.Float64() - 0.5) * 0.2
+			dT := rng.Int63n(300 * dayMS) // spread copies over ~10 months
+			pts := make([]geom.TPoint, len(src.Points))
+			for j, p := range src.Points {
+				pts[j] = geom.TPoint{
+					Point: geom.Point{Lng: p.Lng + dLng, Lat: p.Lat + dLat},
+					T:     p.T + dT,
+				}
+			}
+			out = append(out, &table.Trajectory{
+				ID:     fmt.Sprintf("syn-%d-%07d", m, i),
+				Points: pts,
+			})
+		}
+	}
+	return out
+}
+
+// --- Query workloads (Table IV) ---
+
+// QueryConfig generates the randomized query parameters of Table IV.
+type QueryConfig struct {
+	Seed   int64
+	Region geom.MBR
+	// Days bounds random time-window starts.
+	Days int
+}
+
+func (c QueryConfig) withDefaults() QueryConfig {
+	if c.Region == (geom.MBR{}) {
+		c.Region = Region
+	}
+	if c.Days <= 0 {
+		c.Days = 30
+	}
+	return c
+}
+
+// SpatialWindows returns n random square windows with the given side (km).
+func SpatialWindows(cfg QueryConfig, n int, sideKM float64) []geom.MBR {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]geom.MBR, n)
+	for i := range out {
+		c := geom.Point{
+			Lng: cfg.Region.MinLng + rng.Float64()*cfg.Region.Width(),
+			Lat: cfg.Region.MinLat + rng.Float64()*cfg.Region.Height(),
+		}
+		out[i] = geom.SquareAround(c, sideKM*1000)
+	}
+	return out
+}
+
+// TimeWindows returns n random [start, end] intervals of the given
+// duration within the dataset's span.
+func TimeWindows(cfg QueryConfig, n int, duration int64) [][2]int64 {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	span := int64(cfg.Days) * dayMS
+	out := make([][2]int64, n)
+	for i := range out {
+		maxStart := span - duration
+		if maxStart <= 0 {
+			maxStart = 1
+		}
+		start := rng.Int63n(maxStart)
+		out[i] = [2]int64{start, start + duration}
+	}
+	return out
+}
+
+// KNNPoints returns n random query points.
+func KNNPoints(cfg QueryConfig, n int) []geom.Point {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Point{
+			Lng: cfg.Region.MinLng + rng.Float64()*cfg.Region.Width(),
+			Lat: cfg.Region.MinLat + rng.Float64()*cfg.Region.Height(),
+		}
+	}
+	return out
+}
+
+// Durations used by Table IV's time-window axis.
+const (
+	Hour  = int64(3600 * 1000)
+	Day   = 24 * Hour
+	Week  = 7 * Day
+	Month = 30 * Day
+)

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"testing"
+
+	"just/internal/geom"
+)
+
+func TestTrajectoriesDeterministic(t *testing.T) {
+	a := Trajectories(TrajConfig{N: 10, Seed: 7})
+	b := Trajectories(TrajConfig{N: 10, Seed: 7})
+	if len(a) != 10 {
+		t.Fatalf("generated %d", len(a))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || len(a[i].Points) != len(b[i].Points) {
+			t.Fatal("generator not deterministic")
+		}
+		if a[i].Points[0] != b[i].Points[0] {
+			t.Fatal("generator not deterministic (points)")
+		}
+	}
+}
+
+func TestTrajectoriesShape(t *testing.T) {
+	trajs := Trajectories(TrajConfig{N: 50, PointsPerTraj: 200, Days: 30, Seed: 1})
+	for _, tr := range trajs {
+		if len(tr.Points) < 2 {
+			t.Fatalf("trajectory %s too short", tr.ID)
+		}
+		prev := int64(-1)
+		for _, p := range tr.Points {
+			if !Region.Contains(p.Point) {
+				t.Fatalf("point %v outside region", p.Point)
+			}
+			if p.T <= prev {
+				t.Fatal("timestamps not increasing")
+			}
+			prev = p.T
+		}
+		// Consecutive points should be physically plausible (< 400 m).
+		for i := 1; i < len(tr.Points); i++ {
+			d := geom.HaversineMeters(tr.Points[i-1].Point, tr.Points[i].Point)
+			if d > 400 {
+				t.Fatalf("jump of %g m in %s", d, tr.ID)
+			}
+		}
+	}
+	rows, err := TrajectoryRows(trajs)
+	if err != nil || len(rows) != 50 {
+		t.Fatalf("rows = %d, %v", len(rows), err)
+	}
+}
+
+func TestOrdersShape(t *testing.T) {
+	orders := Orders(OrderConfig{N: 5000, Seed: 3, Days: 60})
+	if len(orders) != 5000 {
+		t.Fatalf("generated %d", len(orders))
+	}
+	seen := map[int64]bool{}
+	for _, o := range orders {
+		if seen[o.ID] {
+			t.Fatal("duplicate order id")
+		}
+		seen[o.ID] = true
+		if !Region.Contains(o.Point) {
+			t.Fatalf("order outside region: %v", o.Point)
+		}
+		if o.TMS < 0 || o.TMS > 61*dayMS {
+			t.Fatalf("order time out of span: %d", o.TMS)
+		}
+	}
+	// Hotspot clustering: a decent share of orders should fall in the
+	// densest 1% of cells.
+	cells := map[[2]int]int{}
+	for _, o := range orders {
+		cells[[2]int{int(o.Point.Lng * 100), int(o.Point.Lat * 100)}]++
+	}
+	max := 0
+	for _, n := range cells {
+		if n > max {
+			max = n
+		}
+	}
+	// A uniform spread over the ~60x40 cell region would put ~2 orders
+	// per cell; hotspots should concentrate far more.
+	if max < 30 {
+		t.Fatalf("densest cell has %d orders; expected clustering", max)
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	base := Trajectories(TrajConfig{N: 20, Seed: 5})
+	syn := Synthetic(base, 3, 9)
+	if len(syn) != 60 {
+		t.Fatalf("synthetic size = %d, want 60", len(syn))
+	}
+	ids := map[string]bool{}
+	for _, tr := range syn {
+		if ids[tr.ID] {
+			t.Fatalf("duplicate id %s", tr.ID)
+		}
+		ids[tr.ID] = true
+	}
+	if got := Synthetic(base, 1, 9); len(got) != 20 {
+		t.Fatal("multiplier 1 should return base")
+	}
+}
+
+func TestQueryWorkloads(t *testing.T) {
+	cfg := QueryConfig{Seed: 11, Days: 30}
+	wins := SpatialWindows(cfg, 100, 3)
+	for _, w := range wins {
+		if !w.IsValid() {
+			t.Fatalf("invalid window %v", w)
+		}
+		width := geom.HaversineMeters(
+			geom.Point{Lng: w.MinLng, Lat: w.Center().Lat},
+			geom.Point{Lng: w.MaxLng, Lat: w.Center().Lat})
+		if width < 2500 || width > 3500 {
+			t.Fatalf("window width = %g m, want ~3000", width)
+		}
+	}
+	tws := TimeWindows(cfg, 50, Day)
+	for _, tw := range tws {
+		if tw[1]-tw[0] != Day {
+			t.Fatalf("time window span = %d", tw[1]-tw[0])
+		}
+		if tw[0] < 0 || tw[1] > 31*Day {
+			t.Fatalf("time window out of range: %v", tw)
+		}
+	}
+	pts := KNNPoints(cfg, 30)
+	if len(pts) != 30 {
+		t.Fatal("knn points")
+	}
+	// Determinism across calls.
+	wins2 := SpatialWindows(cfg, 100, 3)
+	if wins[0] != wins2[0] {
+		t.Fatal("windows not deterministic")
+	}
+}

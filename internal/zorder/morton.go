@@ -1,0 +1,82 @@
+// Package zorder implements the space-filling curves JUST builds its
+// indexes on: the Z-order (Morton) curves Z2 and Z3, and the XZ-ordering
+// curves XZ2 and XZ3 for spatially extended objects (Böhm et al., SSD'99),
+// together with the query planners that decompose a spatio-temporal window
+// into a small set of contiguous key ranges.
+package zorder
+
+// Bits per dimension. GeoMesa uses 31 bits/dim for Z2 (62-bit keys) and
+// 21 bits/dim for Z3 (63-bit keys); we follow the same layout.
+const (
+	Z2Bits = 31 // bits per dimension for the 2-D curve
+	Z3Bits = 21 // bits per dimension for the 3-D curve
+)
+
+// interleave2 spreads the low 31 bits of v so that there is a zero bit
+// between each original bit (magic-number bit tricks).
+func interleave2(v uint64) uint64 {
+	v &= 0x7FFFFFFF
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// deinterleave2 inverts interleave2: it compacts every second bit of v
+// into the low 31 bits.
+func deinterleave2(v uint64) uint64 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v>>4) & 0x00FF00FF00FF00FF
+	v = (v | v>>8) & 0x0000FFFF0000FFFF
+	v = (v | v>>16) & 0x00000000FFFFFFFF
+	return v
+}
+
+// interleave3 spreads the low 21 bits of v with two zero bits between
+// each original bit.
+func interleave3(v uint64) uint64 {
+	v &= 0x1FFFFF
+	v = (v | v<<32) & 0x001F00000000FFFF
+	v = (v | v<<16) & 0x001F0000FF0000FF
+	v = (v | v<<8) & 0x100F00F00F00F00F
+	v = (v | v<<4) & 0x10C30C30C30C30C3
+	v = (v | v<<2) & 0x1249249249249249
+	return v
+}
+
+// deinterleave3 inverts interleave3.
+func deinterleave3(v uint64) uint64 {
+	v &= 0x1249249249249249
+	v = (v | v>>2) & 0x10C30C30C30C30C3
+	v = (v | v>>4) & 0x100F00F00F00F00F
+	v = (v | v>>8) & 0x001F0000FF0000FF
+	v = (v | v>>16) & 0x001F00000000FFFF
+	v = (v | v>>32) & 0x00000000001FFFFF
+	return v
+}
+
+// Encode2 combines two 31-bit coordinates into a single 62-bit Morton
+// code, x occupying the even bit positions.
+func Encode2(x, y uint32) uint64 {
+	return interleave2(uint64(x)) | interleave2(uint64(y))<<1
+}
+
+// Decode2 inverts Encode2.
+func Decode2(z uint64) (x, y uint32) {
+	return uint32(deinterleave2(z)), uint32(deinterleave2(z >> 1))
+}
+
+// Encode3 combines three 21-bit coordinates into a single 63-bit Morton
+// code, x in the lowest interleaved position.
+func Encode3(x, y, z uint32) uint64 {
+	return interleave3(uint64(x)) | interleave3(uint64(y))<<1 | interleave3(uint64(z))<<2
+}
+
+// Decode3 inverts Encode3.
+func Decode3(v uint64) (x, y, z uint32) {
+	return uint32(deinterleave3(v)), uint32(deinterleave3(v >> 1)), uint32(deinterleave3(v >> 2))
+}

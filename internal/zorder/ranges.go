@@ -1,0 +1,146 @@
+package zorder
+
+// Range is an inclusive interval [Min, Max] of curve codes. A query
+// planner turns a spatio-temporal window into a sorted, disjoint list of
+// Ranges; the storage layer runs one SCAN per range.
+type Range struct {
+	Min, Max uint64
+}
+
+// Contains reports whether code v falls inside r.
+func (r Range) Contains(v uint64) bool { return v >= r.Min && v <= r.Max }
+
+// CoversCode reports whether any range in rs contains v. rs must be
+// sorted by Min (as returned by the planners); the check is a linear scan
+// since range lists are short.
+func CoversCode(rs []Range, v uint64) bool {
+	for _, r := range rs {
+		if r.Contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeAdjacent collapses sorted ranges that touch or overlap. The
+// planners emit ranges in ascending code order, so a single pass suffices.
+func mergeAdjacent(rs []Range) []Range {
+	if len(rs) < 2 {
+		return rs
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Min <= last.Max || (last.Max != ^uint64(0) && r.Min == last.Max+1) {
+			if r.Max > last.Max {
+				last.Max = r.Max
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DefaultExtraLevels controls how far the planners recurse below the
+// first level at which a curve cell fits inside the query window. Each
+// extra level roughly quadruples planning work and doubles per-side range
+// resolution; 3 matches GeoMesa's default precision/target-range balance.
+const DefaultExtraLevels = 3
+
+// ranges2 decomposes the discrete rectangle [xmin,xmax]×[ymin,ymax] (cell
+// coordinates on a 2^Z2Bits grid) into Morton-code ranges. extraLevels
+// tunes precision; the result over-approximates the query (callers
+// post-filter) but never misses a cell inside it.
+func ranges2(xmin, xmax, ymin, ymax uint32, extraLevels int) []Range {
+	if xmin > xmax || ymin > ymax {
+		return nil
+	}
+	qw := uint64(xmax-xmin) + 1
+	qh := uint64(ymax-ymin) + 1
+	maxDim := qw
+	if qh > maxDim {
+		maxDim = qh
+	}
+	start := Z2Bits - log2ceil(maxDim)
+	if start < 0 {
+		start = 0
+	}
+	maxLevel := start + extraLevels
+	if maxLevel > Z2Bits {
+		maxLevel = Z2Bits
+	}
+	var out []Range
+	var walk func(xq, yq uint32, level int)
+	walk = func(xq, yq uint32, level int) {
+		s := uint(Z2Bits - level)
+		cx0 := xq << s
+		cy0 := yq << s
+		cx1 := cx0 | (1<<s - 1)
+		cy1 := cy0 | (1<<s - 1)
+		if cx1 < xmin || cx0 > xmax || cy1 < ymin || cy0 > ymax {
+			return // disjoint
+		}
+		zmin := Encode2(cx0, cy0)
+		if (cx0 >= xmin && cx1 <= xmax && cy0 >= ymin && cy1 <= ymax) || level >= maxLevel {
+			out = append(out, Range{zmin, zmin | (1<<(2*s) - 1)})
+			return
+		}
+		for q := uint32(0); q < 4; q++ {
+			walk(xq<<1|(q&1), yq<<1|(q>>1), level+1)
+		}
+	}
+	walk(0, 0, 0)
+	return mergeAdjacent(out)
+}
+
+// ranges3 is the 3-D analogue of ranges2 on a 2^Z3Bits grid.
+func ranges3(xmin, xmax, ymin, ymax, zmin, zmax uint32, extraLevels int) []Range {
+	if xmin > xmax || ymin > ymax || zmin > zmax {
+		return nil
+	}
+	maxDim := uint64(xmax-xmin) + 1
+	if d := uint64(ymax-ymin) + 1; d > maxDim {
+		maxDim = d
+	}
+	if d := uint64(zmax-zmin) + 1; d > maxDim {
+		maxDim = d
+	}
+	start := Z3Bits - log2ceil(maxDim)
+	if start < 0 {
+		start = 0
+	}
+	maxLevel := start + extraLevels
+	if maxLevel > Z3Bits {
+		maxLevel = Z3Bits
+	}
+	var out []Range
+	var walk func(xq, yq, zq uint32, level int)
+	walk = func(xq, yq, zq uint32, level int) {
+		s := uint(Z3Bits - level)
+		cx0, cy0, cz0 := xq<<s, yq<<s, zq<<s
+		cx1, cy1, cz1 := cx0|(1<<s-1), cy0|(1<<s-1), cz0|(1<<s-1)
+		if cx1 < xmin || cx0 > xmax || cy1 < ymin || cy0 > ymax || cz1 < zmin || cz0 > zmax {
+			return
+		}
+		vmin := Encode3(cx0, cy0, cz0)
+		if (cx0 >= xmin && cx1 <= xmax && cy0 >= ymin && cy1 <= ymax && cz0 >= zmin && cz1 <= zmax) || level >= maxLevel {
+			out = append(out, Range{vmin, vmin | (1<<(3*s) - 1)})
+			return
+		}
+		for q := uint32(0); q < 8; q++ {
+			walk(xq<<1|(q&1), yq<<1|(q>>1&1), zq<<1|(q>>2), level+1)
+		}
+	}
+	walk(0, 0, 0, 0)
+	return mergeAdjacent(out)
+}
+
+// log2ceil returns ceil(log2(v)) for v >= 1.
+func log2ceil(v uint64) int {
+	n := 0
+	for p := uint64(1); p < v; p <<= 1 {
+		n++
+	}
+	return n
+}

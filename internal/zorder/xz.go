@@ -1,0 +1,307 @@
+package zorder
+
+import (
+	"math"
+
+	"just/internal/geom"
+)
+
+// XZDefaultResolution is the quadtree/octree depth g of the XZ curves.
+// GeoMesa's XZ2/XZ3 use 12; codes stay far below 2^63.
+const XZDefaultResolution = 12
+
+// XZ2 is the XZ-ordering curve for spatially extended (non-point)
+// objects. Each object is assigned to the deepest quadtree cell whose
+// *enlarged* region (the cell doubled in width and height, anchored at
+// the cell's lower-left corner) still contains the object's MBR; the code
+// is the preorder sequence number of that cell.
+type XZ2 struct {
+	// G is the maximum quadtree depth; zero means XZDefaultResolution.
+	G int
+}
+
+func (x XZ2) g() int {
+	if x.G <= 0 {
+		return XZDefaultResolution
+	}
+	return x.G
+}
+
+// subtreeSize2 returns the number of sequence codes in the subtree rooted
+// at a node of the given level (inclusive of the node), for resolution g.
+func subtreeSize2(g, level int) uint64 {
+	// (4^(g-level+1) - 1) / 3
+	return (pow4(g-level+1) - 1) / 3
+}
+
+func pow4(n int) uint64 { return 1 << (2 * uint(n)) }
+func pow8(n int) uint64 { return 1 << (3 * uint(n)) }
+
+// Index returns the XZ2 sequence code for an object with the given MBR
+// (WGS84 degrees).
+func (x XZ2) Index(m geom.MBR) uint64 {
+	g := x.g()
+	x1, y1 := normXZ(m.MinLng, -180, 180), normXZ(m.MinLat, -90, 90)
+	x2, y2 := normXZ(m.MaxLng, -180, 180), normXZ(m.MaxLat, -90, 90)
+	length := xzLength(x1, y1, x2, y2, g)
+	return sequenceCode2(x1, y1, length, g)
+}
+
+// xzLength computes the level l of the cell an object of the given
+// normalized extent is stored at (Böhm et al.'s formula as implemented by
+// GeoMesa).
+func xzLength(x1, y1, x2, y2 float64, g int) int {
+	maxDim := math.Max(x2-x1, y2-y1)
+	if maxDim <= 0 {
+		return g
+	}
+	l1 := int(math.Floor(math.Log(maxDim) / math.Log(0.5)))
+	if l1 >= g {
+		return g
+	}
+	if l1 < 0 {
+		return 0
+	}
+	w2 := math.Pow(0.5, float64(l1+1)) // width at level l1+1
+	if xzPredicate(x1, x2, w2) && xzPredicate(y1, y2, w2) {
+		return l1 + 1
+	}
+	return l1
+}
+
+// xzPredicate reports whether [min,max] fits in the enlarged region of a
+// level cell with width w containing min.
+func xzPredicate(min, max, w float64) bool {
+	return max <= math.Floor(min/w)*w+2*w
+}
+
+// sequenceCode2 walks length levels of the quadtree toward (px, py) and
+// returns the preorder sequence number of the final cell.
+func sequenceCode2(px, py float64, length, g int) uint64 {
+	xmin, ymin, xmax, ymax := 0.0, 0.0, 1.0, 1.0
+	var cs uint64
+	for i := 0; i < length; i++ {
+		childSub := subtreeSize2(g, i+1)
+		xc, yc := (xmin+xmax)/2, (ymin+ymax)/2
+		var q uint64
+		if px >= xc {
+			q |= 1
+			xmin = xc
+		} else {
+			xmax = xc
+		}
+		if py >= yc {
+			q |= 2
+			ymin = yc
+		} else {
+			ymax = yc
+		}
+		cs += 1 + q*childSub
+	}
+	return cs
+}
+
+// Ranges returns sequence-code ranges covering every object whose MBR
+// intersects the query window. The guarantee is one-sided: no false
+// negatives; callers refine with exact geometry checks.
+func (x XZ2) Ranges(query geom.MBR) []Range {
+	g := x.g()
+	qx1, qy1 := normXZ(query.MinLng, -180, 180), normXZ(query.MinLat, -90, 90)
+	qx2, qy2 := normXZ(query.MaxLng, -180, 180), normXZ(query.MaxLat, -90, 90)
+	maxLevel := xzMaxLevel(math.Max(qx2-qx1, qy2-qy1), g)
+
+	var out []Range
+	var walk func(level int, xmin, ymin float64, cs uint64)
+	walk = func(level int, xmin, ymin float64, cs uint64) {
+		w := math.Pow(0.5, float64(level))
+		// The enlarged region of this cell: 2w x 2w anchored at (xmin, ymin).
+		ex2, ey2 := xmin+2*w, ymin+2*w
+		if qx1 > ex2 || qx2 < xmin || qy1 > ey2 || qy2 < ymin {
+			return // no object stored here can touch the query
+		}
+		if qx1 <= xmin && qx2 >= ex2 && qy1 <= ymin && qy2 >= ey2 {
+			// Query swallows the enlarged cell: every descendant matches.
+			out = append(out, Range{cs, cs + subtreeSize2(g, level) - 1})
+			return
+		}
+		if level >= maxLevel {
+			// Deep enough relative to the query: over-approximate with
+			// the whole subtree rather than recursing further (keeps the
+			// no-false-negative guarantee, bounds plan size).
+			out = append(out, Range{cs, cs + subtreeSize2(g, level) - 1})
+			return
+		}
+		out = append(out, Range{cs, cs})
+		if level >= g {
+			return
+		}
+		childSub := subtreeSize2(g, level+1)
+		half := w / 2
+		for q := uint64(0); q < 4; q++ {
+			cx := xmin + float64(q&1)*half
+			cy := ymin + float64(q>>1)*half
+			walk(level+1, cx, cy, cs+1+q*childSub)
+		}
+	}
+	walk(0, 0, 0, 0)
+	return mergeAdjacent(out)
+}
+
+// MaxCode returns the largest sequence code XZ2 can produce.
+func (x XZ2) MaxCode() uint64 { return subtreeSize2(x.g(), 0) - 1 }
+
+// XZ3 extends XZ-ordering with a third (time) dimension: the octree
+// analogue of XZ2 over (lng, lat, time-fraction-within-period). GeoMesa
+// uses it for non-point spatio-temporal data; the paper's XZ2T replaces
+// it for the same reason Z2T replaces Z3.
+type XZ3 struct {
+	// G is the maximum octree depth; zero means XZDefaultResolution.
+	G int
+}
+
+func (x XZ3) g() int {
+	if x.G <= 0 {
+		return XZDefaultResolution
+	}
+	return x.G
+}
+
+func subtreeSize3(g, level int) uint64 {
+	return (pow8(g-level+1) - 1) / 7
+}
+
+// Index returns the XZ3 sequence code for an object with spatial MBR m
+// spanning time fractions [t1, t2] of its period.
+func (x XZ3) Index(m geom.MBR, t1, t2 float64) uint64 {
+	g := x.g()
+	x1, y1 := normXZ(m.MinLng, -180, 180), normXZ(m.MinLat, -90, 90)
+	x2, y2 := normXZ(m.MaxLng, -180, 180), normXZ(m.MaxLat, -90, 90)
+	z1, z2 := clamp01(t1), clamp01(t2)
+	length := xzLength3(x1, y1, z1, x2, y2, z2, g)
+	return sequenceCode3(x1, y1, z1, length, g)
+}
+
+func xzLength3(x1, y1, z1, x2, y2, z2 float64, g int) int {
+	maxDim := math.Max(math.Max(x2-x1, y2-y1), z2-z1)
+	if maxDim <= 0 {
+		return g
+	}
+	l1 := int(math.Floor(math.Log(maxDim) / math.Log(0.5)))
+	if l1 >= g {
+		return g
+	}
+	if l1 < 0 {
+		return 0
+	}
+	w2 := math.Pow(0.5, float64(l1+1))
+	if xzPredicate(x1, x2, w2) && xzPredicate(y1, y2, w2) && xzPredicate(z1, z2, w2) {
+		return l1 + 1
+	}
+	return l1
+}
+
+func sequenceCode3(px, py, pz float64, length, g int) uint64 {
+	xmin, ymin, zmin := 0.0, 0.0, 0.0
+	w := 1.0
+	var cs uint64
+	for i := 0; i < length; i++ {
+		childSub := subtreeSize3(g, i+1)
+		w /= 2
+		var q uint64
+		if px >= xmin+w {
+			q |= 1
+			xmin += w
+		}
+		if py >= ymin+w {
+			q |= 2
+			ymin += w
+		}
+		if pz >= zmin+w {
+			q |= 4
+			zmin += w
+		}
+		cs += 1 + q*childSub
+	}
+	return cs
+}
+
+// Ranges returns sequence-code ranges covering every object whose
+// spatio-temporal box intersects the query (spatial window plus time
+// fraction interval [t1, t2] within one period).
+func (x XZ3) Ranges(query geom.MBR, t1, t2 float64) []Range {
+	g := x.g()
+	qx1, qy1 := normXZ(query.MinLng, -180, 180), normXZ(query.MinLat, -90, 90)
+	qx2, qy2 := normXZ(query.MaxLng, -180, 180), normXZ(query.MaxLat, -90, 90)
+	qz1, qz2 := clamp01(t1), clamp01(t2)
+
+	maxLevel := xzMaxLevel(math.Max(math.Max(qx2-qx1, qy2-qy1), qz2-qz1), g)
+
+	var out []Range
+	var walk func(level int, xmin, ymin, zmin float64, cs uint64)
+	walk = func(level int, xmin, ymin, zmin float64, cs uint64) {
+		w := math.Pow(0.5, float64(level))
+		ex2, ey2, ez2 := xmin+2*w, ymin+2*w, zmin+2*w
+		if qx1 > ex2 || qx2 < xmin || qy1 > ey2 || qy2 < ymin || qz1 > ez2 || qz2 < zmin {
+			return
+		}
+		if qx1 <= xmin && qx2 >= ex2 && qy1 <= ymin && qy2 >= ey2 && qz1 <= zmin && qz2 >= ez2 {
+			out = append(out, Range{cs, cs + subtreeSize3(g, level) - 1})
+			return
+		}
+		if level >= maxLevel {
+			out = append(out, Range{cs, cs + subtreeSize3(g, level) - 1})
+			return
+		}
+		out = append(out, Range{cs, cs})
+		if level >= g {
+			return
+		}
+		childSub := subtreeSize3(g, level+1)
+		half := w / 2
+		for q := uint64(0); q < 8; q++ {
+			walk(level+1,
+				xmin+float64(q&1)*half,
+				ymin+float64(q>>1&1)*half,
+				zmin+float64(q>>2)*half,
+				cs+1+q*childSub)
+		}
+	}
+	walk(0, 0, 0, 0, 0)
+	return mergeAdjacent(out)
+}
+
+// MaxCode returns the largest sequence code XZ3 can produce.
+func (x XZ3) MaxCode() uint64 { return subtreeSize3(x.g(), 0) - 1 }
+
+// xzMaxLevel picks the recursion floor for XZ planning: a few levels past
+// the level at which cells shrink below the query's largest extent. Below
+// it, boundary-cell counts grow geometrically while extra precision only
+// trims records the post-filter removes anyway.
+func xzMaxLevel(queryDim float64, g int) int {
+	if queryDim <= 0 {
+		return g
+	}
+	fit := int(math.Floor(math.Log(queryDim) / math.Log(0.5))) // cell <= query at this level
+	ml := fit + DefaultExtraLevels
+	if ml > g {
+		ml = g
+	}
+	if ml < 1 {
+		ml = 1
+	}
+	return ml
+}
+
+func normXZ(v, lo, hi float64) float64 {
+	return clamp01((v - lo) / (hi - lo))
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,104 @@
+package zorder
+
+import (
+	"math"
+
+	"just/internal/geom"
+)
+
+// normalize maps v from [lo, hi] onto the discrete grid [0, 2^bits-1].
+func normalize(v, lo, hi float64, bits uint) uint32 {
+	if v <= lo {
+		return 0
+	}
+	max := uint32(1)<<bits - 1
+	if v >= hi {
+		return max
+	}
+	cells := math.Exp2(float64(bits))
+	n := uint64((v - lo) / (hi - lo) * cells)
+	if n > uint64(max) {
+		n = uint64(max)
+	}
+	return uint32(n)
+}
+
+// denormalize returns the center of cell n on the [lo, hi] axis.
+func denormalize(n uint32, lo, hi float64, bits uint) float64 {
+	cells := math.Exp2(float64(bits))
+	return lo + (float64(n)+0.5)/cells*(hi-lo)
+}
+
+// Z2 is the two-dimensional Z-order curve over the WGS84 lng/lat plane,
+// used by JUST to index point-based spatial data.
+type Z2 struct{}
+
+// Index returns the 62-bit Morton code of the point.
+func (Z2) Index(lng, lat float64) uint64 {
+	return Encode2(
+		normalize(lng, -180, 180, Z2Bits),
+		normalize(lat, -90, 90, Z2Bits),
+	)
+}
+
+// Invert returns the center of the curve cell identified by code z.
+func (Z2) Invert(z uint64) (lng, lat float64) {
+	x, y := Decode2(z)
+	return denormalize(x, -180, 180, Z2Bits), denormalize(y, -90, 90, Z2Bits)
+}
+
+// Ranges decomposes the query window into Morton-code ranges that cover
+// every point inside it. extraLevels <= 0 selects DefaultExtraLevels.
+func (Z2) Ranges(window geom.MBR, extraLevels int) []Range {
+	if extraLevels <= 0 {
+		extraLevels = DefaultExtraLevels
+	}
+	return ranges2(
+		normalize(window.MinLng, -180, 180, Z2Bits),
+		normalize(window.MaxLng, -180, 180, Z2Bits),
+		normalize(window.MinLat, -90, 90, Z2Bits),
+		normalize(window.MaxLat, -90, 90, Z2Bits),
+		extraLevels,
+	)
+}
+
+// Z3 is the three-dimensional Z-order curve over (lng, lat, time) where
+// time is a fraction in [0, 1) of the enclosing time period. GeoMesa uses
+// it for point-based spatio-temporal data; the paper shows it loses its
+// spatial filtering power when the period is long (motivation for Z2T).
+type Z3 struct{}
+
+// Index returns the 63-bit Morton code of a point observed at fraction
+// tFrac of its time period.
+func (Z3) Index(lng, lat, tFrac float64) uint64 {
+	return Encode3(
+		normalize(lng, -180, 180, Z3Bits),
+		normalize(lat, -90, 90, Z3Bits),
+		normalize(tFrac, 0, 1, Z3Bits),
+	)
+}
+
+// Invert returns the cell-center coordinates of code v.
+func (Z3) Invert(v uint64) (lng, lat, tFrac float64) {
+	x, y, z := Decode3(v)
+	return denormalize(x, -180, 180, Z3Bits),
+		denormalize(y, -90, 90, Z3Bits),
+		denormalize(z, 0, 1, Z3Bits)
+}
+
+// Ranges decomposes a spatio-temporal window (spatial MBR plus a time
+// fraction interval within one period) into code ranges.
+func (Z3) Ranges(window geom.MBR, tMinFrac, tMaxFrac float64, extraLevels int) []Range {
+	if extraLevels <= 0 {
+		extraLevels = DefaultExtraLevels
+	}
+	return ranges3(
+		normalize(window.MinLng, -180, 180, Z3Bits),
+		normalize(window.MaxLng, -180, 180, Z3Bits),
+		normalize(window.MinLat, -90, 90, Z3Bits),
+		normalize(window.MaxLat, -90, 90, Z3Bits),
+		normalize(tMinFrac, 0, 1, Z3Bits),
+		normalize(tMaxFrac, 0, 1, Z3Bits),
+		extraLevels,
+	)
+}

@@ -1,0 +1,168 @@
+// Package client is the Go SDK for a JUST server (Section VII-B): it
+// speaks the HTTP protocol and exposes the cursor-style ResultSet of the
+// paper's Fig. 2 snippet —
+//
+//	rs, err := client.ExecuteQuery(sql)
+//	for rs.HasNext() {
+//	    row, err := rs.Next()
+//	    ...
+//	}
+//
+// Large results arrive in multiple transmissions; the ResultSet fetches
+// follow-up pages transparently.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Client talks to one JUST server on behalf of one user.
+type Client struct {
+	baseURL string
+	user    string
+	http    *http.Client
+}
+
+// Connect creates a client; baseURL like "http://localhost:8045".
+func Connect(baseURL, user string) *Client {
+	return &Client{
+		baseURL: baseURL,
+		user:    user,
+		http:    &http.Client{Timeout: 120 * time.Second},
+	}
+}
+
+type sqlRequest struct {
+	User string `json:"user"`
+	SQL  string `json:"sql"`
+}
+
+type sqlResponse struct {
+	Message string   `json:"message"`
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+	Cursor  string   `json:"cursor"`
+	Total   int      `json:"total"`
+	Error   string   `json:"error"`
+}
+
+// ExecuteQuery runs a JustQL statement and returns a paging cursor.
+func (c *Client) ExecuteQuery(justql string) (*ResultSet, error) {
+	body, err := json.Marshal(sqlRequest{User: c.user, SQL: justql})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.baseURL+"/api/v1/sql", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	var out sqlResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: bad response: %w", err)
+	}
+	if out.Error != "" {
+		return nil, fmt.Errorf("client: server error: %s", out.Error)
+	}
+	return &ResultSet{
+		client:  c,
+		message: out.Message,
+		columns: out.Columns,
+		rows:    out.Rows,
+		cursor:  out.Cursor,
+	}, nil
+}
+
+// Execute is an alias of ExecuteQuery for DDL/DML readability.
+func (c *Client) Execute(justql string) (*ResultSet, error) { return c.ExecuteQuery(justql) }
+
+// Health pings the server.
+func (c *Client) Health() error {
+	resp, err := c.http.Get(c.baseURL + "/api/v1/health")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: health status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// fetch retrieves the next page of a cursor.
+func (c *Client) fetch(cursor string) (*sqlResponse, error) {
+	resp, err := c.http.Get(c.baseURL + "/api/v1/fetch?cursor=" + cursor)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out sqlResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if out.Error != "" {
+		return nil, fmt.Errorf("client: server error: %s", out.Error)
+	}
+	return &out, nil
+}
+
+// ResultSet is the client-side cursor. Rows are []any with JSON-decoded
+// values (numbers arrive as float64; geometries as {"wkt": ...} maps).
+type ResultSet struct {
+	client  *Client
+	message string
+	columns []string
+	rows    [][]any
+	pos     int
+	cursor  string
+	err     error
+}
+
+// Message returns the DDL/DML message.
+func (rs *ResultSet) Message() string { return rs.message }
+
+// Columns returns the result column names.
+func (rs *ResultSet) Columns() []string { return rs.columns }
+
+// HasNext reports whether another row is available, fetching the next
+// transmission when the local page is exhausted.
+func (rs *ResultSet) HasNext() bool {
+	if rs.err != nil {
+		return false
+	}
+	if rs.pos < len(rs.rows) {
+		return true
+	}
+	if rs.cursor == "" {
+		return false
+	}
+	page, err := rs.client.fetch(rs.cursor)
+	if err != nil {
+		rs.err = err
+		return false
+	}
+	rs.rows = page.Rows
+	rs.cursor = page.Cursor
+	rs.pos = 0
+	return len(rs.rows) > 0
+}
+
+// Next returns the next row; call HasNext first.
+func (rs *ResultSet) Next() ([]any, error) {
+	if rs.err != nil {
+		return nil, rs.err
+	}
+	if rs.pos >= len(rs.rows) {
+		return nil, fmt.Errorf("client: past end of result set")
+	}
+	row := rs.rows[rs.pos]
+	rs.pos++
+	return row, nil
+}
+
+// Err returns any paging error encountered by HasNext.
+func (rs *ResultSet) Err() error { return rs.err }

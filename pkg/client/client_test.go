@@ -1,0 +1,103 @@
+package client
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// The happy paths (paging, DDL, isolation) are covered end-to-end in
+// internal/server; these tests pin the SDK's error behaviour against a
+// scripted server.
+
+func TestClientServerError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"error": "boom"})
+	}))
+	defer ts.Close()
+	c := Connect(ts.URL, "u")
+	if _, err := c.ExecuteQuery("SELECT 1"); err == nil {
+		t.Fatal("server error should surface")
+	}
+}
+
+func TestClientBadJSON(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json"))
+	}))
+	defer ts.Close()
+	c := Connect(ts.URL, "u")
+	if _, err := c.ExecuteQuery("SELECT 1"); err == nil {
+		t.Fatal("bad JSON should surface")
+	}
+}
+
+func TestClientUnreachable(t *testing.T) {
+	c := Connect("http://127.0.0.1:1", "u")
+	if _, err := c.ExecuteQuery("SELECT 1"); err == nil {
+		t.Fatal("unreachable server should surface")
+	}
+	if err := c.Health(); err == nil {
+		t.Fatal("health check against dead server should fail")
+	}
+}
+
+func TestResultSetPastEnd(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(sqlResponse{
+			Columns: []string{"a"},
+			Rows:    [][]any{{1.0}},
+			Total:   1,
+		})
+	}))
+	defer ts.Close()
+	c := Connect(ts.URL, "u")
+	rs, err := c.ExecuteQuery("SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.HasNext() {
+		t.Fatal("row expected")
+	}
+	if _, err := rs.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if rs.HasNext() {
+		t.Fatal("no more rows expected")
+	}
+	if _, err := rs.Next(); err == nil {
+		t.Fatal("Next past end should error")
+	}
+}
+
+func TestClientPagingFetchFailure(t *testing.T) {
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if r.URL.Path == "/api/v1/sql" {
+			json.NewEncoder(w).Encode(sqlResponse{
+				Columns: []string{"a"},
+				Rows:    [][]any{{1.0}},
+				Cursor:  "cur-1",
+				Total:   2,
+			})
+			return
+		}
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(sqlResponse{Error: "unknown cursor"})
+	}))
+	defer ts.Close()
+	c := Connect(ts.URL, "u")
+	rs, err := c.ExecuteQuery("SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Next() // consume the first page (HasNext true by position)
+	if rs.HasNext() {
+		t.Fatal("failed fetch should end iteration")
+	}
+	if rs.Err() == nil {
+		t.Fatal("fetch failure should be recorded")
+	}
+}

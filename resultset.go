@@ -1,0 +1,93 @@
+package just
+
+import (
+	"fmt"
+	"strings"
+
+	"just/internal/exec"
+	"just/internal/sql"
+)
+
+// ResultSet is the database-cursor view of a statement result (Fig. 2:
+// users "traverse the result in a way like the database cursor"). DDL
+// and DML statements produce a message-only result with no rows.
+type ResultSet struct {
+	message string
+	columns []string
+	rows    []Row
+	pos     int
+	frame   *exec.DataFrame
+}
+
+func newResultSet(res *sql.Result) *ResultSet {
+	rs := &ResultSet{message: res.Message}
+	if res.Frame != nil {
+		rs.frame = res.Frame
+		rs.columns = res.Frame.Schema().Names()
+		rs.rows = res.Frame.Collect()
+	}
+	return rs
+}
+
+// Message returns the engine message for DDL/DML statements.
+func (rs *ResultSet) Message() string { return rs.message }
+
+// Columns returns the result column names (nil for DDL/DML).
+func (rs *ResultSet) Columns() []string { return rs.columns }
+
+// Len returns the number of rows.
+func (rs *ResultSet) Len() int { return len(rs.rows) }
+
+// HasNext reports whether another row is available.
+func (rs *ResultSet) HasNext() bool { return rs.pos < len(rs.rows) }
+
+// Next returns the next row; it panics past the end (guard with
+// HasNext, as in the paper's snippet).
+func (rs *ResultSet) Next() Row {
+	row := rs.rows[rs.pos]
+	rs.pos++
+	return row
+}
+
+// Rows returns all rows at once.
+func (rs *ResultSet) Rows() []Row { return rs.rows }
+
+// Reset rewinds the cursor.
+func (rs *ResultSet) Reset() { rs.pos = 0 }
+
+// Close releases the result's memory back to the engine budget.
+func (rs *ResultSet) Close() {
+	if rs.frame != nil {
+		rs.frame.Release()
+		rs.frame = nil
+	}
+	rs.rows = nil
+}
+
+// String renders a compact table for CLI display.
+func (rs *ResultSet) String() string {
+	if rs.columns == nil {
+		return rs.message
+	}
+	var sb strings.Builder
+	sb.WriteString(strings.Join(rs.columns, " | "))
+	sb.WriteByte('\n')
+	for i, row := range rs.rows {
+		if i == 20 {
+			fmt.Fprintf(&sb, "... (%d rows total)\n", len(rs.rows))
+			break
+		}
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteString(" | ")
+			}
+			if g, ok := v.(Geometry); ok {
+				sb.WriteString(g.WKT())
+			} else {
+				fmt.Fprintf(&sb, "%v", v)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
