@@ -526,3 +526,54 @@ func TestEngineDiskSizeGrows(t *testing.T) {
 		t.Fatal("disk size should be positive after flush")
 	}
 }
+
+func TestScanProjectedMatchesScan(t *testing.T) {
+	e := newTestEngine(t)
+	if err := e.CreateTable(pointDesc("pts")); err != nil {
+		t.Fatal(err)
+	}
+	loadGrid(t, e, "pts", 1000)
+	q := index.Query{
+		Window:  geom.NewMBR(115.999, 38.999, 116.101, 39.051),
+		HasTime: true, TMin: 0, TMax: 500 * hourMS,
+	}
+	full := map[int64]string{}
+	if err := e.Scan("", "pts", q, func(r exec.Row) bool {
+		full[r[0].(int64)] = r[1].(string)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(full) == 0 {
+		t.Fatal("scan found nothing")
+	}
+	got := map[int64]bool{}
+	err := e.ScanProjected("", "pts", q, []string{"fid"}, func(r exec.Row) bool {
+		if r[1] != nil {
+			t.Fatalf("name decoded despite projection: %v", r)
+		}
+		got[r[0].(int64)] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(full) {
+		t.Fatalf("projected scan %d rows, full scan %d", len(got), len(full))
+	}
+	for id := range full {
+		if !got[id] {
+			t.Fatalf("projected scan missing fid %d", id)
+		}
+	}
+	// Unknown column names degrade to a full decode rather than failing.
+	err = e.ScanProjected("", "pts", q, []string{"nope"}, func(r exec.Row) bool {
+		if r[1] == nil {
+			t.Fatal("fallback full decode expected")
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -377,6 +377,33 @@ func (e *Engine) Scan(user, name string, q index.Query, emit func(exec.Row) bool
 	return t.ScanQuery(q, emit)
 }
 
+// ScanProjected is Scan with projection pushdown: only the named
+// columns are decoded (plus the table's geometry/time columns, which
+// the window post-filter always reads); every other column stays nil in
+// the emitted rows and skips decompression entirely. cols == nil means
+// all columns; an unknown name degrades to a full decode rather than
+// failing.
+func (e *Engine) ScanProjected(user, name string, q index.Query, cols []string, emit func(exec.Row) bool) error {
+	t, err := e.OpenTable(user, name)
+	if err != nil {
+		return err
+	}
+	var needed []bool
+	if cols != nil {
+		schema := t.Schema()
+		needed = make([]bool, schema.Len())
+		for _, c := range cols {
+			i := schema.Index(c)
+			if i < 0 {
+				needed = nil
+				break
+			}
+			needed[i] = true
+		}
+	}
+	return t.ScanProjected(q, needed, emit)
+}
+
 // Flush persists all buffered writes.
 func (e *Engine) Flush() error { return e.cluster.Flush() }
 

@@ -164,15 +164,17 @@ func (c *Cluster) Get(key []byte) ([]byte, error) {
 }
 
 // Flush persists all memtables; call after bulk loads and before
-// measuring on-disk size.
+// measuring on-disk size. Regions flush in parallel (their SSTables are
+// independent files); splits run serially afterwards because they
+// rewrite the region list.
 func (c *Cluster) Flush() error {
 	c.mu.RLock()
 	hs := append([]*regionHandle(nil), c.regions...)
 	c.mu.RUnlock()
+	if err := eachRegion(hs, func(h *regionHandle) error { return h.r.flush() }); err != nil {
+		return err
+	}
 	for _, h := range hs {
-		if err := h.r.flush(); err != nil {
-			return err
-		}
 		if err := c.maybeSplit(h); err != nil {
 			return err
 		}
@@ -180,17 +182,59 @@ func (c *Cluster) Flush() error {
 	return nil
 }
 
-// Compact fully compacts every region.
+// Compact fully compacts every region, in parallel.
 func (c *Cluster) Compact() error {
 	c.mu.RLock()
 	hs := append([]*regionHandle(nil), c.regions...)
 	c.mu.RUnlock()
-	for _, h := range hs {
-		if err := h.r.compact(); err != nil {
+	return eachRegion(hs, func(h *regionHandle) error { return h.r.compact() })
+}
+
+// eachRegion runs fn over every handle concurrently and returns the
+// first error (by region order, for determinism).
+func eachRegion(hs []*regionHandle, fn func(*regionHandle) error) error {
+	if len(hs) == 1 {
+		return fn(hs[0])
+	}
+	errs := make([]error, len(hs))
+	var wg sync.WaitGroup
+	for i, h := range hs {
+		wg.Add(1)
+		go func(i int, h *regionHandle) {
+			defer wg.Done()
+			errs[i] = fn(h)
+		}(i, h)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// DeleteBatch removes many keys at once: keys are grouped by owning
+// region and each region applies its group as one batch (single lock
+// acquisition, one flush check), with regions running in parallel. It
+// is the bulk path behind DROP TABLE's data purge.
+func (c *Cluster) DeleteBatch(keys [][]byte) error {
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return ErrClosed
+	}
+	groups := make(map[*regionHandle][][]byte)
+	var order []*regionHandle
+	for _, k := range keys {
+		h := c.regionFor(k)
+		if _, ok := groups[h]; !ok {
+			order = append(order, h)
+		}
+		groups[h] = append(groups[h], k)
+	}
+	c.mu.RUnlock()
+	return eachRegion(order, func(h *regionHandle) error { return h.r.deleteBatch(groups[h]) })
 }
 
 // ScanRange streams pairs of one range in key order; emit returning false
@@ -226,7 +270,42 @@ func (c *Cluster) ScanRange(kr KeyRange, emit func(key, value []byte) bool) erro
 // emit serially, in arbitrary inter-range order; emit returning false
 // cancels outstanding tasks. Pairs passed to emit are valid only during
 // the call.
+//
+// ScanRanges ships whole pairs to the consumer and therefore copies
+// every key and value; callers that can decode or filter per pair
+// should use ScanRangesFunc, which runs that stage inside the scan
+// workers and skips the copies entirely.
 func (c *Cluster) ScanRanges(ranges []KeyRange, emit func(key, value []byte) bool) error {
+	return ScanRangesFunc(c, ranges, func(k, v []byte) (Pair, bool, error) {
+		return Pair{
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), v...),
+		}, true, nil
+	}, func(p Pair) bool { return emit(p.Key, p.Value) })
+}
+
+// scanBatchSize is the worker→consumer hand-off granularity.
+const scanBatchSize = 512
+
+// maxSerialScanTasks bounds the plan size below which goroutine fan-out
+// costs more than it saves.
+const maxSerialScanTasks = 4
+
+// ScanRangesFunc is the pipelined scan: one task per (region × range)
+// runs on its region server, and each task applies process to every
+// pair *inside the worker* — decode, decompress and filter work
+// parallelizes across region-server slots instead of serializing on the
+// consumer. Only values that process keeps are batched and delivered to
+// emit (serially, in arbitrary inter-range order), so filtered-out
+// pairs are never copied out of the storage layer.
+//
+// The key/value slices passed to process are valid only during the
+// call; process must copy anything it retains. A process error or an
+// iterator error cancels the scan and is returned (first error wins,
+// even when emit cancelled the scan concurrently). emit returning
+// false cancels outstanding tasks and drains the pipeline before
+// returning.
+func ScanRangesFunc[T any](c *Cluster, ranges []KeyRange, process func(key, value []byte) (T, bool, error), emit func(T) bool) error {
 	c.mu.RLock()
 	hs := append([]*regionHandle(nil), c.regions...)
 	c.mu.RUnlock()
@@ -246,17 +325,37 @@ func (c *Cluster) ScanRanges(ranges []KeyRange, emit func(key, value []byte) boo
 	if len(tasks) == 0 {
 		return nil
 	}
-	if len(tasks) <= 4 {
-		// Small plans: goroutine fan-out costs more than it saves.
+	atomic.AddInt64(&c.met.ScanTasks, int64(len(tasks)))
+
+	if len(tasks) <= maxSerialScanTasks {
+		// Small plans: run the pipeline stages inline, still one region
+		// server slot per task.
 		for _, t := range tasks {
+			var scanned, kept int64
 			stop := false
+			var stageErr error
 			err := c.scanOne(t.h, t.kr, func(k, v []byte) bool {
-				if !emit(k, v) {
+				scanned++
+				out, keep, perr := process(k, v)
+				if perr != nil {
+					stageErr = perr
+					return false
+				}
+				if !keep {
+					return true
+				}
+				kept++
+				if !emit(out) {
 					stop = true
 					return false
 				}
 				return true
 			})
+			atomic.AddInt64(&c.met.ScanPairs, scanned)
+			atomic.AddInt64(&c.met.ScanKept, kept)
+			if stageErr != nil {
+				return stageErr
+			}
 			if err != nil || stop {
 				return err
 			}
@@ -264,9 +363,27 @@ func (c *Cluster) ScanRanges(ranges []KeyRange, emit func(key, value []byte) boo
 		return nil
 	}
 
-	var cancelled atomic.Bool
-	batches := make(chan []Pair, len(c.servers)*2)
-	errc := make(chan error, len(tasks))
+	var (
+		cancelled atomic.Bool
+		errMu     sync.Mutex
+		firstErr  error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancelled.Store(true)
+	}
+	// Batch slices are pooled: the consumer returns each batch after
+	// draining it, so a steady scan recycles ~one batch per in-flight
+	// task instead of allocating one per scanBatchSize pairs.
+	pool := &sync.Pool{New: func() any {
+		s := make([]T, 0, scanBatchSize)
+		return &s
+	}}
+	batches := make(chan []T, len(c.servers)*2)
 	var wg sync.WaitGroup
 	for _, t := range tasks {
 		wg.Add(1)
@@ -276,25 +393,36 @@ func (c *Cluster) ScanRanges(ranges []KeyRange, emit func(key, value []byte) boo
 				if cancelled.Load() {
 					return
 				}
-				const batchSize = 512
-				batch := make([]Pair, 0, batchSize)
+				var scanned, kept int64
+				defer func() {
+					atomic.AddInt64(&c.met.ScanPairs, scanned)
+					atomic.AddInt64(&c.met.ScanKept, kept)
+				}()
+				batch := *pool.Get().(*[]T)
 				it := t.h.r.Scan(t.kr)
 				defer it.Close()
 				for it.Next() {
 					if cancelled.Load() {
 						return
 					}
-					batch = append(batch, Pair{
-						Key:   append([]byte(nil), it.Key()...),
-						Value: append([]byte(nil), it.Value()...),
-					})
-					if len(batch) == batchSize {
+					scanned++
+					out, keep, err := process(it.Key(), it.Value())
+					if err != nil {
+						fail(err)
+						return
+					}
+					if !keep {
+						continue
+					}
+					kept++
+					batch = append(batch, out)
+					if len(batch) == scanBatchSize {
 						batches <- batch
-						batch = make([]Pair, 0, batchSize)
+						batch = *pool.Get().(*[]T)
 					}
 				}
 				if err := it.Err(); err != nil {
-					errc <- err
+					fail(err)
 					return
 				}
 				if len(batch) > 0 {
@@ -307,23 +435,29 @@ func (c *Cluster) ScanRanges(ranges []KeyRange, emit func(key, value []byte) boo
 		wg.Wait()
 		close(batches)
 	}()
+	var delivered int64
 	for batch := range batches {
-		if cancelled.Load() {
-			continue // drain
-		}
-		for _, p := range batch {
-			if !emit(p.Key, p.Value) {
-				cancelled.Store(true)
-				break
+		delivered++
+		if !cancelled.Load() {
+			for _, x := range batch {
+				if !emit(x) {
+					cancelled.Store(true)
+					break
+				}
 			}
 		}
+		clear(batch) // drop references so pooled slices don't pin rows
+		batch = batch[:0]
+		pool.Put(&batch)
 	}
-	select {
-	case err := <-errc:
-		return err
-	default:
-		return nil
-	}
+	atomic.AddInt64(&c.met.ScanBatches, delivered)
+	// The batches channel is closed only after every worker finished, so
+	// all fail() calls happened-before this point: the first worker error
+	// is reported deterministically, even when emit cancelled the scan.
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	return err
 }
 
 func (c *Cluster) scanOne(h *regionHandle, kr KeyRange, emit func(k, v []byte) bool) error {
@@ -454,6 +588,10 @@ func (c *Cluster) Metrics() Metrics {
 		BloomNegatives:   atomic.LoadInt64(&c.met.BloomNegatives),
 		Flushes:          atomic.LoadInt64(&c.met.Flushes),
 		Compactions:      atomic.LoadInt64(&c.met.Compactions),
+		ScanTasks:        atomic.LoadInt64(&c.met.ScanTasks),
+		ScanPairs:        atomic.LoadInt64(&c.met.ScanPairs),
+		ScanKept:         atomic.LoadInt64(&c.met.ScanKept),
+		ScanBatches:      atomic.LoadInt64(&c.met.ScanBatches),
 	}
 }
 

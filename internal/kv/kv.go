@@ -115,4 +115,14 @@ type Metrics struct {
 	BloomNegatives   int64 // gets short-circuited by the bloom filter
 	Flushes          int64
 	Compactions      int64
+
+	// Scan pipeline counters (ScanRangesFunc): ScanPairs pairs entered
+	// the in-worker process stage, ScanKept survived it and were
+	// delivered to the consumer (ScanPairs - ScanKept were filtered or
+	// dropped inside the workers), in ScanBatches batches across
+	// ScanTasks (region × range) scan tasks.
+	ScanTasks   int64
+	ScanPairs   int64
+	ScanKept    int64
+	ScanBatches int64
 }

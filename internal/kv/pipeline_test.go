@@ -1,0 +1,221 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipelineCluster builds a pre-split cluster whose single full-range
+// scan fans out into five tasks — enough to exercise the parallel path
+// (plans of ≤ maxSerialScanTasks tasks run inline).
+func pipelineCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c := newTestCluster(t, ClusterOptions{
+		SplitPoints: [][]byte{[]byte("2"), []byte("4"), []byte("6"), []byte("8")},
+	})
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("%d-%05d", i%10, i)
+		if err := c.Put([]byte(k), []byte(strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestScanRangesFuncProcessAndFilter(t *testing.T) {
+	const n = 3000
+	c := pipelineCluster(t, n)
+	var mu sync.Mutex
+	var got []int
+	err := ScanRangesFunc(c, []KeyRange{{}},
+		func(k, v []byte) (int, bool, error) {
+			i, err := strconv.Atoi(string(v))
+			if err != nil {
+				return 0, false, err
+			}
+			return i, i%2 == 0, nil // keep evens only
+		},
+		func(i int) bool {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n/2 {
+		t.Fatalf("kept %d rows, want %d", len(got), n/2)
+	}
+	for _, i := range got {
+		if i%2 != 0 {
+			t.Fatalf("filtered-out value %d delivered", i)
+		}
+	}
+	m := c.Metrics()
+	if m.ScanTasks != 5 {
+		t.Errorf("ScanTasks = %d, want 5 (one per region)", m.ScanTasks)
+	}
+	if m.ScanPairs != n {
+		t.Errorf("ScanPairs = %d, want %d", m.ScanPairs, n)
+	}
+	if m.ScanKept != n/2 {
+		t.Errorf("ScanKept = %d, want %d", m.ScanKept, n/2)
+	}
+	if m.ScanBatches == 0 {
+		t.Error("ScanBatches = 0, want > 0")
+	}
+}
+
+func TestScanRangesFuncProcessErrorPropagates(t *testing.T) {
+	boom := errors.New("decode failed")
+	process := func(k, v []byte) ([]byte, bool, error) {
+		if strings.HasSuffix(string(k), "00777") {
+			return nil, false, boom
+		}
+		return append([]byte(nil), v...), true, nil
+	}
+
+	t.Run("parallel", func(t *testing.T) {
+		c := pipelineCluster(t, 2000)
+		err := ScanRangesFunc(c, []KeyRange{{}}, process, func([]byte) bool { return true })
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want %v", err, boom)
+		}
+	})
+
+	t.Run("serial", func(t *testing.T) {
+		// Single region, single range: the inline path.
+		c := newTestCluster(t, ClusterOptions{})
+		for i := 0; i < 1000; i++ {
+			c.Put([]byte(fmt.Sprintf("k-%05d", i)), []byte("v"))
+		}
+		c.Flush()
+		err := ScanRangesFunc(c, []KeyRange{{}}, process, func([]byte) bool { return true })
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want %v", err, boom)
+		}
+	})
+}
+
+// TestScanRangesFuncErrorBeatsCancel pins the deterministic error
+// contract: a worker error must be reported even when the consumer
+// cancels the scan concurrently. A poison pair blocks inside process
+// until after emit has cancelled, then fails — the old non-blocking
+// error pickup would have dropped it.
+func TestScanRangesFuncErrorBeatsCancel(t *testing.T) {
+	c := pipelineCluster(t, 2000)
+	boom := errors.New("late worker error")
+	entered := make(chan struct{}) // poison pair reached process
+	gate := make(chan struct{})    // holds the poison failure until cancel
+	var enterOnce, gateOnce sync.Once
+	err := ScanRangesFunc(c, []KeyRange{{}},
+		func(k, v []byte) ([]byte, bool, error) {
+			if strings.HasPrefix(string(k), "9-") {
+				enterOnce.Do(func() { close(entered) })
+				<-gate
+				return nil, false, boom
+			}
+			return append([]byte(nil), v...), true, nil
+		},
+		func([]byte) bool {
+			<-entered // poison is committed to failing
+			gateOnce.Do(func() { close(gate) })
+			return false // cancel the scan
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v (worker error dropped on cancel)", err, boom)
+	}
+}
+
+func TestScanRangesFuncEarlyStopReleasesWorkers(t *testing.T) {
+	c := pipelineCluster(t, 5000)
+	before := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		n := 0
+		err := ScanRangesFunc(c, []KeyRange{{}},
+			func(k, v []byte) ([]byte, bool, error) {
+				return append([]byte(nil), v...), true, nil
+			},
+			func([]byte) bool {
+				n++
+				return n < 5
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 5 {
+			t.Fatalf("emit called %d times, want 5", n)
+		}
+	}
+	// All scan goroutines must have drained; allow the runtime a moment.
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestDeleteBatch(t *testing.T) {
+	c := pipelineCluster(t, 1000)
+	var doomed [][]byte
+	for i := 0; i < 1000; i += 2 {
+		doomed = append(doomed, []byte(fmt.Sprintf("%d-%05d", i%10, i)))
+	}
+	if err := c.DeleteBatch(doomed); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range doomed {
+		if _, err := c.Get(k); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get(%s) after DeleteBatch = %v, want ErrNotFound", k, err)
+		}
+	}
+	// Survivors intact.
+	n := 0
+	if err := c.ScanRange(KeyRange{}, func(k, v []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("%d keys survive, want 500", n)
+	}
+}
+
+func TestFlushCompactParallel(t *testing.T) {
+	c := pipelineCluster(t, 2000)
+	m := c.Metrics()
+	if m.Flushes < 5 {
+		t.Errorf("Flushes = %d, want >= 5 (one per region)", m.Flushes)
+	}
+	// Overwrite everything so compaction has garbage to drop, then
+	// compact all regions concurrently.
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("%d-%05d", i%10, i)
+		if err := c.Put([]byte(k), []byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i += 97 {
+		k := fmt.Sprintf("%d-%05d", i%10, i)
+		v, err := c.Get([]byte(k))
+		if err != nil || string(v) != "v2" {
+			t.Fatalf("Get(%s) after compact = %q, %v", k, v, err)
+		}
+	}
+}

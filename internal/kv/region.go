@@ -151,6 +151,36 @@ func (r *region) Put(key, value []byte) error { return r.put(key, value, kindPut
 // Delete writes a tombstone for key.
 func (r *region) Delete(key []byte) error { return r.put(key, nil, kindDelete) }
 
+// deleteBatch tombstones many keys under one lock acquisition, with a
+// single flush check at the end — the bulk-delete path for DROP TABLE.
+func (r *region) deleteBatch(keys [][]byte) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	var logged int64
+	for _, key := range keys {
+		if r.log != nil {
+			if err := r.log.append(kindDelete, key, nil); err != nil {
+				r.mu.Unlock()
+				return err
+			}
+			logged += int64(len(key) + 9)
+		}
+		r.mem.put(append([]byte(nil), key...), nil, kindDelete)
+	}
+	needFlush := r.mem.size >= r.opts.MemtableBytes
+	r.mu.Unlock()
+	if logged > 0 && r.met != nil {
+		atomic.AddInt64(&r.met.BytesWritten, logged)
+	}
+	if needFlush {
+		return r.flush()
+	}
+	return nil
+}
+
 // Get returns the value for key or ErrNotFound.
 func (r *region) Get(key []byte) ([]byte, error) {
 	r.mu.RLock()

@@ -72,6 +72,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/sql", s.handleSQL)
 	mux.HandleFunc("/api/v1/fetch", s.handleFetch)
 	mux.HandleFunc("/api/v1/health", s.handleHealth)
+	mux.HandleFunc("/api/v1/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -180,6 +181,27 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
 		"regions": s.engine.Cluster().Regions(),
+	})
+}
+
+// handleMetrics exposes the storage counters, including the scan
+// pipeline's pairs-scanned / rows-kept stage counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.engine.Cluster().Metrics()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"regions":            s.engine.Cluster().Regions(),
+		"bytes_written":      m.BytesWritten,
+		"bytes_read":         m.BytesRead,
+		"blocks_read":        m.BlocksRead,
+		"block_cache_hits":   m.BlockCacheHits,
+		"block_cache_misses": m.BlockCacheMisses,
+		"bloom_negatives":    m.BloomNegatives,
+		"flushes":            m.Flushes,
+		"compactions":        m.Compactions,
+		"scan_tasks":         m.ScanTasks,
+		"scan_pairs":         m.ScanPairs,
+		"scan_kept":          m.ScanKept,
+		"scan_batches":       m.ScanBatches,
 	})
 }
 

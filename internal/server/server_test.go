@@ -211,3 +211,32 @@ func TestUserIsolationOverHTTP(t *testing.T) {
 		t.Fatal("bob should not see alice's table")
 	}
 }
+
+func TestServerMetrics(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	post(t, ts.URL, "u1", `CREATE TABLE p (fid integer:primary key, geom point)`)
+	for i := 0; i < 5; i++ {
+		post(t, ts.URL, "u1", fmt.Sprintf(`INSERT INTO p VALUES (%d, st_makePoint(116.4, 39.9))`, i))
+	}
+	post(t, ts.URL, "u1", `SELECT fid FROM p WHERE geom WITHIN st_makeMBR(116, 39, 117, 40)`)
+	resp, err := http.Get(ts.URL + "/api/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"regions", "scan_tasks", "scan_pairs", "scan_kept"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metrics missing %q: %v", key, m)
+		}
+	}
+	if m["scan_pairs"].(float64) <= 0 {
+		t.Errorf("scan_pairs = %v, want > 0 after a scan", m["scan_pairs"])
+	}
+}

@@ -640,10 +640,29 @@ func (ex *executor) runScan(v *ScanPlan) (*exec.DataFrame, error) {
 		q.HasTime = true
 		q.TMin, q.TMax = timeBounds(v.TMin, v.TMax)
 	}
+	// Push the projection into the scan so untouched columns are never
+	// decoded (or decompressed). Residual predicates evaluate against
+	// the full schema, so every column they reference must be decoded
+	// too, not just the projected ones.
+	var scanCols []string
+	if v.Cols != nil {
+		set := make(map[string]bool, len(v.Cols))
+		for _, c := range v.Cols {
+			set[c] = true
+		}
+		for _, e := range v.Residual {
+			collectIdents(e, set)
+		}
+		for _, f := range fullSchema.Fields {
+			if set[f.Name] {
+				scanCols = append(scanCols, f.Name)
+			}
+		}
+	}
 	gi := v.Table.GeomIndex()
 	var rows []exec.Row
 	var scanErr error
-	err := eng.Scan(v.Table.Desc.User, v.Table.Desc.Name, q, func(row exec.Row) bool {
+	err := eng.ScanProjected(v.Table.Desc.User, v.Table.Desc.Name, q, scanCols, func(row exec.Row) bool {
 		// Exact geometry refinement when a window was pushed.
 		if v.Window != nil && gi >= 0 {
 			if g, ok := row[gi].(geom.Geometry); ok && !geom.IntersectsMBR(g, *v.Window) {

@@ -721,3 +721,30 @@ func TestSelectErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestProjectionWithResidualPredicate pins the projection-pushdown
+// contract: a residual predicate referencing a column outside the
+// SELECT list must still see that column decoded.
+func TestProjectionWithResidualPredicate(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, `CREATE TABLE pts (fid integer:primary key, name string, time date, geom point)`)
+	for i := 0; i < 20; i++ {
+		mustExec(t, s, fmt.Sprintf(
+			`INSERT INTO pts VALUES (%d, 'n%d', %d, st_makePoint(116.%02d, 39.9))`,
+			i, i%3, i*1000, i))
+	}
+	res := mustExec(t, s, `SELECT fid FROM pts WHERE name = 'n1'`)
+	rows := res.Frame.Collect()
+	if len(rows) == 0 {
+		t.Fatal("residual over non-projected column found nothing")
+	}
+	for _, r := range rows {
+		if len(r) != 1 {
+			t.Fatalf("projected row has %d columns: %v", len(r), r)
+		}
+		if r[0].(int64)%3 != 1 {
+			t.Fatalf("row %v fails the residual predicate", r)
+		}
+	}
+	res.Frame.Release()
+}

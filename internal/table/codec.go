@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"just/internal/exec"
 	"just/internal/geom"
@@ -78,79 +79,164 @@ func (c *Codec) Encode(row exec.Row) ([]byte, error) {
 
 // Decode deserializes a stored row.
 func (c *Codec) Decode(data []byte) (exec.Row, error) {
+	return c.DecodeProjected(data, nil)
+}
+
+// DecodeProjected deserializes only the columns marked in needed
+// (nil = every column): unneeded fields are skipped over by their
+// length prefix without decompression or decoding, which is what lets a
+// projected query over a trajectory table never pay the gzip cost of
+// its GPS list. Skipped columns are left nil in the returned row.
+func (c *Codec) DecodeProjected(data []byte, needed []bool) (exec.Row, error) {
+	row := make(exec.Row, len(c.cols))
+	if err := c.decodeInto(row, data, needed); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// decodeInto fills the needed columns of row from data. Columns already
+// non-nil in row are not decoded again, so a scan can decode its filter
+// columns first, post-filter, and only then decode the remaining (often
+// compressed) columns of surviving rows.
+func (c *Codec) decodeInto(row exec.Row, data []byte, needed []bool) error {
 	nb := (len(c.cols) + 7) / 8
 	if len(data) < nb {
-		return nil, ErrBadRow
+		return ErrBadRow
 	}
 	bitmap := data[:nb]
 	rest := data[nb:]
-	row := make(exec.Row, len(c.cols))
 	for i, col := range c.cols {
 		if bitmap[i/8]&(1<<(i%8)) != 0 {
 			continue // null
 		}
 		l, n := binary.Uvarint(rest)
 		if n <= 0 || uint64(len(rest)-n) < l {
-			return nil, ErrBadRow
+			return ErrBadRow
 		}
 		field := rest[n : n+int(l)]
 		rest = rest[n+int(l):]
+		if needed != nil && !needed[i] {
+			continue // projected out: skip decompression and decoding
+		}
+		if row[i] != nil {
+			continue // already decoded by an earlier pass
+		}
 		if col.Compress != "" {
-			var err error
-			field, err = decompressField(col.Compress, field)
-			if err != nil {
-				return nil, err
+			buf := fieldBufPool.Get().(*bytes.Buffer)
+			buf.Reset()
+			if err := decompressInto(buf, col.Compress, field); err != nil {
+				fieldBufPool.Put(buf)
+				return err
 			}
+			v, err := decodeValue(col.Type, buf.Bytes())
+			fieldBufPool.Put(buf)
+			if err != nil {
+				return fmt.Errorf("table: column %q: %w", col.Name, err)
+			}
+			row[i] = v
+			continue
 		}
 		v, err := decodeValue(col.Type, field)
 		if err != nil {
-			return nil, fmt.Errorf("table: column %q: %w", col.Name, err)
+			return fmt.Errorf("table: column %q: %w", col.Name, err)
 		}
 		row[i] = v
 	}
-	return row, nil
+	return nil
 }
+
+// Pools for the hot scan/insert paths: gzip and zlib streams are
+// expensive to construct (the gzip writer alone allocates >1 MB of
+// window state), and every compressed field read needs a scratch buffer
+// whose contents decodeValue copies out of before returning.
+var (
+	fieldBufPool   = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	gzipWriterPool sync.Pool
+	zlibWriterPool sync.Pool
+	gzipReaderPool sync.Pool
+	zlibReaderPool sync.Pool
+)
 
 func compressField(method string, data []byte) ([]byte, error) {
 	var buf bytes.Buffer
-	var w io.WriteCloser
 	switch method {
 	case "gzip":
-		w, _ = gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+		w, _ := gzipWriterPool.Get().(*gzip.Writer)
+		if w == nil {
+			w, _ = gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+		} else {
+			w.Reset(&buf)
+		}
+		if _, err := w.Write(data); err != nil {
+			return nil, err
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		gzipWriterPool.Put(w)
 	case "zip":
-		w, _ = zlib.NewWriterLevel(&buf, zlib.BestSpeed)
+		w, _ := zlibWriterPool.Get().(*zlib.Writer)
+		if w == nil {
+			w, _ = zlib.NewWriterLevel(&buf, zlib.BestSpeed)
+		} else {
+			w.Reset(&buf)
+		}
+		if _, err := w.Write(data); err != nil {
+			return nil, err
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		zlibWriterPool.Put(w)
 	default:
 		return nil, fmt.Errorf("table: unknown compression %q", method)
-	}
-	if _, err := w.Write(data); err != nil {
-		return nil, err
-	}
-	if err := w.Close(); err != nil {
-		return nil, err
 	}
 	return buf.Bytes(), nil
 }
 
-func decompressField(method string, data []byte) ([]byte, error) {
-	var r io.ReadCloser
-	var err error
+// decompressInto inflates a compressed field into dst using pooled
+// decompressors.
+func decompressInto(dst *bytes.Buffer, method string, data []byte) error {
 	switch method {
 	case "gzip":
-		r, err = gzip.NewReader(bytes.NewReader(data))
+		r, _ := gzipReaderPool.Get().(*gzip.Reader)
+		if r == nil {
+			var err error
+			if r, err = gzip.NewReader(bytes.NewReader(data)); err != nil {
+				return fmt.Errorf("%w: %v", ErrBadRow, err)
+			}
+		} else if err := r.Reset(bytes.NewReader(data)); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRow, err)
+		}
+		if _, err := dst.ReadFrom(r); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRow, err)
+		}
+		if err := r.Close(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRow, err)
+		}
+		gzipReaderPool.Put(r)
 	case "zip":
-		r, err = zlib.NewReader(bytes.NewReader(data))
+		r, _ := zlibReaderPool.Get().(io.ReadCloser)
+		if r == nil {
+			var err error
+			if r, err = zlib.NewReader(bytes.NewReader(data)); err != nil {
+				return fmt.Errorf("%w: %v", ErrBadRow, err)
+			}
+		} else if err := r.(zlib.Resetter).Reset(bytes.NewReader(data), nil); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRow, err)
+		}
+		if _, err := dst.ReadFrom(r); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRow, err)
+		}
+		if err := r.Close(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRow, err)
+		}
+		zlibReaderPool.Put(r)
 	default:
-		return nil, fmt.Errorf("table: unknown compression %q", method)
+		return fmt.Errorf("table: unknown compression %q", method)
 	}
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRow, err)
-	}
-	defer r.Close()
-	out, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRow, err)
-	}
-	return out, nil
+	return nil
 }
 
 func encodeValue(t exec.DataType, v any) ([]byte, error) {

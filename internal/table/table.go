@@ -1,7 +1,9 @@
 package table
 
 import (
+	"bytes"
 	"fmt"
+	"strconv"
 	"time"
 
 	"just/internal/exec"
@@ -111,8 +113,19 @@ func nextKeyPrefix(p []byte) []byte {
 	return nil
 }
 
-// FIDBytes canonicalizes a primary-key value.
+// FIDBytes canonicalizes a primary-key value. The common key types are
+// handled without reflection; everything else keeps the fmt rendering
+// (which []byte deliberately avoids — "%v" prints a byte slice as its
+// decimal elements, not its contents).
 func FIDBytes(v any) []byte {
+	switch v := v.(type) {
+	case string:
+		return []byte(v)
+	case int64:
+		return strconv.AppendInt(nil, v, 10)
+	case []byte:
+		return append([]byte(nil), v...)
+	}
 	return []byte(fmt.Sprintf("%v", v))
 }
 
@@ -185,7 +198,7 @@ func (t *Table) Insert(row exec.Row) error {
 				return err
 			}
 			full := append(t.keyPrefix(t.Desc.Indexes[indexSlot(t.Desc, i)].ID), oldKey...)
-			if newKeys[i] == nil || !bytesEqual(full, newKeys[i]) {
+			if newKeys[i] == nil || !bytes.Equal(full, newKeys[i]) {
 				if err := t.cluster.Delete(full); err != nil {
 					return err
 				}
@@ -206,18 +219,6 @@ func (t *Table) Insert(row exec.Row) error {
 		}
 	}
 	return nil
-}
-
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // indexSlot maps the i-th non-attr strategy back to its Desc.Indexes
@@ -305,17 +306,26 @@ func (t *Table) chooseStrategy(q index.Query) (index.Strategy, uint8, bool) {
 // key ranges on the best index, SCANs them in parallel, decodes, and
 // post-filters on the record's MBR and time span (the curve-level
 // over-approximation is removed here; exact geometry refinement belongs
-// to the caller, which knows the predicate).
+// to the caller, which knows the predicate). Every column is decoded.
 func (t *Table) ScanQuery(q index.Query, emit func(exec.Row) bool) error {
+	return t.ScanProjected(q, nil, emit)
+}
+
+// ScanProjected is ScanQuery with projection pushdown: needed marks the
+// columns the caller will read (nil = all). Decode, decompression and
+// the MBR/time post-filter all run inside the per-region scan tasks
+// (kv.ScanRangesFunc), in two phases — the filter columns are decoded
+// first so rows rejected by the window never pay the decompression cost
+// of their remaining fields (for trajectories, the gzip'd GPS list).
+// Columns outside needed are left nil in emitted rows.
+func (t *Table) ScanProjected(q index.Query, needed []bool, emit func(exec.Row) bool) error {
 	s, indexID, ok := t.chooseStrategy(q)
 	if !ok {
-		return t.FullScan(func(row exec.Row) bool {
-			keep, err := t.matches(row, q)
-			if err != nil || !keep {
-				return true
-			}
-			return emit(row)
-		})
+		// No index can narrow the scan: pipeline over the attribute
+		// index's whole key range instead.
+		prefix := t.keyPrefix(t.attrID)
+		full := []kv.KeyRange{{Start: prefix, End: nextKeyPrefix(prefix)}}
+		return t.pipelineScan(full, q, needed, emit)
 	}
 	planQ := q
 	if s.Temporal() && !q.HasTime {
@@ -333,27 +343,46 @@ func (t *Table) ScanQuery(q index.Query, emit func(exec.Row) bool) error {
 	for i, r := range ranges {
 		full[i] = prefixRange(prefix, r)
 	}
-	var decodeErr error
-	err = t.cluster.ScanRanges(full, func(k, v []byte) bool {
-		row, err := t.codec.Decode(v)
-		if err != nil {
-			decodeErr = err
-			return false
+	return t.pipelineScan(full, q, needed, emit)
+}
+
+// filterCols returns the bitmap of columns matches() reads, or nil when
+// the table has no window-filterable columns.
+func (t *Table) filterCols() []bool {
+	if t.geomIdx < 0 && t.timeIdx < 0 && t.endIdx < 0 {
+		return nil
+	}
+	f := make([]bool, len(t.Desc.Columns))
+	for _, i := range []int{t.geomIdx, t.timeIdx, t.endIdx} {
+		if i >= 0 {
+			f[i] = true
+		}
+	}
+	return f
+}
+
+// pipelineScan runs decode + post-filter inside the scan workers.
+func (t *Table) pipelineScan(ranges []kv.KeyRange, q index.Query, needed []bool, emit func(exec.Row) bool) error {
+	filter := t.filterCols()
+	process := func(_, v []byte) (exec.Row, bool, error) {
+		row := make(exec.Row, len(t.Desc.Columns))
+		if filter != nil {
+			if err := t.codec.decodeInto(row, v, filter); err != nil {
+				return nil, false, err
+			}
 		}
 		keep, err := t.matches(row, q)
-		if err != nil {
-			decodeErr = err
-			return false
+		if err != nil || !keep {
+			return nil, false, err
 		}
-		if !keep {
-			return true
+		// Second pass decodes the surviving row's remaining needed
+		// columns; the ones decoded above are skipped (row[i] != nil).
+		if err := t.codec.decodeInto(row, v, needed); err != nil {
+			return nil, false, err
 		}
-		return emit(row)
-	})
-	if decodeErr != nil {
-		return decodeErr
+		return row, true, nil
 	}
-	return err
+	return kv.ScanRangesFunc(t.cluster, ranges, process, emit)
 }
 
 // matches post-filters a decoded row against the query window.
@@ -382,44 +411,38 @@ func (t *Table) matches(row exec.Row, q index.Query) (bool, error) {
 	return true, nil
 }
 
-// FullScan streams every row via the attribute index.
+// FullScan streams every row via the attribute index, decoding inside
+// the scan workers.
 func (t *Table) FullScan(emit func(exec.Row) bool) error {
 	prefix := t.keyPrefix(t.attrID)
-	kr := kv.KeyRange{Start: prefix, End: nextKeyPrefix(prefix)}
-	var decodeErr error
-	err := t.cluster.ScanRange(kr, func(k, v []byte) bool {
+	ranges := []kv.KeyRange{{Start: prefix, End: nextKeyPrefix(prefix)}}
+	process := func(_, v []byte) (exec.Row, bool, error) {
 		row, err := t.codec.Decode(v)
-		if err != nil {
-			decodeErr = err
-			return false
-		}
-		return emit(row)
-	})
-	if decodeErr != nil {
-		return decodeErr
+		return row, err == nil, err
 	}
-	return err
+	return kv.ScanRangesFunc(t.cluster, ranges, process, emit)
 }
 
 // DropData deletes every key owned by the table. (DROP TABLE deletes the
-// catalog entry and the stored data.)
+// catalog entry and the stored data.) Keys are collected without
+// touching the values and deleted in one batch per region.
 func (t *Table) DropData() error {
 	id := t.Desc.TableID
 	prefix := []byte{byte(id >> 24), byte(id >> 16), byte(id >> 8), byte(id)}
-	kr := kv.KeyRange{Start: prefix, End: nextKeyPrefix(prefix)}
+	ranges := []kv.KeyRange{{Start: prefix, End: nextKeyPrefix(prefix)}}
 	var keys [][]byte
-	if err := t.cluster.ScanRange(kr, func(k, v []byte) bool {
-		keys = append(keys, append([]byte(nil), k...))
-		return true
-	}); err != nil {
+	err := kv.ScanRangesFunc(t.cluster, ranges,
+		func(k, _ []byte) ([]byte, bool, error) {
+			return append([]byte(nil), k...), true, nil
+		},
+		func(k []byte) bool {
+			keys = append(keys, k)
+			return true
+		})
+	if err != nil {
 		return err
 	}
-	for _, k := range keys {
-		if err := t.cluster.Delete(k); err != nil {
-			return err
-		}
-	}
-	return nil
+	return t.cluster.DeleteBatch(keys)
 }
 
 // GeomIndex returns the geometry column position or -1.
