@@ -214,27 +214,96 @@ func eachRegion(hs []*regionHandle, fn func(*regionHandle) error) error {
 	return nil
 }
 
-// DeleteBatch removes many keys at once: keys are grouped by owning
-// region and each region applies its group as one batch (single lock
-// acquisition, one flush check), with regions running in parallel. It
-// is the bulk path behind DROP TABLE's data purge.
-func (c *Cluster) DeleteBatch(keys [][]byte) error {
+// Apply group-commits a WriteBatch: mutations are grouped by owning
+// region and each region applies its group under one lock acquisition —
+// all WAL records appended in one buffered sequence with a single sync,
+// all memtable inserts under that acquisition — with regions running in
+// parallel. Mutations keep their batch order within each region (later
+// entries win on duplicate keys). It is the bulk write path behind
+// Table.InsertBatch.
+func (c *Cluster) Apply(b *WriteBatch) error {
+	if b == nil || len(b.muts) == 0 {
+		return nil
+	}
 	c.mu.RLock()
 	if c.closed {
 		c.mu.RUnlock()
 		return ErrClosed
 	}
-	groups := make(map[*regionHandle][][]byte)
+	// Fast path: every mutation lands in one region (always true before
+	// the first split), so the batch is applied as-is with no grouping
+	// allocation.
+	if len(c.regions) == 1 {
+		h := c.regions[0]
+		c.mu.RUnlock()
+		if err := h.r.applyBatch(b.muts); err != nil {
+			return err
+		}
+		return c.maybeSplit(h)
+	}
+	groups := make(map[*regionHandle][]mutation)
 	var order []*regionHandle
-	for _, k := range keys {
+	for _, m := range b.muts {
+		h := c.regionFor(m.key)
+		if _, ok := groups[h]; !ok {
+			order = append(order, h)
+		}
+		groups[h] = append(groups[h], m)
+	}
+	c.mu.RUnlock()
+	if err := eachRegion(order, func(h *regionHandle) error { return h.r.applyBatch(groups[h]) }); err != nil {
+		return err
+	}
+	for _, h := range order {
+		if err := c.maybeSplit(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MultiGet fetches many keys at once: keys are grouped by owning region
+// and each region probes its group against one consistent snapshot
+// (single lock acquisition), with regions running in parallel. The
+// result is parallel to keys; missing keys yield nil entries.
+func (c *Cluster) MultiGet(keys [][]byte) ([][]byte, error) {
+	out := make([][]byte, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	groups := make(map[*regionHandle][]int)
+	var order []*regionHandle
+	for i, k := range keys {
 		h := c.regionFor(k)
 		if _, ok := groups[h]; !ok {
 			order = append(order, h)
 		}
-		groups[h] = append(groups[h], k)
+		groups[h] = append(groups[h], i)
 	}
 	c.mu.RUnlock()
-	return eachRegion(order, func(h *regionHandle) error { return h.r.deleteBatch(groups[h]) })
+	err := eachRegion(order, func(h *regionHandle) error {
+		return h.r.getBatch(groups[h], keys, out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeleteBatch removes many keys at once via the group-commit path: one
+// lock acquisition and one WAL sync per region, regions in parallel. It
+// is the bulk path behind DROP TABLE's data purge.
+func (c *Cluster) DeleteBatch(keys [][]byte) error {
+	var b WriteBatch
+	for _, k := range keys {
+		b.Delete(k)
+	}
+	return c.Apply(&b)
 }
 
 // ScanRange streams pairs of one range in key order; emit returning false
@@ -577,21 +646,35 @@ func (c *Cluster) Regions() int {
 	return len(c.regions)
 }
 
-// Metrics returns a snapshot of cumulative storage metrics.
+// Metrics returns a snapshot of cumulative storage metrics (plus the
+// instantaneous flush-queue depth).
 func (c *Cluster) Metrics() Metrics {
+	c.mu.RLock()
+	var depth int64
+	for _, h := range c.regions {
+		depth += int64(h.r.immCount())
+	}
+	c.mu.RUnlock()
 	return Metrics{
-		BytesWritten:     atomic.LoadInt64(&c.met.BytesWritten),
-		BytesRead:        atomic.LoadInt64(&c.met.BytesRead),
-		BlocksRead:       atomic.LoadInt64(&c.met.BlocksRead),
-		BlockCacheHits:   atomic.LoadInt64(&c.met.BlockCacheHits),
-		BlockCacheMisses: atomic.LoadInt64(&c.met.BlockCacheMisses),
-		BloomNegatives:   atomic.LoadInt64(&c.met.BloomNegatives),
-		Flushes:          atomic.LoadInt64(&c.met.Flushes),
-		Compactions:      atomic.LoadInt64(&c.met.Compactions),
-		ScanTasks:        atomic.LoadInt64(&c.met.ScanTasks),
-		ScanPairs:        atomic.LoadInt64(&c.met.ScanPairs),
-		ScanKept:         atomic.LoadInt64(&c.met.ScanKept),
-		ScanBatches:      atomic.LoadInt64(&c.met.ScanBatches),
+		BytesWritten:       atomic.LoadInt64(&c.met.BytesWritten),
+		BytesRead:          atomic.LoadInt64(&c.met.BytesRead),
+		BlocksRead:         atomic.LoadInt64(&c.met.BlocksRead),
+		BlockCacheHits:     atomic.LoadInt64(&c.met.BlockCacheHits),
+		BlockCacheMisses:   atomic.LoadInt64(&c.met.BlockCacheMisses),
+		BloomNegatives:     atomic.LoadInt64(&c.met.BloomNegatives),
+		Flushes:            atomic.LoadInt64(&c.met.Flushes),
+		Compactions:        atomic.LoadInt64(&c.met.Compactions),
+		ScanTasks:          atomic.LoadInt64(&c.met.ScanTasks),
+		ScanPairs:          atomic.LoadInt64(&c.met.ScanPairs),
+		ScanKept:           atomic.LoadInt64(&c.met.ScanKept),
+		ScanBatches:        atomic.LoadInt64(&c.met.ScanBatches),
+		GroupCommits:       atomic.LoadInt64(&c.met.GroupCommits),
+		GroupCommitRecords: atomic.LoadInt64(&c.met.GroupCommitRecords),
+		WALSyncs:           atomic.LoadInt64(&c.met.WALSyncs),
+		WALSyncBytes:       atomic.LoadInt64(&c.met.WALSyncBytes),
+		WriteStalls:        atomic.LoadInt64(&c.met.WriteStalls),
+		WriteStallNanos:    atomic.LoadInt64(&c.met.WriteStallNanos),
+		FlushQueueDepth:    depth,
 	}
 }
 

@@ -125,4 +125,20 @@ type Metrics struct {
 	ScanPairs   int64
 	ScanKept    int64
 	ScanBatches int64
+
+	// Write path counters (Cluster.Apply / the background flusher):
+	// GroupCommits region-level batch applies covering
+	// GroupCommitRecords mutations (the ratio is the group-commit batch
+	// size); WALSyncs fsyncs at group-commit boundaries covering
+	// WALSyncBytes appended bytes (the ratio is WAL bytes per sync);
+	// WriteStalls writer stalls totalling WriteStallNanos waiting on a
+	// full flush queue. FlushQueueDepth is a gauge — frozen memtables
+	// awaiting background flush at snapshot time, summed over regions.
+	GroupCommits       int64
+	GroupCommitRecords int64
+	WALSyncs           int64
+	WALSyncBytes       int64
+	WriteStalls        int64
+	WriteStallNanos    int64
+	FlushQueueDepth    int64
 }

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Options configure a store.
@@ -18,8 +20,13 @@ type Options struct {
 	// MaxTables triggers a size-tiered compaction when a region owns more
 	// SSTables than this; default 8.
 	MaxTables int
-	// BlockCacheBytes sizes the shared LRU block cache; 0 disables it.
-	// Default 32 MiB.
+	// FlushQueue bounds the frozen memtables awaiting background flush;
+	// writers stall (the engine's only write stall) once more than this
+	// many are queued, until the flusher drains below the bound.
+	// Default 2.
+	FlushQueue int
+	// BlockCacheBytes sizes the shared LRU block cache; 0 means the
+	// default 32 MiB, a negative value disables the cache entirely.
 	BlockCacheBytes int64
 	// Compress enables per-block gzip compression of SSTables.
 	Compress bool
@@ -43,14 +50,23 @@ func (o Options) withDefaults() Options {
 	if o.MaxTables <= 0 {
 		o.MaxTables = 8
 	}
+	if o.FlushQueue <= 0 {
+		o.FlushQueue = 2
+	}
 	if o.BlockCacheBytes == 0 {
-		o.BlockCacheBytes = 32 << 20
+		o.BlockCacheBytes = 32 << 20 // negative disables (see newBlockCache)
 	}
 	return o
 }
 
 // region is one contiguous key-range shard: an LSM tree with its own WAL,
 // memtable and SSTables. It corresponds to an HBase region.
+//
+// Memtable flushes are asynchronous: when the active memtable crosses
+// the threshold it is frozen onto imm (still visible to Get and Scan)
+// and a background flusher goroutine builds the SSTable, so writers
+// never build one inline. Writers stall only when more than
+// Options.FlushQueue frozen memtables are pending.
 type region struct {
 	id    int
 	dir   string
@@ -58,15 +74,30 @@ type region struct {
 	cache *blockCache
 	met   *Metrics
 
-	mu      sync.RWMutex
-	mem     *skiplist
-	tables  []*table // oldest first
-	log     *wal
-	walSeq  int
-	sstSeq  int
-	closed  bool
-	dataSz  int64 // on-disk bytes across tables
-	entries int64 // approximate live entry count
+	mu          sync.RWMutex
+	cond        *sync.Cond // broadcast on imm / closed / flushErr transitions
+	mem         *skiplist
+	memWALs     []string  // WAL files holding mem's unflushed data (active last)
+	imm         []*immMem // frozen memtables awaiting flush, oldest first
+	tables      []*table  // oldest first
+	log         *wal
+	walSeq      int
+	sstSeq      int
+	closed      bool
+	flushErr    error // first background flush failure; poisons writes
+	flushPaused bool  // test hook: parks the flusher while set
+	dataSz      int64 // on-disk bytes across tables
+	entries     int64 // approximate live entry count
+
+	ioMu        sync.Mutex // serializes SSTable builds (flush vs compact)
+	flusherDone chan struct{}
+}
+
+// immMem is a frozen memtable queued for background flush, together with
+// the WAL files whose records it holds (deleted once the flush lands).
+type immMem struct {
+	mem  *skiplist
+	wals []string
 }
 
 type manifest struct {
@@ -101,19 +132,41 @@ func openRegion(id int, dir string, opts Options, cache *blockCache, met *Metric
 		r.dataSz += t.size
 		r.entries += int64(t.count)
 	}
-	// Recover any un-flushed mutations.
+	// Recover un-flushed mutations. A WAL file is deleted only after the
+	// memtable it backs reaches an SSTable, so every wal-*.log present
+	// (possibly several, from frozen memtables the background flusher
+	// never finished) holds live data; replay all of them in sequence
+	// order.
 	if !opts.DisableWAL {
-		err = replayWAL(r.walPath(), func(k kind, key, value []byte) error {
-			r.mem.put(append([]byte(nil), key...), append([]byte(nil), value...), k)
-			return nil
-		})
+		walFiles, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
 		if err != nil {
 			return nil, err
+		}
+		sort.Strings(walFiles) // zero-padded sequence numbers sort correctly
+		for _, p := range walFiles {
+			err = replayWAL(p, func(k kind, key, value []byte) error {
+				r.mem.put(append([]byte(nil), key...), append([]byte(nil), value...), k)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var seq int
+			if _, err := fmt.Sscanf(filepath.Base(p), "wal-%d.log", &seq); err == nil && seq > r.walSeq {
+				r.walSeq = seq
+			}
 		}
 		if r.log, err = openWAL(r.walPath()); err != nil {
 			return nil, err
 		}
+		r.memWALs = walFiles
+		if len(walFiles) == 0 || walFiles[len(walFiles)-1] != r.walPath() {
+			r.memWALs = append(r.memWALs, r.walPath())
+		}
 	}
+	r.cond = sync.NewCond(&r.mu)
+	r.flusherDone = make(chan struct{})
+	go r.flusher()
 	return r, nil
 }
 
@@ -123,13 +176,15 @@ func (r *region) walPath() string {
 
 func (r *region) put(key, value []byte, k kind) error {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.closed {
-		r.mu.Unlock()
 		return ErrClosed
+	}
+	if r.flushErr != nil {
+		return r.flushErr
 	}
 	if r.log != nil {
 		if err := r.log.append(k, key, value); err != nil {
-			r.mu.Unlock()
 			return err
 		}
 		if r.met != nil {
@@ -137,12 +192,7 @@ func (r *region) put(key, value []byte, k kind) error {
 		}
 	}
 	r.mem.put(append([]byte(nil), key...), append([]byte(nil), value...), k)
-	needFlush := r.mem.size >= r.opts.MemtableBytes
-	r.mu.Unlock()
-	if needFlush {
-		return r.flush()
-	}
-	return nil
+	return r.maybeFreezeLocked()
 }
 
 // Put inserts or overwrites key.
@@ -151,33 +201,118 @@ func (r *region) Put(key, value []byte) error { return r.put(key, value, kindPut
 // Delete writes a tombstone for key.
 func (r *region) Delete(key []byte) error { return r.put(key, nil, kindDelete) }
 
-// deleteBatch tombstones many keys under one lock acquisition, with a
-// single flush check at the end — the bulk-delete path for DROP TABLE.
-func (r *region) deleteBatch(keys [][]byte) error {
+// applyBatch is the region half of Cluster.Apply: one lock acquisition,
+// one buffered WAL sequence with a single sync (the group commit), all
+// memtable inserts under that acquisition, and at most one freeze check.
+func (r *region) applyBatch(muts []mutation) error {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.closed {
-		r.mu.Unlock()
 		return ErrClosed
 	}
-	var logged int64
-	for _, key := range keys {
-		if r.log != nil {
-			if err := r.log.append(kindDelete, key, nil); err != nil {
-				r.mu.Unlock()
-				return err
-			}
-			logged += int64(len(key) + 9)
+	if r.flushErr != nil {
+		return r.flushErr
+	}
+	if r.log != nil {
+		n, err := r.log.appendBatch(muts)
+		if r.met != nil && n > 0 {
+			atomic.AddInt64(&r.met.BytesWritten, n)
+			atomic.AddInt64(&r.met.WALSyncs, 1)
+			atomic.AddInt64(&r.met.WALSyncBytes, n)
 		}
-		r.mem.put(append([]byte(nil), key...), nil, kindDelete)
+		if err != nil {
+			return err
+		}
 	}
-	needFlush := r.mem.size >= r.opts.MemtableBytes
-	r.mu.Unlock()
-	if logged > 0 && r.met != nil {
-		atomic.AddInt64(&r.met.BytesWritten, logged)
+	// The memtable owns its keys and values, so the batch's slices must
+	// be copied — into one arena allocation for the whole batch rather
+	// than two per mutation, which cuts allocator and GC pressure on the
+	// bulk-ingest path (the arena's lifetime matches the memtable's
+	// anyway: everything in it stays live until the flush). A run of puts
+	// reusing one value slice — a row's attribute and index copies from
+	// Table.InsertBatch — is stored once and shared.
+	total := 0
+	var prev []byte
+	for _, m := range muts {
+		total += len(m.key)
+		if m.k == kindPut {
+			if !sameSlice(m.value, prev) {
+				total += len(m.value)
+			}
+			prev = m.value
+		}
 	}
-	if needFlush {
-		return r.flush()
+	arena := make([]byte, 0, total)
+	var prevSrc, prevCopy []byte
+	for _, m := range muts {
+		arena = append(arena, m.key...)
+		key := arena[len(arena)-len(m.key):]
+		var v []byte
+		if m.k == kindPut {
+			if sameSlice(m.value, prevSrc) {
+				v = prevCopy
+			} else {
+				arena = append(arena, m.value...)
+				v = arena[len(arena)-len(m.value):]
+			}
+			prevSrc, prevCopy = m.value, v
+		}
+		r.mem.put(key, v, m.k)
 	}
+	if r.met != nil {
+		atomic.AddInt64(&r.met.GroupCommits, 1)
+		atomic.AddInt64(&r.met.GroupCommitRecords, int64(len(muts)))
+	}
+	return r.maybeFreezeLocked()
+}
+
+// maybeFreezeLocked freezes the active memtable once it crosses the
+// threshold and applies backpressure when the flush queue is full.
+// Called with mu held.
+func (r *region) maybeFreezeLocked() error {
+	if r.mem.size < r.opts.MemtableBytes {
+		return nil
+	}
+	if err := r.freezeLocked(); err != nil {
+		return err
+	}
+	// Backpressure: the only write stall. Writers wait until the
+	// background flusher drains the queue below the bound.
+	if len(r.imm) > r.opts.FlushQueue {
+		start := time.Now()
+		for len(r.imm) > r.opts.FlushQueue && !r.closed && r.flushErr == nil && !r.flushPaused {
+			r.cond.Wait()
+		}
+		if r.met != nil {
+			atomic.AddInt64(&r.met.WriteStalls, 1)
+			atomic.AddInt64(&r.met.WriteStallNanos, time.Since(start).Nanoseconds())
+		}
+	}
+	return r.flushErr
+}
+
+// freezeLocked moves the active memtable onto the imm queue (where Get
+// and Scan still see it), rotates the WAL, and wakes the flusher.
+// Called with mu held; the memtable must be non-empty.
+func (r *region) freezeLocked() error {
+	if r.mem.count == 0 {
+		return nil
+	}
+	r.imm = append(r.imm, &immMem{mem: r.mem, wals: r.memWALs})
+	r.mem = newSkiplist()
+	r.memWALs = nil
+	if r.log != nil {
+		if err := r.log.close(); err != nil {
+			return err
+		}
+		r.walSeq++
+		var err error
+		if r.log, err = openWAL(r.walPath()); err != nil {
+			return err
+		}
+		r.memWALs = []string{r.walPath()}
+	}
+	r.cond.Broadcast()
 	return nil
 }
 
@@ -189,14 +324,54 @@ func (r *region) Get(key []byte) ([]byte, error) {
 		return nil, ErrClosed
 	}
 	mem := r.mem
+	imms := append([]*immMem(nil), r.imm...)
 	tables := append([]*table(nil), r.tables...)
 	r.mu.RUnlock()
+	return getFrom(mem, imms, tables, key)
+}
 
+// getBatch probes many keys against one consistent snapshot of the
+// region (single lock acquisition); missing keys yield nil entries in
+// out. idxs selects which positions of keys/out belong to this region.
+func (r *region) getBatch(idxs []int, keys, out [][]byte) error {
+	r.mu.RLock()
+	if r.closed {
+		r.mu.RUnlock()
+		return ErrClosed
+	}
+	mem := r.mem
+	imms := append([]*immMem(nil), r.imm...)
+	tables := append([]*table(nil), r.tables...)
+	r.mu.RUnlock()
+	for _, i := range idxs {
+		v, err := getFrom(mem, imms, tables, keys[i])
+		if err == ErrNotFound {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+// getFrom searches a snapshot newest-first: active memtable, frozen
+// memtables (newest first), then SSTables (newest first).
+func getFrom(mem *skiplist, imms []*immMem, tables []*table, key []byte) ([]byte, error) {
 	if v, k, ok := mem.get(key); ok {
 		if k == kindDelete {
 			return nil, ErrNotFound
 		}
 		return v, nil
+	}
+	for i := len(imms) - 1; i >= 0; i-- {
+		if v, k, ok := imms[i].mem.get(key); ok {
+			if k == kindDelete {
+				return nil, ErrNotFound
+			}
+			return v, nil
+		}
 	}
 	for i := len(tables) - 1; i >= 0; i-- { // newest table wins
 		v, k, ok, err := tables[i].get(key)
@@ -213,36 +388,87 @@ func (r *region) Get(key []byte) ([]byte, error) {
 	return nil, ErrNotFound
 }
 
-// flush persists the current memtable as a new SSTable and rotates the WAL.
+// flush synchronously persists all buffered writes: it freezes the
+// active memtable and waits until the background flusher has drained
+// every frozen memtable to SSTables. Call after bulk loads and before
+// measuring on-disk size.
 func (r *region) flush() error {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.closed {
-		r.mu.Unlock()
 		return ErrClosed
 	}
-	if r.mem.count == 0 {
-		r.mu.Unlock()
-		return nil
+	if r.flushErr != nil {
+		return r.flushErr
 	}
-	old := r.mem
-	r.mem = newSkiplist()
-	oldWAL := r.log
-	oldWALPath := ""
-	if oldWAL != nil {
-		oldWALPath = r.walPath()
-		r.walSeq++
-		var err error
-		r.log, err = openWAL(r.walPath())
-		if err != nil {
+	if err := r.freezeLocked(); err != nil {
+		return err
+	}
+	for len(r.imm) > 0 && r.flushErr == nil && !r.closed && !r.flushPaused {
+		r.cond.Wait()
+	}
+	return r.flushErr
+}
+
+// flusher is the region's background flush goroutine: it drains the imm
+// queue oldest-first, building each SSTable off the writers' path, and
+// runs the compaction check after each install. On a flush error it
+// parks (the frozen memtable stays readable and its WAL stays on disk
+// for recovery) and the error poisons subsequent writes.
+func (r *region) flusher() {
+	defer close(r.flusherDone)
+	r.mu.Lock()
+	for {
+		for !r.closed && (len(r.imm) == 0 || r.flushErr != nil || r.flushPaused) {
+			r.cond.Wait()
+		}
+		if r.closed {
 			r.mu.Unlock()
-			return err
+			return
+		}
+		im := r.imm[0]
+		r.mu.Unlock()
+
+		err := r.flushImm(im)
+
+		r.mu.Lock()
+		if err != nil {
+			if r.flushErr == nil {
+				r.flushErr = err
+			}
+			r.cond.Broadcast()
+			continue
+		}
+		if len(r.imm) > 0 && r.imm[0] == im {
+			r.imm = r.imm[1:]
+		}
+		needCompact := len(r.tables) > r.opts.MaxTables
+		r.cond.Broadcast()
+		if needCompact {
+			r.mu.Unlock()
+			cerr := r.compact()
+			r.mu.Lock()
+			if cerr != nil && r.flushErr == nil {
+				r.flushErr = cerr
+				r.cond.Broadcast()
+			}
 		}
 	}
+}
+
+// flushImm builds the SSTable for one frozen memtable and installs it.
+// The frozen memtable stays on the imm queue (visible to reads) until
+// the caller removes it after a successful install, so there is no
+// window where its entries are in neither the queue nor a table.
+func (r *region) flushImm(im *immMem) error {
+	r.ioMu.Lock()
+	defer r.ioMu.Unlock()
+	r.mu.Lock()
 	r.sstSeq++
 	name := fmt.Sprintf("sst-%06d.sst", r.sstSeq)
 	r.mu.Unlock()
 
-	entries := old.entries(KeyRange{})
+	entries := im.mem.entries(KeyRange{})
 	tw, err := newTableWriter(filepath.Join(r.dir, name), r.opts.Compress)
 	if err != nil {
 		return err
@@ -267,22 +493,19 @@ func (r *region) flush() error {
 	r.tables = append(r.tables, t)
 	r.dataSz += size
 	r.entries += int64(t.count)
-	needCompact := len(r.tables) > r.opts.MaxTables
 	r.mu.Unlock()
 
 	if r.met != nil {
 		atomic.AddInt64(&r.met.BytesWritten, size)
 		atomic.AddInt64(&r.met.Flushes, 1)
 	}
+	// The manifest must list the new table before its WAL files are
+	// deleted, or a crash in between would lose the batch.
 	if err := r.writeManifest(); err != nil {
 		return err
 	}
-	if oldWAL != nil {
-		oldWAL.close()
-		os.Remove(oldWALPath)
-	}
-	if needCompact {
-		return r.compact()
+	for _, p := range im.wals {
+		os.Remove(p)
 	}
 	return nil
 }
@@ -291,6 +514,8 @@ func (r *region) flush() error {
 // versions and tombstones (full compaction — the size-tiered policy's
 // final tier).
 func (r *region) compact() error {
+	r.ioMu.Lock()
+	defer r.ioMu.Unlock()
 	r.mu.RLock()
 	tables := append([]*table(nil), r.tables...)
 	r.mu.RUnlock()
@@ -334,7 +559,7 @@ func (r *region) compact() error {
 
 	r.mu.Lock()
 	// Only the tables we merged are replaced; tables flushed concurrently
-	// (there are none today — flush and compact are serialized by callers —
+	// (there are none today — flush and compact are serialized by ioMu —
 	// but keep the logic correct) stay.
 	merged := make(map[*table]bool, len(tables))
 	for _, t := range tables {
@@ -387,13 +612,25 @@ func (r *region) writeManifest() error {
 	return os.Rename(tmp, filepath.Join(r.dir, "MANIFEST"))
 }
 
-// Scan returns an iterator over live pairs in the range.
+// Scan returns an iterator over live pairs in the range, merging the
+// active memtable, any frozen memtables awaiting flush (newest first),
+// and the SSTables.
 func (r *region) Scan(kr KeyRange) Iterator {
 	r.mu.RLock()
-	mem := r.mem.entries(kr)
+	mems := [][]memEntry{r.mem.entries(kr)}
+	for i := len(r.imm) - 1; i >= 0; i-- {
+		mems = append(mems, r.imm[i].mem.entries(kr))
+	}
 	tables := append([]*table(nil), r.tables...)
 	r.mu.RUnlock()
-	return newMergeIter(mem, tables, kr, false)
+	return newMergeIter(mems, tables, kr, false)
+}
+
+// immCount reports the flush-queue depth (frozen memtables pending).
+func (r *region) immCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.imm)
 }
 
 // DiskSize returns the total SSTable bytes owned by the region.
@@ -403,13 +640,22 @@ func (r *region) DiskSize() int64 {
 	return r.dataSz
 }
 
+// Close stops the background flusher and closes the WAL and SSTables.
+// Frozen memtables not yet flushed are abandoned; their WAL files stay
+// on disk and replay on the next open.
 func (r *region) Close() error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		return nil
 	}
 	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	<-r.flusherDone // an in-flight flush finishes installing first
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var first error
 	if r.log != nil {
 		if err := r.log.close(); err != nil {
@@ -445,6 +691,7 @@ type mergeSrc interface {
 type memSrc struct {
 	entries []memEntry
 	i       int
+	prio    int
 }
 
 func (m *memSrc) next() bool      { m.i++; return m.i < len(m.entries) }
@@ -452,7 +699,7 @@ func (m *memSrc) key() []byte     { return m.entries[m.i].key }
 func (m *memSrc) value() []byte   { return m.entries[m.i].value }
 func (m *memSrc) entryKind() kind { return m.entries[m.i].kind }
 func (m *memSrc) err() error      { return nil }
-func (m *memSrc) priority() int   { return 1 << 30 }
+func (m *memSrc) priority() int   { return m.prio }
 
 type tableSrc struct {
 	it   *tableIter
@@ -486,10 +733,15 @@ func (h *srcHeap) Pop() interface{} {
 	return x
 }
 
-func newMergeIter(mem []memEntry, tables []*table, kr KeyRange, raw bool) *mergeIter {
+// newMergeIter merges memtable snapshots (mems[0] newest — the active
+// memtable — then frozen ones in decreasing recency) with the SSTables.
+func newMergeIter(mems [][]memEntry, tables []*table, kr KeyRange, raw bool) *mergeIter {
 	m := &mergeIter{raw: raw}
-	if len(mem) > 0 {
-		s := &memSrc{entries: mem, i: -1}
+	for mi, mem := range mems {
+		if len(mem) == 0 {
+			continue
+		}
+		s := &memSrc{entries: mem, i: -1, prio: 1<<30 - mi}
 		if s.next() {
 			m.h = append(m.h, s)
 		}

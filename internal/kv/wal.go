@@ -11,7 +11,12 @@ import (
 )
 
 // wal is a write-ahead log. Every mutation is appended before it reaches
-// the memtable, so a crash between Put and flush loses nothing. Records:
+// the memtable. Durability is two-tier: single-record appends (Put /
+// Delete) sit in a 64 KiB bufio buffer until a flush boundary, so a
+// crash can lose the most recent unsynced records — HBase's deferred
+// log flush. The batched group-commit path (appendBatch) flushes the
+// buffer and fsyncs once per batch, so a batch acknowledged by Apply
+// survives a crash. Records:
 //
 //	[payloadLen u32][crc32(payload) u32][payload]
 //	payload = [kind u8][keyLen uvarint][key][valueLen uvarint][value]
@@ -58,8 +63,29 @@ func (l *wal) append(k kind, key, value []byte) error {
 	return nil
 }
 
+// appendBatch appends every mutation in one buffered sequence, then
+// flushes the buffer and fsyncs the file once — the group-commit
+// boundary. It returns the bytes appended. After a nil return, the
+// whole batch is durable against a crash.
+func (l *wal) appendBatch(muts []mutation) (int64, error) {
+	start := l.n
+	for _, m := range muts {
+		if err := l.append(m.k, m.key, m.value); err != nil {
+			return l.n - start, err
+		}
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.n - start, err
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.n - start, err
+	}
+	return l.n - start, nil
+}
+
 // sync flushes buffered records to the OS. (fsync is intentionally not
-// called per-record; the engine syncs on flush boundaries.)
+// called per-record on the single-Put path; full durability comes from
+// appendBatch's group-commit sync and from flush boundaries.)
 func (l *wal) sync() error { return l.w.Flush() }
 
 func (l *wal) close() error {
@@ -71,7 +97,8 @@ func (l *wal) close() error {
 }
 
 // replayWAL feeds every intact record in the log at path to fn, tolerating
-// a torn tail.
+// a torn tail. The key and value slices alias a buffer reused across
+// records; fn must copy anything it retains.
 func replayWAL(path string, fn func(k kind, key, value []byte) error) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -83,6 +110,7 @@ func replayWAL(path string, fn func(k kind, key, value []byte) error) error {
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 64<<10)
 	var hdr [8]byte
+	var buf []byte // grown once to the largest record, reused across records
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return nil // clean EOF or torn header: stop
@@ -92,7 +120,10 @@ func replayWAL(path string, fn func(k kind, key, value []byte) error) error {
 		if plen > 1<<30 {
 			return nil // implausible length: treat as torn tail
 		}
-		payload := make([]byte, plen)
+		if uint32(cap(buf)) < plen {
+			buf = make([]byte, plen)
+		}
+		payload := buf[:plen]
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return nil
 		}

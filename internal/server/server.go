@@ -184,24 +184,32 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics exposes the storage counters, including the scan
-// pipeline's pairs-scanned / rows-kept stage counters.
+// handleMetrics exposes the storage counters: the scan pipeline's
+// pairs-scanned / rows-kept stage counters and the write path's
+// group-commit, WAL-sync, flush-queue and write-stall counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.engine.Cluster().Metrics()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"regions":            s.engine.Cluster().Regions(),
-		"bytes_written":      m.BytesWritten,
-		"bytes_read":         m.BytesRead,
-		"blocks_read":        m.BlocksRead,
-		"block_cache_hits":   m.BlockCacheHits,
-		"block_cache_misses": m.BlockCacheMisses,
-		"bloom_negatives":    m.BloomNegatives,
-		"flushes":            m.Flushes,
-		"compactions":        m.Compactions,
-		"scan_tasks":         m.ScanTasks,
-		"scan_pairs":         m.ScanPairs,
-		"scan_kept":          m.ScanKept,
-		"scan_batches":       m.ScanBatches,
+		"regions":              s.engine.Cluster().Regions(),
+		"bytes_written":        m.BytesWritten,
+		"bytes_read":           m.BytesRead,
+		"blocks_read":          m.BlocksRead,
+		"block_cache_hits":     m.BlockCacheHits,
+		"block_cache_misses":   m.BlockCacheMisses,
+		"bloom_negatives":      m.BloomNegatives,
+		"flushes":              m.Flushes,
+		"compactions":          m.Compactions,
+		"scan_tasks":           m.ScanTasks,
+		"scan_pairs":           m.ScanPairs,
+		"scan_kept":            m.ScanKept,
+		"scan_batches":         m.ScanBatches,
+		"group_commits":        m.GroupCommits,
+		"group_commit_records": m.GroupCommitRecords,
+		"wal_syncs":            m.WALSyncs,
+		"wal_sync_bytes":       m.WALSyncBytes,
+		"flush_queue_depth":    m.FlushQueueDepth,
+		"write_stalls":         m.WriteStalls,
+		"write_stall_nanos":    m.WriteStallNanos,
 	})
 }
 

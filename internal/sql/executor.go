@@ -296,6 +296,9 @@ func (s *Session) execDesc(st *DescStmt) (*Result, error) {
 
 // --- DML ---
 
+// execInsert evaluates the VALUES rows and writes them all through
+// Engine.Insert, which rides Table.InsertBatch — a multi-row INSERT is
+// one group commit per touched storage region, not one Put per value.
 func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
 	t, err := s.engine.OpenTable(s.user, st.Table)
 	if err != nil {

@@ -3,7 +3,10 @@ package table
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"just/internal/exec"
@@ -219,6 +222,177 @@ func (t *Table) Insert(row exec.Row) error {
 		}
 	}
 	return nil
+}
+
+// InsertBatch writes rows through the batched group-commit write path:
+// rows are encoded and compressed in parallel across a worker pool, the
+// previous versions for the delete-before-write upsert are probed with
+// one Cluster.MultiGet, and all mutations — tombstones for moved index
+// entries, the attribute copy, every spatial index copy — are emitted
+// as one kv.WriteBatch, so each storage region takes its lock and syncs
+// its WAL once per batch instead of once per key. Semantically it
+// matches calling Insert per row, including upserts of fids repeated
+// within the batch (later rows win).
+func (t *Table) InsertBatch(rows []exec.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	type prepRow struct {
+		rec     index.Record
+		value   []byte
+		attrKey []byte
+		newKeys [][]byte // parallel to t.strategies; nil for non-spatial rows
+	}
+	preps := make([]prepRow, len(rows))
+	// Stage 1: encode + compress + index-key computation, in parallel
+	// (strategies are stateless after construction).
+	err := parallelRows(len(rows), func(i int) error {
+		rec, err := t.record(rows[i])
+		if err != nil {
+			return err
+		}
+		value, err := t.codec.Encode(rows[i])
+		if err != nil {
+			return err
+		}
+		p := prepRow{rec: rec, value: value}
+		p.attrKey = append(t.keyPrefix(t.attrID), t.attr.KeyForFID(rec.FID)...)
+		p.newKeys = make([][]byte, len(t.strategies))
+		for si, s := range t.strategies {
+			if rec.Geom == nil {
+				continue
+			}
+			key, err := s.Key(rec)
+			if err != nil {
+				return err
+			}
+			p.newKeys[si] = append(t.keyPrefix(t.Desc.Indexes[indexSlot(t.Desc, si)].ID), key...)
+		}
+		preps[i] = p
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Stage 2: one batched existence probe for the upsert path.
+	attrKeys := make([][]byte, len(rows))
+	for i := range preps {
+		attrKeys[i] = preps[i].attrKey
+	}
+	oldVals, err := t.cluster.MultiGet(attrKeys)
+	if err != nil {
+		return err
+	}
+	// Stage 3: decode the found previous versions and recompute their
+	// index keys, again in parallel.
+	oldKeys := make([][][]byte, len(rows))
+	err = parallelRows(len(rows), func(i int) error {
+		if oldVals[i] == nil {
+			return nil
+		}
+		oldRow, err := t.codec.Decode(oldVals[i])
+		if err != nil {
+			return err
+		}
+		oldRec, err := t.record(oldRow)
+		if err != nil {
+			return err
+		}
+		if oldRec.Geom == nil {
+			return nil
+		}
+		keys := make([][]byte, len(t.strategies))
+		for si, s := range t.strategies {
+			key, err := s.Key(oldRec)
+			if err != nil {
+				return err
+			}
+			keys[si] = append(t.keyPrefix(t.Desc.Indexes[indexSlot(t.Desc, si)].ID), key...)
+		}
+		oldKeys[i] = keys
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Stage 4: assemble the batch in row order (later mutations win in
+	// the memtable, so repeated fids resolve exactly as sequential
+	// Inserts would). A fid already written earlier in this batch uses
+	// that row's keys as the previous version — the MultiGet probe saw
+	// only the pre-batch state.
+	var batch kv.WriteBatch
+	batch.Grow(len(rows) * (1 + len(t.strategies)))
+	lastByFID := make(map[string]int, len(rows))
+	for i := range preps {
+		prior := oldKeys[i]
+		if j, ok := lastByFID[string(preps[i].rec.FID)]; ok {
+			prior = preps[j].newKeys
+		}
+		for si, old := range prior {
+			if old == nil {
+				continue
+			}
+			if preps[i].newKeys[si] == nil || !bytes.Equal(old, preps[i].newKeys[si]) {
+				batch.Delete(old)
+			}
+		}
+		batch.Put(preps[i].attrKey, preps[i].value)
+		for _, key := range preps[i].newKeys {
+			if key != nil {
+				batch.Put(key, preps[i].value)
+			}
+		}
+		lastByFID[string(preps[i].rec.FID)] = i
+	}
+	return t.cluster.Apply(&batch)
+}
+
+// parallelRows runs fn(i) for i in [0, n) across GOMAXPROCS workers and
+// returns the first error (work-stealing via an atomic cursor, so a few
+// expensive rows — big gzip'd trajectories — don't skew one worker).
+func parallelRows(n int, fn func(int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // indexSlot maps the i-th non-attr strategy back to its Desc.Indexes
