@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sort"
 	"testing"
@@ -135,12 +136,15 @@ func TestWALRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []rec
-	err = replayWAL(path, func(k kind, key, value []byte) error {
+	off, err := replayWAL(path, func(k kind, key, value []byte) error {
 		got = append(got, rec{k, string(key), string(value)})
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if st, err := os.Stat(path); err != nil || off != st.Size() {
+		t.Fatalf("replay offset %d, want full file size %v (%v)", off, st.Size(), err)
 	}
 	if len(got) != len(want) {
 		t.Fatalf("replayed %d records, want %d", len(got), len(want))
@@ -163,7 +167,7 @@ func TestWALTornTail(t *testing.T) {
 	f.w.Write([]byte{9, 0, 0, 0, 1, 2})
 	f.close()
 	n := 0
-	err := replayWAL(path, func(k kind, key, value []byte) error {
+	off, err := replayWAL(path, func(k kind, key, value []byte) error {
 		n++
 		if string(key) != "good" {
 			t.Errorf("unexpected key %q", key)
@@ -175,6 +179,11 @@ func TestWALTornTail(t *testing.T) {
 	}
 	if n != 1 {
 		t.Fatalf("replayed %d records, want 1", n)
+	}
+	// The reported offset excludes the torn tail (6 garbage bytes), so a
+	// caller can truncate the garbage before appending again.
+	if st, _ := os.Stat(path); off != st.Size()-6 {
+		t.Fatalf("replay offset %d, want %d (file size %d minus torn tail)", off, st.Size()-6, st.Size())
 	}
 }
 

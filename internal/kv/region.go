@@ -143,17 +143,33 @@ func openRegion(id int, dir string, opts Options, cache *blockCache, met *Metric
 			return nil, err
 		}
 		sort.Strings(walFiles) // zero-padded sequence numbers sort correctly
-		for _, p := range walFiles {
-			err = replayWAL(p, func(k kind, key, value []byte) error {
+		var tail int64 // offset past the last valid record of the newest file
+		for i, p := range walFiles {
+			end, err := replayWAL(p, func(k kind, key, value []byte) error {
 				r.mem.put(append([]byte(nil), key...), append([]byte(nil), value...), k)
 				return nil
 			})
 			if err != nil {
 				return nil, err
 			}
+			if i == len(walFiles)-1 {
+				tail = end
+			}
 			var seq int
 			if _, err := fmt.Sscanf(filepath.Base(p), "wal-%d.log", &seq); err == nil && seq > r.walSeq {
 				r.walSeq = seq
+			}
+		}
+		// The newest segment is reopened for append below. If its tail is
+		// torn (replay stopped early), truncate the garbage first: records
+		// appended behind it would be unreachable on the next replay, which
+		// stops at the torn record — silently losing group-committed,
+		// crash-durable batches written after this recovery.
+		if n := len(walFiles); n > 0 {
+			if st, err := os.Stat(walFiles[n-1]); err == nil && st.Size() > tail {
+				if err := os.Truncate(walFiles[n-1], tail); err != nil {
+					return nil, err
+				}
 			}
 		}
 		if r.log, err = openWAL(r.walPath()); err != nil {
@@ -215,13 +231,15 @@ func (r *region) applyBatch(muts []mutation) error {
 	}
 	if r.log != nil {
 		n, err := r.log.appendBatch(muts)
-		if r.met != nil && n > 0 {
+		if err != nil {
+			return err
+		}
+		// Counted only after the sync succeeded: a failed flush or fsync is
+		// not a completed WAL sync.
+		if r.met != nil {
 			atomic.AddInt64(&r.met.BytesWritten, n)
 			atomic.AddInt64(&r.met.WALSyncs, 1)
 			atomic.AddInt64(&r.met.WALSyncBytes, n)
-		}
-		if err != nil {
-			return err
 		}
 	}
 	// The memtable owns its keys and values, so the batch's slices must
@@ -316,6 +334,26 @@ func (r *region) freezeLocked() error {
 	return nil
 }
 
+// pinTables snapshots and pins a region's table stack for a lock-free
+// read. It must be called under r.mu (read or write): the region's own
+// reference keeps every table in r.tables live, and holding the lock
+// excludes compact's retire (which runs under the write lock) from
+// slipping between the copy and the incRef.
+func pinTables(ts []*table) []*table {
+	out := append([]*table(nil), ts...)
+	for _, t := range out {
+		t.incRef()
+	}
+	return out
+}
+
+// releaseTables unpins a snapshot taken with pinTables.
+func releaseTables(ts []*table) {
+	for _, t := range ts {
+		t.decRef()
+	}
+}
+
 // Get returns the value for key or ErrNotFound.
 func (r *region) Get(key []byte) ([]byte, error) {
 	r.mu.RLock()
@@ -325,8 +363,9 @@ func (r *region) Get(key []byte) ([]byte, error) {
 	}
 	mem := r.mem
 	imms := append([]*immMem(nil), r.imm...)
-	tables := append([]*table(nil), r.tables...)
+	tables := pinTables(r.tables)
 	r.mu.RUnlock()
+	defer releaseTables(tables)
 	return getFrom(mem, imms, tables, key)
 }
 
@@ -341,8 +380,9 @@ func (r *region) getBatch(idxs []int, keys, out [][]byte) error {
 	}
 	mem := r.mem
 	imms := append([]*immMem(nil), r.imm...)
-	tables := append([]*table(nil), r.tables...)
+	tables := pinTables(r.tables)
 	r.mu.RUnlock()
+	defer releaseTables(tables)
 	for _, i := range idxs {
 		v, err := getFrom(mem, imms, tables, keys[i])
 		if err == ErrNotFound {
@@ -517,8 +557,9 @@ func (r *region) compact() error {
 	r.ioMu.Lock()
 	defer r.ioMu.Unlock()
 	r.mu.RLock()
-	tables := append([]*table(nil), r.tables...)
+	tables := pinTables(r.tables)
 	r.mu.RUnlock()
+	defer releaseTables(tables)
 	if len(tables) < 2 {
 		return nil
 	}
@@ -587,10 +628,16 @@ func (r *region) compact() error {
 	if err := r.writeManifest(); err != nil {
 		return err
 	}
+	// Retire the merged tables under the write lock: in-flight reads that
+	// pinned them keep the files open (the last decRef closes and unlinks),
+	// and the lock guarantees no reader is mid-pin. The manifest above
+	// already lists only the merged result, so an immediate unlink is
+	// crash-safe.
+	r.mu.Lock()
 	for _, t := range tables {
-		t.close()
-		os.Remove(t.path)
+		t.retire()
 	}
+	r.mu.Unlock()
 	return nil
 }
 
@@ -614,16 +661,19 @@ func (r *region) writeManifest() error {
 
 // Scan returns an iterator over live pairs in the range, merging the
 // active memtable, any frozen memtables awaiting flush (newest first),
-// and the SSTables.
+// and the SSTables. The iterator pins its table snapshot against
+// background compaction; Close releases the pins.
 func (r *region) Scan(kr KeyRange) Iterator {
 	r.mu.RLock()
 	mems := [][]memEntry{r.mem.entries(kr)}
 	for i := len(r.imm) - 1; i >= 0; i-- {
 		mems = append(mems, r.imm[i].mem.entries(kr))
 	}
-	tables := append([]*table(nil), r.tables...)
+	tables := pinTables(r.tables)
 	r.mu.RUnlock()
-	return newMergeIter(mems, tables, kr, false)
+	it := newMergeIter(mems, tables, kr, false)
+	it.pinned = tables
+	return it
 }
 
 // immCount reports the flush-queue depth (frozen memtables pending).
@@ -676,7 +726,8 @@ type mergeIter struct {
 	h       srcHeap
 	current mergeSrc
 	err     error
-	raw     bool // emit tombstones and shadowed versions' winners too
+	raw     bool     // emit tombstones and shadowed versions' winners too
+	pinned  []*table // tables pinned by region.Scan, released on Close
 }
 
 type mergeSrc interface {
@@ -816,4 +867,10 @@ func (m *mergeIter) Key() []byte   { return m.current.key() }
 func (m *mergeIter) Value() []byte { return m.current.value() }
 func (m *mergeIter) kind() kind    { return m.current.entryKind() }
 func (m *mergeIter) Err() error    { return m.err }
-func (m *mergeIter) Close() error  { return nil }
+
+// Close releases the iterator's table pins; it is idempotent.
+func (m *mergeIter) Close() error {
+	releaseTables(m.pinned)
+	m.pinned = nil
+	return nil
+}

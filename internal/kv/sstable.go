@@ -193,10 +193,19 @@ func (t *tableWriter) abort() {
 var nextTableID atomic.Uint64
 
 // table is an open, immutable SSTable.
+//
+// Lifetime is reference-counted: the owning region holds one reference,
+// and every read snapshot (Get, getBatch, Scan iterator) pins the table
+// with incRef before releasing the region lock. Background compaction
+// can therefore retire a table (drop + decRef) while reads are still
+// in flight — the file is closed and unlinked only when the last
+// reference is released.
 type table struct {
 	id      uint64
 	path    string
 	f       *os.File
+	refs    atomic.Int32 // open references; starts at 1 (the region's)
+	drop    atomic.Bool  // unlink the file when the last ref is released
 	index   []blockHandle
 	bloom   *bloomFilter
 	lastKey []byte
@@ -259,7 +268,7 @@ func openTable(path string, cache *blockCache, metrics *Metrics, mbps int) (*tab
 		f.Close()
 		return nil, err
 	}
-	return &table{
+	t := &table{
 		id:      nextTableID.Add(1),
 		path:    path,
 		f:       f,
@@ -271,7 +280,9 @@ func openTable(path string, cache *blockCache, metrics *Metrics, mbps int) (*tab
 		cache:   cache,
 		metrics: metrics,
 		mbps:    mbps,
-	}, nil
+	}
+	t.refs.Store(1)
+	return t, nil
 }
 
 func decodeIndex(b []byte) ([]blockHandle, []byte, error) {
@@ -328,7 +339,37 @@ func decodeIndex(b []byte) ([]blockHandle, []byte, error) {
 	return index, lastKey, nil
 }
 
-func (t *table) close() error { return t.f.Close() }
+// incRef pins the table for a read snapshot. It must only be called
+// while the table is known live — i.e. under the region lock while the
+// table is still in r.tables (the region's own reference guarantees
+// refs > 0 there).
+func (t *table) incRef() { t.refs.Add(1) }
+
+// decRef releases one reference; the last release closes the file and,
+// if the table was retired by a compaction, unlinks it.
+func (t *table) decRef() error {
+	if t.refs.Add(-1) > 0 {
+		return nil
+	}
+	err := t.f.Close()
+	if t.drop.Load() {
+		os.Remove(t.path)
+	}
+	return err
+}
+
+// retire marks the table for deletion (compaction replaced it) and
+// releases the owning region's reference. Callers must have already
+// removed the table from r.tables and must hold the region write lock,
+// so no reader can be between snapshotting r.tables and incRef.
+func (t *table) retire() {
+	t.drop.Store(true)
+	t.decRef()
+}
+
+// close releases the owning region's reference without unlinking; used
+// by tests that manage tables directly.
+func (t *table) close() error { return t.decRef() }
 
 // firstKey returns the smallest key in the table.
 func (t *table) firstKey() []byte {

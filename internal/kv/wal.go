@@ -19,16 +19,26 @@ import (
 // survives a crash. Records:
 //
 //	[payloadLen u32][crc32(payload) u32][payload]
-//	payload = [kind u8][keyLen uvarint][key][valueLen uvarint][value]
+//	payload = entry | [walBatchTag u8][count uvarint]entry*
+//	entry   = [kind u8][keyLen uvarint][key][valueLen uvarint][value]
 //
-// Replay stops at the first torn or corrupt record (standard
-// truncated-tail recovery).
+// A group-committed batch is one record: its CRC covers the whole
+// envelope, so replay applies a batch all-or-nothing — a torn tail can
+// never resurrect a prefix of a batch (e.g. an upsert's tombstone
+// without its matching put). Replay stops at the first torn or corrupt
+// record (standard truncated-tail recovery) and reports the offset of
+// the end of the last valid record so the caller can truncate the
+// garbage tail before appending again.
 type wal struct {
 	f   *os.File
 	w   *bufio.Writer
 	buf []byte
 	n   int64 // bytes appended
 }
+
+// walBatchTag marks a batch-envelope payload. It must stay disjoint from
+// the kind values (kindPut, kindDelete) that open a single-entry payload.
+const walBatchTag = 0xB0
 
 func openWAL(path string) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -38,18 +48,8 @@ func openWAL(path string) (*wal, error) {
 	return &wal{f: f, w: bufio.NewWriterSize(f, 64<<10)}, nil
 }
 
-func (l *wal) append(k kind, key, value []byte) error {
-	need := 1 + binary.MaxVarintLen32*2 + len(key) + len(value)
-	if cap(l.buf) < need {
-		l.buf = make([]byte, need)
-	}
-	p := l.buf[:0]
-	p = append(p, byte(k))
-	p = binary.AppendUvarint(p, uint64(len(key)))
-	p = append(p, key...)
-	p = binary.AppendUvarint(p, uint64(len(value)))
-	p = append(p, value...)
-
+// appendRecord frames p as one CRC-checked record.
+func (l *wal) appendRecord(p []byte) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(p)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(p))
@@ -63,16 +63,47 @@ func (l *wal) append(k kind, key, value []byte) error {
 	return nil
 }
 
-// appendBatch appends every mutation in one buffered sequence, then
-// flushes the buffer and fsyncs the file once — the group-commit
-// boundary. It returns the bytes appended. After a nil return, the
-// whole batch is durable against a crash.
+func appendWALEntry(p []byte, k kind, key, value []byte) []byte {
+	p = append(p, byte(k))
+	p = binary.AppendUvarint(p, uint64(len(key)))
+	p = append(p, key...)
+	p = binary.AppendUvarint(p, uint64(len(value)))
+	p = append(p, value...)
+	return p
+}
+
+func (l *wal) append(k kind, key, value []byte) error {
+	need := 1 + binary.MaxVarintLen32*2 + len(key) + len(value)
+	if cap(l.buf) < need {
+		l.buf = make([]byte, 0, need)
+	}
+	l.buf = appendWALEntry(l.buf[:0], k, key, value)
+	return l.appendRecord(l.buf)
+}
+
+// appendBatch appends every mutation as one batch-envelope record, then
+// flushes the buffer and fsyncs the file — the group-commit boundary.
+// It returns the bytes appended. After a nil return, the whole batch is
+// durable against a crash; on replay the envelope's single CRC makes the
+// batch atomic (all mutations or none).
 func (l *wal) appendBatch(muts []mutation) (int64, error) {
-	start := l.n
+	need := 1 + binary.MaxVarintLen64
 	for _, m := range muts {
-		if err := l.append(m.k, m.key, m.value); err != nil {
-			return l.n - start, err
-		}
+		need += 1 + binary.MaxVarintLen32*2 + len(m.key) + len(m.value)
+	}
+	if cap(l.buf) < need {
+		l.buf = make([]byte, 0, need)
+	}
+	p := l.buf[:0]
+	p = append(p, walBatchTag)
+	p = binary.AppendUvarint(p, uint64(len(muts)))
+	for _, m := range muts {
+		p = appendWALEntry(p, m.k, m.key, m.value)
+	}
+	l.buf = p
+	start := l.n
+	if err := l.appendRecord(p); err != nil {
+		return l.n - start, err
 	}
 	if err := l.w.Flush(); err != nil {
 		return l.n - start, err
@@ -96,66 +127,111 @@ func (l *wal) close() error {
 	return l.f.Close()
 }
 
-// replayWAL feeds every intact record in the log at path to fn, tolerating
-// a torn tail. The key and value slices alias a buffer reused across
-// records; fn must copy anything it retains.
-func replayWAL(path string, fn func(k kind, key, value []byte) error) error {
+// replayWAL feeds every intact record in the log at path to fn,
+// tolerating a torn tail, and returns the file offset just past the last
+// valid record. Bytes beyond that offset are garbage (a torn or corrupt
+// tail); a caller that will append to the file again must truncate to
+// the returned offset first, or the garbage would hide everything
+// appended after it on the next replay. The key and value slices alias a
+// buffer reused across records; fn must copy anything it retains.
+func replayWAL(path string, fn func(k kind, key, value []byte) error) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return nil
+			return 0, nil
 		}
-		return err
+		return 0, err
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 64<<10)
+	var off int64
 	var hdr [8]byte
 	var buf []byte // grown once to the largest record, reused across records
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return nil // clean EOF or torn header: stop
+			return off, nil // clean EOF or torn header: stop
 		}
 		plen := binary.LittleEndian.Uint32(hdr[0:])
 		want := binary.LittleEndian.Uint32(hdr[4:])
 		if plen > 1<<30 {
-			return nil // implausible length: treat as torn tail
+			return off, nil // implausible length: treat as torn tail
 		}
 		if uint32(cap(buf)) < plen {
 			buf = make([]byte, plen)
 		}
 		payload := buf[:plen]
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return nil
+			return off, nil
 		}
 		if crc32.ChecksumIEEE(payload) != want {
-			return nil
+			return off, nil
 		}
-		k, key, value, err := decodeWALPayload(payload)
+		if err := replayPayload(payload, fn); err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				return off, nil // undecodable despite CRC: treat as torn
+			}
+			return off, err
+		}
+		off += int64(len(hdr)) + int64(plen)
+	}
+}
+
+// replayPayload decodes one record payload — a single entry or a batch
+// envelope — and applies each entry via fn.
+func replayPayload(p []byte, fn func(k kind, key, value []byte) error) error {
+	if len(p) == 0 {
+		return ErrCorrupt
+	}
+	if p[0] != walBatchTag {
+		k, key, value, _, err := decodeWALEntry(p)
 		if err != nil {
-			return nil
+			return err
+		}
+		return fn(k, key, value)
+	}
+	p = p[1:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return ErrCorrupt
+	}
+	p = p[n:]
+	for i := uint64(0); i < count; i++ {
+		k, key, value, rest, err := decodeWALEntry(p)
+		if err != nil {
+			return err
 		}
 		if err := fn(k, key, value); err != nil {
 			return err
 		}
+		p = rest
 	}
+	if len(p) != 0 {
+		return ErrCorrupt
+	}
+	return nil
 }
 
-func decodeWALPayload(p []byte) (kind, []byte, []byte, error) {
+// decodeWALEntry decodes one [kind][klen][key][vlen][value] entry from
+// the front of p, returning the remainder.
+func decodeWALEntry(p []byte) (kind, []byte, []byte, []byte, error) {
 	if len(p) < 1 {
-		return 0, nil, nil, ErrCorrupt
+		return 0, nil, nil, nil, ErrCorrupt
 	}
 	k := kind(p[0])
+	if k != kindPut && k != kindDelete {
+		return 0, nil, nil, nil, ErrCorrupt
+	}
 	p = p[1:]
 	klen, n := binary.Uvarint(p)
 	if n <= 0 || uint64(len(p)-n) < klen {
-		return 0, nil, nil, ErrCorrupt
+		return 0, nil, nil, nil, ErrCorrupt
 	}
 	key := p[n : n+int(klen)]
 	p = p[n+int(klen):]
 	vlen, n := binary.Uvarint(p)
 	if n <= 0 || uint64(len(p)-n) < vlen {
-		return 0, nil, nil, ErrCorrupt
+		return 0, nil, nil, nil, ErrCorrupt
 	}
 	value := p[n : n+int(vlen)]
-	return k, key, value, nil
+	return k, key, value, p[n+int(vlen):], nil
 }
