@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"just/internal/core"
+	"just/internal/kv"
 	"just/internal/server"
 )
 
@@ -23,12 +24,18 @@ func main() {
 	workers := flag.Int("workers", 0, "execution pool size (0 = NumCPU)")
 	pageSize := flag.Int("page-size", 1000, "rows per result transmission")
 	viewTTL := flag.Duration("view-ttl", 30*time.Minute, "idle view eviction")
+	servers := flag.Int("servers", 0, "simulated region servers (0 = default 5)")
+	replication := flag.Int("replication", 0, "replicas per region on distinct servers (0 = off)")
 	flag.Parse()
 
 	eng, err := core.Open(core.Config{
 		Dir:     *dir,
 		Workers: *workers,
 		ViewTTL: *viewTTL,
+		Cluster: kv.ClusterOptions{
+			Servers:     *servers,
+			Replication: *replication,
+		},
 	})
 	if err != nil {
 		log.Fatalf("just-server: open engine: %v", err)

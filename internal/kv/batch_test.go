@@ -250,7 +250,7 @@ func TestBatchCrashRecoveryAcrossRegions(t *testing.T) {
 	// Pause every flusher so the batch stays memtable-only, then apply
 	// a batch spanning all regions: puts plus upsert-style tombstones.
 	for _, h := range c.regions {
-		pauseFlusher(h.r, true)
+		pauseFlusher(h.nodes[0].r, true)
 	}
 	var b WriteBatch
 	for i := 0; i < 30; i++ {
@@ -263,11 +263,12 @@ func TestBatchCrashRecoveryAcrossRegions(t *testing.T) {
 
 	// Simulate a crash: drop the WAL handles without flushing memtables.
 	for _, h := range c.regions {
-		h.r.mu.Lock()
-		h.r.log.close()
-		h.r.closed = true
-		h.r.cond.Broadcast()
-		h.r.mu.Unlock()
+		r := h.nodes[0].r
+		r.mu.Lock()
+		r.log.close()
+		r.closed = true
+		r.cond.Broadcast()
+		r.mu.Unlock()
 	}
 
 	c2, err := OpenCluster(dir, opts)

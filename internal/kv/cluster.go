@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"just/internal/replica"
 )
 
 // ClusterOptions configure a Cluster.
@@ -26,8 +28,16 @@ type ClusterOptions struct {
 	// sorted ascending; n points create n+1 regions.
 	SplitPoints [][]byte
 	// MaxRegionBytes triggers an automatic region split when a region's
-	// on-disk size exceeds it; 0 disables auto-splitting.
+	// on-disk size exceeds it; 0 disables auto-splitting. Incompatible
+	// with Replication (a replicated region's group membership is fixed
+	// at open).
 	MaxRegionBytes int64
+	// Replication is the number of replicas kept per region, each on a
+	// different simulated region server and fed by WAL shipping from
+	// the leader. 0 (the default) disables replication; it must be
+	// smaller than Servers. With replication, reads and writes survive
+	// the failure of any Replication servers (see KillServer).
+	Replication int
 }
 
 // Cluster is the storage fabric: a sorted key space partitioned into
@@ -47,18 +57,24 @@ type Cluster struct {
 	closed  bool
 }
 
-// regionHandle binds a region to its key range and hosting server.
+// regionHandle binds a key range to its replication group: nodes[0] is
+// the current leader, the rest are replicas fed by WAL shipping. With
+// replication off the group is a single node and the membership lock is
+// never contended.
 type regionHandle struct {
-	r      *region
-	kr     KeyRange
-	server *regionServer
+	kr    KeyRange
+	mu    sync.RWMutex // membership/leadership; write-held only by promote
+	nodes []*node      // nodes[0] = current leader
+	group *replica.Group
 }
 
-// regionServer models one node: a semaphore bounding concurrent tasks.
+// regionServer models one node: a semaphore bounding concurrent tasks,
+// plus the simulated liveness flag the failure-injection API flips.
 type regionServer struct {
 	id    int
 	slots chan struct{}
 	scans atomic.Int64 // tasks executed, for observability
+	down  atomic.Bool  // KillServer / ReviveServer
 }
 
 func (s *regionServer) run(task func()) {
@@ -73,6 +89,15 @@ func OpenCluster(dir string, opts ClusterOptions) (*Cluster, error) {
 	opts.Options = opts.Options.withDefaults()
 	if opts.Servers <= 0 {
 		opts.Servers = 5
+	}
+	if opts.Replication < 0 {
+		opts.Replication = 0
+	}
+	if opts.Replication >= opts.Servers {
+		return nil, fmt.Errorf("kv: replication factor %d needs more than %d servers (each copy on a distinct server)", opts.Replication, opts.Servers)
+	}
+	if opts.Replication > 0 && opts.MaxRegionBytes > 0 {
+		return nil, fmt.Errorf("kv: auto-splitting (MaxRegionBytes) is not supported with replication; pre-split with SplitPoints")
 	}
 	if opts.TasksPerServer <= 0 {
 		opts.TasksPerServer = runtime.NumCPU() / opts.Servers
@@ -99,16 +124,12 @@ func OpenCluster(dir string, opts ClusterOptions) (*Cluster, error) {
 	}
 	bounds = append(bounds, KeyRange{Start: prev})
 	for i, kr := range bounds {
-		r, err := openRegion(i, filepath.Join(dir, fmt.Sprintf("region-%04d", i)), opts.Options, c.cache, &c.met)
+		h, err := c.openHandle(i, kr)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		c.regions = append(c.regions, &regionHandle{
-			r:      r,
-			kr:     kr,
-			server: c.servers[i%len(c.servers)],
-		})
+		c.regions = append(c.regions, h)
 		c.nextID = i + 1
 	}
 	return c, nil
@@ -124,7 +145,8 @@ func (c *Cluster) regionFor(key []byte) *regionHandle {
 	return c.regions[i]
 }
 
-// Put stores key → value.
+// Put stores key → value on the owning region's leader, failing over
+// (promoting a replica) if the leader's server is down.
 func (c *Cluster) Put(key, value []byte) error {
 	c.mu.RLock()
 	if c.closed {
@@ -133,7 +155,7 @@ func (c *Cluster) Put(key, value []byte) error {
 	}
 	h := c.regionFor(key)
 	c.mu.RUnlock()
-	if err := h.r.Put(key, value); err != nil {
+	if err := h.leaderDo(c, func(r *region) error { return r.Put(key, value) }); err != nil {
 		return err
 	}
 	return c.maybeSplit(h)
@@ -148,10 +170,12 @@ func (c *Cluster) Delete(key []byte) error {
 	}
 	h := c.regionFor(key)
 	c.mu.RUnlock()
-	return h.r.Delete(key)
+	return h.leaderDo(c, func(r *region) error { return r.Delete(key) })
 }
 
-// Get fetches the value for key or ErrNotFound.
+// Get fetches the value for key or ErrNotFound, transparently reading
+// from a replica (drained to the committed sequence first) when the
+// leader's server is down.
 func (c *Cluster) Get(key []byte) ([]byte, error) {
 	c.mu.RLock()
 	if c.closed {
@@ -160,7 +184,11 @@ func (c *Cluster) Get(key []byte) ([]byte, error) {
 	}
 	h := c.regionFor(key)
 	c.mu.RUnlock()
-	return h.r.Get(key)
+	n, err := h.readNode(c)
+	if err != nil {
+		return nil, err
+	}
+	return n.r.Get(key)
 }
 
 // Flush persists all memtables; call after bulk loads and before
@@ -171,7 +199,18 @@ func (c *Cluster) Flush() error {
 	c.mu.RLock()
 	hs := append([]*regionHandle(nil), c.regions...)
 	c.mu.RUnlock()
-	if err := eachRegion(hs, func(h *regionHandle) error { return h.r.flush() }); err != nil {
+	// Every node flushes — replicas run their own LSM maintenance even
+	// while their server is marked down (the simulated failure cuts
+	// serving and shipping, not the process hosting the data files).
+	err := eachRegion(hs, func(h *regionHandle) error {
+		for _, n := range h.nodeViews() {
+			if err := n.r.flush(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
 		return err
 	}
 	for _, h := range hs {
@@ -182,12 +221,20 @@ func (c *Cluster) Flush() error {
 	return nil
 }
 
-// Compact fully compacts every region, in parallel.
+// Compact fully compacts every region (all replication nodes), in
+// parallel across regions.
 func (c *Cluster) Compact() error {
 	c.mu.RLock()
 	hs := append([]*regionHandle(nil), c.regions...)
 	c.mu.RUnlock()
-	return eachRegion(hs, func(h *regionHandle) error { return h.r.compact() })
+	return eachRegion(hs, func(h *regionHandle) error {
+		for _, n := range h.nodeViews() {
+			if err := n.r.compact(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // eachRegion runs fn over every handle concurrently and returns the
@@ -236,7 +283,7 @@ func (c *Cluster) Apply(b *WriteBatch) error {
 	if len(c.regions) == 1 {
 		h := c.regions[0]
 		c.mu.RUnlock()
-		if err := h.r.applyBatch(b.muts); err != nil {
+		if err := h.leaderDo(c, func(r *region) error { return r.applyBatch(b.muts) }); err != nil {
 			return err
 		}
 		return c.maybeSplit(h)
@@ -251,7 +298,10 @@ func (c *Cluster) Apply(b *WriteBatch) error {
 		groups[h] = append(groups[h], m)
 	}
 	c.mu.RUnlock()
-	if err := eachRegion(order, func(h *regionHandle) error { return h.r.applyBatch(groups[h]) }); err != nil {
+	err := eachRegion(order, func(h *regionHandle) error {
+		return h.leaderDo(c, func(r *region) error { return r.applyBatch(groups[h]) })
+	})
+	if err != nil {
 		return err
 	}
 	for _, h := range order {
@@ -287,7 +337,11 @@ func (c *Cluster) MultiGet(keys [][]byte) ([][]byte, error) {
 	}
 	c.mu.RUnlock()
 	err := eachRegion(order, func(h *regionHandle) error {
-		return h.r.getBatch(groups[h], keys, out)
+		n, err := h.readNode(c)
+		if err != nil {
+			return err
+		}
+		return n.r.getBatch(groups[h], keys, out)
 	})
 	if err != nil {
 		return nil, err
@@ -317,7 +371,11 @@ func (c *Cluster) ScanRange(kr KeyRange, emit func(key, value []byte) bool) erro
 		if !ok {
 			continue
 		}
-		it := h.r.Scan(sub)
+		n, err := h.readNode(c)
+		if err != nil {
+			return err
+		}
+		it := n.r.Scan(sub)
 		for it.Next() {
 			if !emit(it.Key(), it.Value()) {
 				it.Close()
@@ -458,7 +516,16 @@ func ScanRangesFunc[T any](c *Cluster, ranges []KeyRange, process func(key, valu
 		wg.Add(1)
 		go func(t task) {
 			defer wg.Done()
-			t.h.server.run(func() {
+			// The serving node is picked when the task launches: a server
+			// killed mid-scan fails tasks over to replicas from the next
+			// task onward (tasks already running on it finish — the
+			// simulated failure boundary is task granularity).
+			n, err := t.h.readNode(c)
+			if err != nil {
+				fail(err)
+				return
+			}
+			n.server.run(func() {
 				if cancelled.Load() {
 					return
 				}
@@ -468,7 +535,7 @@ func ScanRangesFunc[T any](c *Cluster, ranges []KeyRange, process func(key, valu
 					atomic.AddInt64(&c.met.ScanKept, kept)
 				}()
 				batch := *pool.Get().(*[]T)
-				it := t.h.r.Scan(t.kr)
+				it := n.r.Scan(t.kr)
 				defer it.Close()
 				for it.Next() {
 					if cancelled.Load() {
@@ -530,9 +597,12 @@ func ScanRangesFunc[T any](c *Cluster, ranges []KeyRange, process func(key, valu
 }
 
 func (c *Cluster) scanOne(h *regionHandle, kr KeyRange, emit func(k, v []byte) bool) error {
-	var err error
-	h.server.run(func() {
-		it := h.r.Scan(kr)
+	n, err := h.readNode(c)
+	if err != nil {
+		return err
+	}
+	n.server.run(func() {
+		it := n.r.Scan(kr)
 		defer it.Close()
 		for it.Next() {
 			if !emit(it.Key(), it.Value()) {
@@ -545,9 +615,14 @@ func (c *Cluster) scanOne(h *regionHandle, kr KeyRange, emit func(k, v []byte) b
 }
 
 // maybeSplit splits h into two regions if it outgrew MaxRegionBytes.
+// Replicated clusters never auto-split (enforced at OpenCluster).
 func (c *Cluster) maybeSplit(h *regionHandle) error {
 	max := c.opts.MaxRegionBytes
-	if max <= 0 || h.r.DiskSize() <= max {
+	if max <= 0 || c.opts.Replication > 0 {
+		return nil
+	}
+	hr := h.nodes[0].r
+	if hr.DiskSize() <= max {
 		return nil
 	}
 	c.mu.Lock()
@@ -560,10 +635,10 @@ func (c *Cluster) maybeSplit(h *regionHandle) error {
 			break
 		}
 	}
-	if idx < 0 || h.r.DiskSize() <= max {
+	if idx < 0 || hr.DiskSize() <= max {
 		return nil
 	}
-	mid := h.r.middleKey()
+	mid := hr.middleKey()
 	if mid == nil || !h.kr.Contains(mid) {
 		return nil // cannot find an interior split point
 	}
@@ -579,7 +654,7 @@ func (c *Cluster) maybeSplit(h *regionHandle) error {
 	}
 	c.nextID++
 	// Rewrite the parent's live entries into the daughters.
-	it := h.r.Scan(KeyRange{})
+	it := hr.Scan(KeyRange{})
 	for it.Next() {
 		dst := left
 		if bytes.Compare(it.Key(), mid) >= 0 {
@@ -604,12 +679,12 @@ func (c *Cluster) maybeSplit(h *regionHandle) error {
 	if err := right.flush(); err != nil {
 		return err
 	}
-	parentDir := h.r.dir
-	h.r.Close()
+	parentDir := hr.dir
+	hr.Close()
 	os.RemoveAll(parentDir)
 	// The busier half goes to the least-loaded server.
-	lh := &regionHandle{r: left, kr: KeyRange{Start: h.kr.Start, End: mid}, server: h.server}
-	rh := &regionHandle{r: right, kr: KeyRange{Start: mid, End: h.kr.End}, server: c.leastLoadedServer()}
+	lh := &regionHandle{kr: KeyRange{Start: h.kr.Start, End: mid}, nodes: []*node{{r: left, server: h.nodes[0].server}}}
+	rh := &regionHandle{kr: KeyRange{Start: mid, End: h.kr.End}, nodes: []*node{{r: right, server: c.leastLoadedServer()}}}
 	c.regions = append(c.regions[:idx], append([]*regionHandle{lh, rh}, c.regions[idx+1:]...)...)
 	return nil
 }
@@ -617,7 +692,7 @@ func (c *Cluster) maybeSplit(h *regionHandle) error {
 func (c *Cluster) leastLoadedServer() *regionServer {
 	counts := make(map[*regionServer]int, len(c.servers))
 	for _, h := range c.regions {
-		counts[h.server]++
+		counts[h.nodes[0].server]++
 	}
 	best := c.servers[0]
 	for _, s := range c.servers[1:] {
@@ -628,13 +703,18 @@ func (c *Cluster) leastLoadedServer() *regionServer {
 	return best
 }
 
-// DiskSize returns the total on-disk bytes across all regions.
+// DiskSize returns the total on-disk bytes across all regions,
+// including replica copies (the physical storage cost: with replication
+// factor R it is roughly (R+1)× the logical size).
 func (c *Cluster) DiskSize() int64 {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
+	hs := append([]*regionHandle(nil), c.regions...)
+	c.mu.RUnlock()
 	var total int64
-	for _, h := range c.regions {
-		total += h.r.DiskSize()
+	for _, h := range hs {
+		for _, n := range h.nodeViews() {
+			total += n.r.DiskSize()
+		}
 	}
 	return total
 }
@@ -647,15 +727,36 @@ func (c *Cluster) Regions() int {
 }
 
 // Metrics returns a snapshot of cumulative storage metrics (plus the
-// instantaneous flush-queue depth).
+// instantaneous flush-queue depth and replication lag gauges).
 func (c *Cluster) Metrics() Metrics {
 	c.mu.RLock()
-	var depth int64
-	for _, h := range c.regions {
-		depth += int64(h.r.immCount())
-	}
+	hs := append([]*regionHandle(nil), c.regions...)
 	c.mu.RUnlock()
+	var depth, shippedBatches, shippedBytes, applies, rejects, lagMax int64
+	for _, h := range hs {
+		for _, n := range h.nodeViews() {
+			depth += int64(n.r.immCount())
+		}
+		if h.group != nil {
+			st := h.group.Stats()
+			shippedBatches += st.ShippedBatches
+			shippedBytes += st.ShippedBytes
+			applies += st.Applies
+			rejects += st.Rejects
+			if int64(st.LagMax) > lagMax {
+				lagMax = int64(st.LagMax)
+			}
+		}
+	}
 	return Metrics{
+		ShippedBatches: shippedBatches,
+		ShippedBytes:   shippedBytes,
+		ReplicaApplies: applies,
+		ReplicaRejects: rejects,
+		ReplicaLagMax:  lagMax,
+		Failovers:      atomic.LoadInt64(&c.met.Failovers),
+		FailoverReads:  atomic.LoadInt64(&c.met.FailoverReads),
+		StaleReads:     atomic.LoadInt64(&c.met.StaleReads),
 		BytesWritten:       atomic.LoadInt64(&c.met.BytesWritten),
 		BytesRead:          atomic.LoadInt64(&c.met.BytesRead),
 		BlocksRead:         atomic.LoadInt64(&c.met.BlocksRead),
@@ -678,7 +779,11 @@ func (c *Cluster) Metrics() Metrics {
 	}
 }
 
-// Close shuts down every region.
+// Close shuts the cluster down in dependency order: replica shippers
+// drain first (every live applier replays the shipped log to the
+// committed sequence), then each region drains its background flusher
+// and closes its WAL and SSTables — so a shutdown mid-ingest can never
+// race an in-flight flush or strand acknowledged batches unshipped.
 func (c *Cluster) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -688,8 +793,17 @@ func (c *Cluster) Close() error {
 	c.closed = true
 	var first error
 	for _, h := range c.regions {
-		if err := h.r.Close(); err != nil && first == nil {
-			first = err
+		if h.group != nil {
+			if err := h.group.Close(true); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	for _, h := range c.regions {
+		for _, n := range h.nodeViews() {
+			if err := n.r.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	return first

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+
+	"just/internal/replica"
 )
 
 // Failure-injection tests: the store must fail loudly (never silently
@@ -188,6 +191,73 @@ func TestLargeValues(t *testing.T) {
 	for i := range got {
 		if got[i] != big[i] {
 			t.Fatalf("byte %d differs", i)
+		}
+	}
+}
+
+// TestCorruptShippedBatch damages the first delivery of every shipped
+// batch envelope on the replication channel. The applier must detect
+// the CRC mismatch, reject the envelope without applying it, and
+// re-request it from the retained log — replicas end up byte-correct
+// and a failover read never observes the damage.
+func TestCorruptShippedBatch(t *testing.T) {
+	c := mustOpenRepl(t, 3, 1)
+	defer c.Close()
+
+	var fmu sync.Mutex
+	seen := make(map[string]bool)
+	c.SetShipFault(func(sub string, env *replica.Envelope) error {
+		fmu.Lock()
+		defer fmu.Unlock()
+		k := fmt.Sprintf("%s/%d", sub, env.Seq)
+		if !seen[k] {
+			seen[k] = true
+			env.Payload[len(env.Payload)/2] ^= 0xFF // first attempt arrives damaged
+		}
+		return nil
+	})
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := c.Put(spreadKey(i), []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SyncReplicas(); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics()
+	if m.ReplicaRejects == 0 {
+		t.Fatal("no rejects recorded despite corrupting every first delivery")
+	}
+	if m.ReplicaApplies == 0 {
+		t.Fatal("no applies recorded")
+	}
+	for _, st := range c.ReplicationState() {
+		for _, nd := range st.Nodes {
+			if nd.Lag != 0 {
+				t.Fatalf("region %d server %d: lag %d after sync", st.Region, nd.Server, nd.Lag)
+			}
+		}
+	}
+
+	// Read every key off the replicas: kill each server in turn and
+	// verify no corrupt value was ever applied.
+	for srv := 0; srv < 3; srv++ {
+		if err := c.KillServer(srv); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			v, err := c.Get(spreadKey(i))
+			if err != nil || string(v) != fmt.Sprintf("v-%d", i) {
+				t.Fatalf("server %d down, key %d: %q, %v", srv, i, v, err)
+			}
+		}
+		if err := c.ReviveServer(srv); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SyncReplicas(); err != nil {
+			t.Fatal(err)
 		}
 	}
 }

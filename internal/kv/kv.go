@@ -29,6 +29,10 @@ var (
 	ErrClosed = errors.New("kv: store closed")
 	// ErrCorrupt reports an unreadable on-disk structure.
 	ErrCorrupt = errors.New("kv: corrupt data")
+	// ErrUnavailable reports that every server hosting a copy of the
+	// requested region is down — with replication factor 0, any single
+	// server failure; with replication, only a failure of all hosts.
+	ErrUnavailable = errors.New("kv: region unavailable: all hosting servers down")
 )
 
 // kind tags an entry as a live value or a deletion tombstone.
@@ -141,4 +145,27 @@ type Metrics struct {
 	WriteStalls        int64
 	WriteStallNanos    int64
 	FlushQueueDepth    int64
+
+	// Replication counters (WAL shipping and failover, Replication > 0):
+	// ShippedBatches sealed batch envelopes published to replica
+	// appliers, totalling ShippedBytes of payload; ReplicaApplies
+	// envelope deliveries applied into replica stores; ReplicaRejects
+	// deliveries rejected (CRC mismatch or injected drop) and
+	// re-requested from the retained log. Failovers counts leader
+	// promotions (a write found the leader's server down and a replica
+	// took over after catching up); FailoverReads counts reads served by
+	// a replica because the leader's server was down; StaleReads counts
+	// failover reads that found the replica lagging the committed
+	// sequence and had to drain the shipped log before serving (their
+	// staleness bound). ReplicaLagMax is a gauge: the largest
+	// committed-minus-applied envelope lag across all regions and
+	// replicas at snapshot time.
+	ShippedBatches int64
+	ShippedBytes   int64
+	ReplicaApplies int64
+	ReplicaRejects int64
+	Failovers      int64
+	FailoverReads  int64
+	StaleReads     int64
+	ReplicaLagMax  int64
 }

@@ -86,6 +86,12 @@ type region struct {
 	closed      bool
 	flushErr    error // first background flush failure; poisons writes
 	flushPaused bool  // test hook: parks the flusher while set
+	// ship, when set, publishes every committed batch payload to the
+	// region's replication group. It is called under mu, after the WAL
+	// append and memtable insert, so the shipped sequence matches the
+	// primary's apply order exactly (two racing batches ship in the
+	// same order they committed locally).
+	ship        func(payload []byte)
 	dataSz      int64 // on-disk bytes across tables
 	entries     int64 // approximate live entry count
 
@@ -190,6 +196,13 @@ func (r *region) walPath() string {
 	return filepath.Join(r.dir, fmt.Sprintf("wal-%06d.log", r.walSeq))
 }
 
+// setShip installs (or clears) the replication publish hook.
+func (r *region) setShip(fn func(payload []byte)) {
+	r.mu.Lock()
+	r.ship = fn
+	r.mu.Unlock()
+}
+
 func (r *region) put(key, value []byte, k kind) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -208,6 +221,9 @@ func (r *region) put(key, value []byte, k kind) error {
 		}
 	}
 	r.mem.put(append([]byte(nil), key...), append([]byte(nil), value...), k)
+	if r.ship != nil {
+		r.ship(encodeBatchPayload(nil, []mutation{{k: k, key: key, value: value}}))
+	}
 	return r.maybeFreezeLocked()
 }
 
@@ -229,8 +245,23 @@ func (r *region) applyBatch(muts []mutation) error {
 	if r.flushErr != nil {
 		return r.flushErr
 	}
+	// A replicated region encodes the batch payload once and hands the
+	// same sealed bytes to the local WAL and (after the memtable insert)
+	// to the shipping channel; the replication group retains the slice,
+	// so it is freshly allocated rather than drawn from the WAL's
+	// reusable buffer.
+	var payload []byte
+	if r.ship != nil {
+		payload = encodeBatchPayload(nil, muts)
+	}
 	if r.log != nil {
-		n, err := r.log.appendBatch(muts)
+		var n int64
+		var err error
+		if payload != nil {
+			n, err = r.log.appendPayload(payload)
+		} else {
+			n, err = r.log.appendBatch(muts)
+		}
 		if err != nil {
 			return err
 		}
@@ -280,6 +311,9 @@ func (r *region) applyBatch(muts []mutation) error {
 	if r.met != nil {
 		atomic.AddInt64(&r.met.GroupCommits, 1)
 		atomic.AddInt64(&r.met.GroupCommitRecords, int64(len(muts)))
+	}
+	if r.ship != nil {
+		r.ship(payload)
 	}
 	return r.maybeFreezeLocked()
 }
@@ -690,14 +724,22 @@ func (r *region) DiskSize() int64 {
 	return r.dataSz
 }
 
-// Close stops the background flusher and closes the WAL and SSTables.
-// Frozen memtables not yet flushed are abandoned; their WAL files stay
-// on disk and replay on the next open.
+// Close drains the background flusher, then closes the WAL and
+// SSTables. The drain — waiting until every frozen memtable has reached
+// an SSTable — means shutdown can never race an in-flight flush: the
+// WAL is closed only after the flusher has nothing left to do. The
+// active (never-frozen) memtable is not flushed; its WAL stays on disk
+// and replays on the next open. If a flush error has poisoned the
+// region (or the test hook parked the flusher), the drain is skipped
+// and pending memtables are abandoned to WAL replay as before.
 func (r *region) Close() error {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
 		return nil
+	}
+	for len(r.imm) > 0 && r.flushErr == nil && !r.flushPaused {
+		r.cond.Wait()
 	}
 	r.closed = true
 	r.cond.Broadcast()

@@ -1,0 +1,448 @@
+package kv
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"just/internal/replica"
+)
+
+// This file is the replication half of the cluster: node groups per
+// region, WAL shipping into replica appliers, failure injection
+// (KillServer / ReviveServer), leader promotion and read failover.
+//
+// Topology: with ClusterOptions.Replication = R, every region is a
+// group of R+1 nodes — one leader and R replicas — placed on R+1
+// *different* region servers (placement is (i+j) mod Servers, so no
+// single server failure can take out a whole group). The leader's
+// group-commit path publishes each sealed WAL batch envelope to the
+// group's retained log (internal/replica); replica appliers replay the
+// envelopes into their own LSM stores (own WAL, memtable, SSTables) in
+// the background, tracking apply lag.
+//
+// Failure model: KillServer marks a simulated region server down — its
+// leaders stop serving and its replica appliers pause (a dead server
+// applies nothing). The retained shipped log plays the role of HBase's
+// WAL on HDFS: it outlives the server, so a revived server resumes its
+// appliers and catches up before rejoining, and a promotion drains the
+// log into the new leader before acknowledging writes — no acknowledged
+// write is ever lost while at least one server of the group survives.
+//
+// Staleness: reads route to the leader. When the leader's server is
+// down, the read fails over to the most caught-up live replica; if that
+// replica lags the committed sequence the read drains the shipped log
+// first (counted as a stale read, with the observed lag exposed in the
+// metrics), so failover reads observe every group-committed write —
+// staleness is bounded at zero relative to acknowledged writes.
+
+// node is one copy of a region's data hosted on a region server.
+type node struct {
+	r      *region
+	server *regionServer
+	sub    *replica.Sub // shipped-log applier; nil for the current leader
+}
+
+// applyShipped returns the subscriber callback replaying shipped batch
+// envelopes into r. The payload is decoded in place (applyBatch copies
+// what it keeps into the memtable arena), and the replica pays its own
+// WAL append and group commit — replicas are as durable as primaries.
+func applyShipped(r *region) func(seq uint64, payload []byte) error {
+	return func(seq uint64, payload []byte) error {
+		muts, err := decodeBatchPayload(payload)
+		if err != nil {
+			return err
+		}
+		return r.applyBatch(muts)
+	}
+}
+
+// openHandle opens the primary region for one key range and, when
+// replication is on, its replica nodes on distinct servers. Replica
+// state is reseeded from the primary at open: the shipped log lives for
+// the process lifetime (it models HBase's WAL on HDFS surviving region
+// servers, not process restarts), so a reopened cluster rebuilds each
+// replica from the recovered primary rather than trusting a possibly
+// stale local copy.
+func (c *Cluster) openHandle(id int, kr KeyRange) (*regionHandle, error) {
+	primary, err := openRegion(id, filepath.Join(c.dir, fmt.Sprintf("region-%04d", id)), c.opts.Options, c.cache, &c.met)
+	if err != nil {
+		return nil, err
+	}
+	h := &regionHandle{kr: kr, nodes: []*node{{r: primary, server: c.servers[id%len(c.servers)]}}}
+	if c.opts.Replication > 0 {
+		h.group = replica.NewGroup(fmt.Sprintf("region-%04d", id))
+		for j := 1; j <= c.opts.Replication; j++ {
+			dir := filepath.Join(c.dir, fmt.Sprintf("region-%04d-r%d", id, j))
+			err := os.RemoveAll(dir)
+			var rr *region
+			if err == nil {
+				rr, err = openRegion(id, dir, c.opts.Options, c.cache, &c.met)
+			}
+			if err == nil {
+				err = reseedReplica(primary, rr)
+				if err != nil {
+					rr.Close()
+				}
+			}
+			if err != nil {
+				h.closeNodes()
+				return nil, err
+			}
+			srv := c.servers[(id+j)%len(c.servers)]
+			n := &node{r: rr, server: srv}
+			n.sub = h.group.Subscribe(fmt.Sprintf("server-%02d", srv.id), 0, applyShipped(rr), false)
+			h.nodes = append(h.nodes, n)
+		}
+		primary.setShip(func(p []byte) { h.group.Publish(p) })
+	}
+	return h, nil
+}
+
+func (h *regionHandle) closeNodes() {
+	if h.group != nil {
+		h.group.Close(false)
+	}
+	for _, n := range h.nodes {
+		n.r.Close()
+	}
+}
+
+// reseedReplica rebuilds dst from src's live entries, streamed through
+// the group-commit path in bounded chunks.
+func reseedReplica(src, dst *region) error {
+	it := src.Scan(KeyRange{})
+	defer it.Close()
+	var muts []mutation
+	var pending int
+	flush := func() error {
+		if len(muts) == 0 {
+			return nil
+		}
+		if err := dst.applyBatch(muts); err != nil {
+			return err
+		}
+		muts, pending = muts[:0], 0
+		return nil
+	}
+	for it.Next() {
+		key := append([]byte(nil), it.Key()...)
+		value := append([]byte(nil), it.Value()...)
+		muts = append(muts, mutation{k: kindPut, key: key, value: value})
+		pending += len(key) + len(value)
+		if len(muts) >= 4096 || pending >= 4<<20 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	return flush()
+}
+
+// leaderDo runs fn against the handle's leader region, holding the
+// membership read-lock so a concurrent promotion cannot swap the leader
+// mid-operation. If the leader's server is down it promotes the most
+// caught-up live replica first (catching it up from the shipped log) and
+// retries; with no live node it reports ErrUnavailable.
+func (h *regionHandle) leaderDo(c *Cluster, fn func(r *region) error) error {
+	for attempt := 0; ; attempt++ {
+		h.mu.RLock()
+		n := h.nodes[0]
+		if !n.server.isDown() {
+			err := fn(n.r)
+			h.mu.RUnlock()
+			return err
+		}
+		h.mu.RUnlock()
+		if attempt >= 2 {
+			return ErrUnavailable
+		}
+		if err := h.promote(c); err != nil {
+			return err
+		}
+	}
+}
+
+// promote fails the leadership over to the most caught-up live replica.
+// The candidate first drains the retained shipped log to the committed
+// sequence — every write the old leader acknowledged — then becomes the
+// publisher; the failed leader is demoted to a paused subscriber at the
+// committed sequence, ready to catch up and rejoin when its server is
+// revived.
+func (h *regionHandle) promote(c *Cluster) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old := h.nodes[0]
+	if !old.server.isDown() {
+		return nil // lost the race: another writer already promoted, or the server revived
+	}
+	if h.group == nil {
+		return ErrUnavailable
+	}
+	best := -1
+	for i, n := range h.nodes[1:] {
+		if n.server.isDown() || n.sub.Err() != nil {
+			continue
+		}
+		if best < 0 || n.sub.Applied() > h.nodes[best].sub.Applied() {
+			best = i + 1
+		}
+	}
+	if best < 0 {
+		return ErrUnavailable
+	}
+	cand := h.nodes[best]
+	if err := cand.sub.CatchUp(); err != nil {
+		return err
+	}
+	cand.sub.Unsubscribe()
+	cand.sub = nil
+	old.r.setShip(nil)
+	old.sub = h.group.Subscribe(fmt.Sprintf("server-%02d", old.server.id), h.group.Committed(), applyShipped(old.r), true)
+	cand.r.setShip(func(p []byte) { h.group.Publish(p) })
+	h.nodes[0], h.nodes[best] = cand, old
+	atomic.AddInt64(&c.met.Failovers, 1)
+	return nil
+}
+
+// readNode picks the node to serve a read: the leader when its server
+// is up, otherwise the most caught-up live replica, drained to the
+// committed sequence before serving (bounded staleness: a failover read
+// observes every acknowledged write). Reads do not promote — leadership
+// changes only on the write path — so a read-only workload fails over
+// per-operation and the revived leader resumes seamlessly.
+func (h *regionHandle) readNode(c *Cluster) (*node, error) {
+	for {
+		h.mu.RLock()
+		n := h.nodes[0]
+		if !n.server.isDown() {
+			h.mu.RUnlock()
+			return n, nil
+		}
+		var best *node
+		var bestSub *replica.Sub
+		for _, cand := range h.nodes[1:] {
+			if cand.server.isDown() || cand.sub == nil || cand.sub.Err() != nil {
+				continue
+			}
+			if best == nil || cand.sub.Applied() > bestSub.Applied() {
+				best, bestSub = cand, cand.sub
+			}
+		}
+		h.mu.RUnlock()
+		if best == nil {
+			return nil, ErrUnavailable
+		}
+		atomic.AddInt64(&c.met.FailoverReads, 1)
+		if bestSub.Lag() > 0 {
+			atomic.AddInt64(&c.met.StaleReads, 1)
+			if err := bestSub.CatchUp(); err != nil {
+				if err == replica.ErrStopped {
+					continue // the replica was promoted to leader meanwhile; re-pick
+				}
+				return nil, err
+			}
+		}
+		return best, nil
+	}
+}
+
+// nodeView is a consistent snapshot of one node, taken under the
+// membership lock: the sub field of a node is reassigned by promotions,
+// so it must be captured while the lock is held.
+type nodeView struct {
+	r      *region
+	server *regionServer
+	sub    *replica.Sub // nil for the leader (view index 0)
+}
+
+// nodeViews snapshots the handle's nodes under the membership lock.
+func (h *regionHandle) nodeViews() []nodeView {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]nodeView, len(h.nodes))
+	for i, n := range h.nodes {
+		out[i] = nodeView{r: n.r, server: n.server, sub: n.sub}
+	}
+	return out
+}
+
+func (s *regionServer) isDown() bool { return s.down.Load() }
+
+// KillServer simulates the failure of region server id: it stops
+// serving every leader and replica it hosts and pauses its shipped-log
+// appliers. Committed data is not lost — with replication, reads and
+// writes fail over to replica nodes on surviving servers; without, the
+// server's regions report ErrUnavailable until revived.
+func (c *Cluster) KillServer(id int) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if id < 0 || id >= len(c.servers) {
+		return fmt.Errorf("kv: no server %d", id)
+	}
+	s := c.servers[id]
+	if s.down.Swap(true) {
+		return nil // already down
+	}
+	for _, h := range c.regions {
+		h.setSubsPaused(s, true)
+	}
+	return nil
+}
+
+// ReviveServer brings a killed region server back: its appliers resume
+// and catch up from the retained shipped log in the background (watch
+// apply lag drain via Metrics or ReplicationState), after which the
+// server serves reads again. A revived former leader does not reclaim
+// leadership; it rejoins as a replica of whichever node was promoted.
+func (c *Cluster) ReviveServer(id int) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if id < 0 || id >= len(c.servers) {
+		return fmt.Errorf("kv: no server %d", id)
+	}
+	s := c.servers[id]
+	if !s.down.Swap(false) {
+		return nil // was not down
+	}
+	for _, h := range c.regions {
+		h.setSubsPaused(s, false)
+	}
+	return nil
+}
+
+func (h *regionHandle) setSubsPaused(s *regionServer, paused bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for _, n := range h.nodes {
+		if n.server == s && n.sub != nil {
+			if paused {
+				n.sub.Pause()
+			} else {
+				n.sub.Resume()
+			}
+		}
+	}
+}
+
+// SetShipFault installs fn as the shipping-channel fault hook on every
+// region's replication group (nil clears it). The hook runs on each
+// envelope delivery and may delay it, corrupt the payload copy, or
+// return an error — the applier verifies the CRC, rejects damaged
+// envelopes and re-requests them from the retained log.
+func (c *Cluster) SetShipFault(fn replica.ShipFunc) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, h := range c.regions {
+		if h.group != nil {
+			h.group.SetShip(fn)
+		}
+	}
+}
+
+// SyncReplicas drains every live replica applier to its group's
+// committed sequence — a deterministic barrier for tests and orderly
+// maintenance (paused appliers on down servers are skipped).
+func (c *Cluster) SyncReplicas() error {
+	c.mu.RLock()
+	hs := append([]*regionHandle(nil), c.regions...)
+	c.mu.RUnlock()
+	for _, h := range hs {
+		for _, n := range h.nodeViews() {
+			if n.sub == nil || n.server.isDown() {
+				continue
+			}
+			if err := n.sub.CatchUp(); err != nil && err != replica.ErrStopped {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReplicaNodeState describes one node of a region's replication group.
+type ReplicaNodeState struct {
+	Server  int    `json:"server"`
+	Role    string `json:"role"` // "leader" or "replica"
+	Applied uint64 `json:"applied"`
+	Lag     uint64 `json:"lag"`
+	Down    bool   `json:"down"`
+}
+
+// RegionReplicationState is the admin view of one region's group.
+type RegionReplicationState struct {
+	Region         int                `json:"region"`
+	Committed      uint64             `json:"committed"`
+	ShippedBatches int64              `json:"shipped_batches"`
+	ShippedBytes   int64              `json:"shipped_bytes"`
+	Rejects        int64              `json:"rejects"`
+	Nodes          []ReplicaNodeState `json:"nodes"`
+}
+
+// ReplicationState snapshots per-region replication topology and apply
+// lag for the admin endpoint. With replication off it returns one
+// single-node entry per region.
+func (c *Cluster) ReplicationState() []RegionReplicationState {
+	c.mu.RLock()
+	hs := append([]*regionHandle(nil), c.regions...)
+	c.mu.RUnlock()
+	out := make([]RegionReplicationState, 0, len(hs))
+	for _, h := range hs {
+		st := RegionReplicationState{Region: h.nodes[0].r.id}
+		if h.group != nil {
+			gs := h.group.Stats()
+			st.Committed = gs.Committed
+			st.ShippedBatches = gs.ShippedBatches
+			st.ShippedBytes = gs.ShippedBytes
+			st.Rejects = gs.Rejects
+		}
+		for i, n := range h.nodeViews() {
+			ns := ReplicaNodeState{Server: n.server.id, Role: "replica", Down: n.server.isDown()}
+			if i == 0 {
+				ns.Role = "leader"
+				ns.Applied = st.Committed
+			} else if n.sub != nil {
+				ns.Applied = n.sub.Applied()
+				if ns.Applied < st.Committed {
+					ns.Lag = st.Committed - ns.Applied
+				}
+			}
+			st.Nodes = append(st.Nodes, ns)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// ServerState describes one simulated region server.
+type ServerState struct {
+	ID       int   `json:"id"`
+	Down     bool  `json:"down"`
+	Leaders  int   `json:"leaders"`
+	Replicas int   `json:"replicas"`
+	Scans    int64 `json:"scan_tasks"`
+}
+
+// ServerStates snapshots every region server for the admin endpoint.
+func (c *Cluster) ServerStates() []ServerState {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]ServerState, len(c.servers))
+	for i, s := range c.servers {
+		out[i] = ServerState{ID: s.id, Down: s.down.Load(), Scans: s.scans.Load()}
+	}
+	for _, h := range c.regions {
+		for i, n := range h.nodeViews() {
+			if i == 0 {
+				out[n.server.id].Leaders++
+			} else {
+				out[n.server.id].Replicas++
+			}
+		}
+	}
+	return out
+}

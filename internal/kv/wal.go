@@ -81,26 +81,54 @@ func (l *wal) append(k kind, key, value []byte) error {
 	return l.appendRecord(l.buf)
 }
 
+// encodeBatchPayload encodes muts as one batch-envelope payload,
+// appending to dst — the sealed unit the WAL frames as a single
+// CRC-checked record and the replication layer ships to replicas.
+func encodeBatchPayload(dst []byte, muts []mutation) []byte {
+	need := 1 + binary.MaxVarintLen64
+	for _, m := range muts {
+		need += 1 + binary.MaxVarintLen32*2 + len(m.key) + len(m.value)
+	}
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = append(dst, walBatchTag)
+	dst = binary.AppendUvarint(dst, uint64(len(muts)))
+	for _, m := range muts {
+		dst = appendWALEntry(dst, m.k, m.key, m.value)
+	}
+	return dst
+}
+
+// decodeBatchPayload is the inverse of encodeBatchPayload: it decodes a
+// shipped payload (a batch envelope or a single entry) into mutations.
+// The returned slices alias p.
+func decodeBatchPayload(p []byte) ([]mutation, error) {
+	var muts []mutation
+	err := replayPayload(p, func(k kind, key, value []byte) error {
+		muts = append(muts, mutation{k: k, key: key, value: value})
+		return nil
+	})
+	return muts, err
+}
+
 // appendBatch appends every mutation as one batch-envelope record, then
 // flushes the buffer and fsyncs the file — the group-commit boundary.
 // It returns the bytes appended. After a nil return, the whole batch is
 // durable against a crash; on replay the envelope's single CRC makes the
 // batch atomic (all mutations or none).
 func (l *wal) appendBatch(muts []mutation) (int64, error) {
-	need := 1 + binary.MaxVarintLen64
-	for _, m := range muts {
-		need += 1 + binary.MaxVarintLen32*2 + len(m.key) + len(m.value)
-	}
-	if cap(l.buf) < need {
-		l.buf = make([]byte, 0, need)
-	}
-	p := l.buf[:0]
-	p = append(p, walBatchTag)
-	p = binary.AppendUvarint(p, uint64(len(muts)))
-	for _, m := range muts {
-		p = appendWALEntry(p, m.k, m.key, m.value)
-	}
-	l.buf = p
+	l.buf = encodeBatchPayload(l.buf[:0], muts)
+	return l.appendPayload(l.buf)
+}
+
+// appendPayload frames a pre-encoded payload as one record, flushes the
+// buffer and fsyncs — appendBatch's group-commit boundary for callers
+// that already hold the sealed payload (the replicated write path, which
+// ships the same bytes to replicas).
+func (l *wal) appendPayload(p []byte) (int64, error) {
 	start := l.n
 	if err := l.appendRecord(p); err != nil {
 		return l.n - start, err

@@ -1,0 +1,443 @@
+// Package replica implements the WAL-shipping transport behind the
+// storage layer's region replication. It is deliberately generic: a
+// Group retains a sequence of sealed, CRC-checked batch envelopes
+// (the payloads the primary's group-commit path writes to its WAL) and
+// fans them out to subscriber appliers, which replay them into replica
+// state. The package knows nothing about the payload format — the
+// storage layer supplies the apply callback that decodes it.
+//
+// The model mirrors HBase's deployment: a region server can die at any
+// time, but the WAL lives on HDFS and survives it, so a replacement
+// server replays the log and serves the region again. Here the Group's
+// retained log plays the HDFS-WAL role: it outlives any simulated
+// region-server failure (the process is the cluster), so a revived
+// server catches up from it before rejoining, and a promotion drains it
+// before the new primary acknowledges writes.
+//
+// Failure injection: a ShipFunc installed with SetShip intercepts every
+// delivery and may delay it (latency injection), mutate the envelope's
+// payload copy (corruption — the subscriber verifies the CRC, rejects
+// the envelope and re-requests it from the log), or return an error
+// (a dropped shipment, retried with backoff).
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Envelope is one sealed batch in flight: a monotonically increasing
+// sequence number, the payload bytes, and the CRC computed when the
+// envelope was published. Deliveries carry a copy of the payload, so a
+// fault hook can corrupt one shipment without touching the retained log.
+type Envelope struct {
+	Seq     uint64
+	CRC     uint32
+	Payload []byte
+}
+
+// ShipFunc intercepts the delivery of env to the named subscriber. It
+// may sleep (latency), mutate env.Payload in place (corruption), or
+// return an error (drop). It runs on the subscriber's apply goroutine.
+type ShipFunc func(sub string, env *Envelope) error
+
+// ErrStopped reports an operation on a stopped subscriber or group.
+var ErrStopped = errors.New("replica: stopped")
+
+// maxDeliveryAttempts bounds re-requests of a single envelope before
+// the subscriber records a sticky error, so a permanently faulty
+// channel cannot livelock the applier.
+const maxDeliveryAttempts = 64
+
+// redeliveryBackoff spaces re-requests of a rejected or dropped
+// envelope.
+const redeliveryBackoff = 100 * time.Microsecond
+
+// Stats is a snapshot of a group's shipping counters.
+type Stats struct {
+	Committed      uint64 // last published sequence number
+	ShippedBatches int64  // envelopes published
+	ShippedBytes   int64  // payload bytes published
+	Applies        int64  // envelope deliveries applied by subscribers
+	Rejects        int64  // deliveries rejected (CRC mismatch or drop) and re-requested
+	LagMax         uint64 // max subscriber lag at snapshot time
+}
+
+// Group is one region's replication group: the retained envelope log
+// plus its subscribers. The primary publishes; subscribers apply in
+// background goroutines, each tracking its own applied sequence.
+type Group struct {
+	name string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	log    []Envelope // log[i].Seq == first+i
+	first  uint64     // seq of log[0]; meaningful only when len(log) > 0
+	commit uint64     // last published seq (0 = nothing published)
+	subs   []*Sub
+	closed bool
+
+	ship atomic.Value // ShipFunc holder
+
+	shippedBatches atomic.Int64
+	shippedBytes   atomic.Int64
+	applies        atomic.Int64
+	rejects        atomic.Int64
+}
+
+// NewGroup creates an empty replication group.
+func NewGroup(name string) *Group {
+	g := &Group{name: name}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// SetShip installs (or clears, with nil) the delivery fault hook.
+func (g *Group) SetShip(fn ShipFunc) { g.ship.Store(&fn) }
+
+func (g *Group) shipFn() ShipFunc {
+	if p, ok := g.ship.Load().(*ShipFunc); ok {
+		return *p
+	}
+	return nil
+}
+
+// Publish appends payload to the retained log and wakes subscribers.
+// The payload is retained as-is (not copied): callers hand over
+// ownership. It returns the assigned sequence number.
+func (g *Group) Publish(payload []byte) uint64 {
+	g.mu.Lock()
+	g.commit++
+	seq := g.commit
+	if len(g.log) == 0 {
+		g.first = seq
+	}
+	g.log = append(g.log, Envelope{Seq: seq, CRC: crc32.ChecksumIEEE(payload), Payload: payload})
+	g.trimLocked()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	g.shippedBatches.Add(1)
+	g.shippedBytes.Add(int64(len(payload)))
+	return seq
+}
+
+// Committed returns the last published sequence number.
+func (g *Group) Committed() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.commit
+}
+
+// trimLocked drops log entries every subscriber has applied. A paused
+// subscriber (its server is down) holds retention back — exactly the
+// HBase WAL-retention semantic that lets a revived server catch up.
+func (g *Group) trimLocked() {
+	if len(g.subs) == 0 {
+		// No subscribers: nothing will ever re-read the log.
+		g.log = g.log[:0]
+		return
+	}
+	min := g.commit
+	for _, s := range g.subs {
+		if a := s.applied.Load(); a < min {
+			min = a
+		}
+	}
+	for len(g.log) > 0 && g.log[0].Seq <= min {
+		g.log = g.log[1:]
+		g.first++
+	}
+}
+
+// envelope returns the retained envelope with sequence seq.
+func (g *Group) envelope(seq uint64) (Envelope, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.log) == 0 || seq < g.first || seq > g.log[len(g.log)-1].Seq {
+		return Envelope{}, false
+	}
+	return g.log[seq-g.first], true
+}
+
+// Subscribe registers an applier that replays envelopes after sequence
+// from (i.e. its state already includes everything up to and including
+// from). apply is called once per envelope, in sequence order, from a
+// dedicated goroutine; it must not retain the payload. A paused
+// subscriber retains log entries but applies nothing until Resume — the
+// state of a replica whose server is down.
+func (g *Group) Subscribe(name string, from uint64, apply func(seq uint64, payload []byte) error, paused bool) *Sub {
+	s := &Sub{g: g, name: name, apply: apply, done: make(chan struct{})}
+	s.applied.Store(from)
+	s.paused = paused
+	g.mu.Lock()
+	g.subs = append(g.subs, s)
+	g.mu.Unlock()
+	go s.run()
+	return s
+}
+
+// Stats snapshots the group's counters.
+func (g *Group) Stats() Stats {
+	g.mu.Lock()
+	st := Stats{Committed: g.commit}
+	for _, s := range g.subs {
+		if lag := g.commit - s.applied.Load(); lag > st.LagMax {
+			st.LagMax = lag
+		}
+	}
+	g.mu.Unlock()
+	st.ShippedBatches = g.shippedBatches.Load()
+	st.ShippedBytes = g.shippedBytes.Load()
+	st.Applies = g.applies.Load()
+	st.Rejects = g.rejects.Load()
+	return st
+}
+
+// Close stops every subscriber. When drain is true, live (non-paused,
+// non-failed) subscribers first catch up to the committed sequence, so
+// an orderly shutdown leaves replicas byte-identical to the primary.
+func (g *Group) Close(drain bool) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	subs := append([]*Sub(nil), g.subs...)
+	g.mu.Unlock()
+	var first error
+	for _, s := range subs {
+		if drain && !s.isPaused() && s.Err() == nil {
+			if err := s.CatchUp(); err != nil && first == nil {
+				first = err
+			}
+		}
+		s.Stop()
+	}
+	return first
+}
+
+// Sub is one subscriber: a background applier replaying the group's
+// log into a replica.
+type Sub struct {
+	g     *Group
+	name  string
+	apply func(seq uint64, payload []byte) error
+
+	applied atomic.Uint64 // last sequence applied
+
+	mu      sync.Mutex // guards paused / stopped / err (cond: g.cond)
+	paused  bool
+	stopped bool
+	err     error
+
+	dmu  sync.Mutex // serializes deliveries (run loop vs CatchUp)
+	done chan struct{}
+}
+
+// Name returns the subscriber's name (used by ship hooks to target a
+// specific replica).
+func (s *Sub) Name() string { return s.name }
+
+// Applied returns the last applied sequence number.
+func (s *Sub) Applied() uint64 { return s.applied.Load() }
+
+// Lag returns how many committed envelopes the subscriber has not yet
+// applied.
+func (s *Sub) Lag() uint64 {
+	c := s.g.Committed()
+	if a := s.applied.Load(); a < c {
+		return c - a
+	}
+	return 0
+}
+
+// Err returns the subscriber's sticky delivery error, if any.
+func (s *Sub) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Sub) isPaused() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.paused
+}
+
+// Pause parks the applier — the replica's server is down. Retained log
+// entries accumulate until Resume.
+func (s *Sub) Pause() { s.setPaused(true) }
+
+// Resume restarts the applier; it catches up from the retained log in
+// the background.
+func (s *Sub) Resume() { s.setPaused(false) }
+
+func (s *Sub) setPaused(p bool) {
+	s.mu.Lock()
+	s.paused = p
+	s.mu.Unlock()
+	s.g.mu.Lock()
+	s.g.cond.Broadcast()
+	s.g.mu.Unlock()
+}
+
+// Stop terminates the applier goroutine. The subscriber stays
+// registered for sequence accounting until the group is closed, but
+// applies nothing further; CatchUp on a stopped subscriber returns
+// ErrStopped.
+func (s *Sub) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	s.g.mu.Lock()
+	s.g.cond.Broadcast()
+	s.g.mu.Unlock()
+	<-s.done
+}
+
+// Unsubscribe stops the applier and removes the subscriber from the
+// group, releasing its hold on log retention.
+func (s *Sub) Unsubscribe() {
+	s.Stop()
+	s.g.mu.Lock()
+	for i, x := range s.g.subs {
+		if x == s {
+			s.g.subs = append(s.g.subs[:i], s.g.subs[i+1:]...)
+			break
+		}
+	}
+	s.g.trimLocked()
+	s.g.mu.Unlock()
+}
+
+// CatchUp synchronously applies every committed envelope the
+// subscriber has not yet applied, bypassing pause (it is the explicit
+// catch-up used by failover reads, promotions and orderly shutdown).
+// Deliveries still traverse the ship hook, so an injected fault is
+// exercised — and survived via re-request — on this path too.
+func (s *Sub) CatchUp() error {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	for {
+		s.mu.Lock()
+		stopped, err := s.stopped, s.err
+		s.mu.Unlock()
+		if stopped {
+			// A stopped subscriber's replica may have moved on (it was
+			// promoted to leader); replaying old envelopes into it could
+			// resurrect overwritten values. Refuse.
+			return ErrStopped
+		}
+		if err != nil {
+			return err
+		}
+		next := s.applied.Load() + 1
+		if next > s.g.Committed() {
+			return nil
+		}
+		env, ok := s.g.envelope(next)
+		if !ok {
+			return fmt.Errorf("replica: %s/%s: envelope %d trimmed before apply", s.g.name, s.name, next)
+		}
+		if err := s.deliverLocked(env); err != nil {
+			return err
+		}
+	}
+}
+
+// run is the applier goroutine: wait for the next committed envelope,
+// deliver it, repeat.
+func (s *Sub) run() {
+	defer close(s.done)
+	for {
+		env, ok := s.next()
+		if !ok {
+			return
+		}
+		s.dmu.Lock()
+		err := s.deliverLocked(env)
+		s.dmu.Unlock()
+		if err != nil {
+			s.mu.Lock()
+			if s.err == nil {
+				s.err = err
+			}
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
+// next blocks until an unapplied committed envelope exists and the
+// subscriber is neither paused nor stopped, then returns it.
+func (s *Sub) next() (Envelope, bool) {
+	s.g.mu.Lock()
+	defer s.g.mu.Unlock()
+	for {
+		s.mu.Lock()
+		stopped, paused := s.stopped, s.paused
+		s.mu.Unlock()
+		if stopped {
+			return Envelope{}, false
+		}
+		// Trim never drops entries above a registered subscriber's
+		// applied sequence, so next is always in the log when committed.
+		next := s.applied.Load() + 1
+		if !paused && next <= s.g.commit && len(s.g.log) > 0 && next >= s.g.first {
+			return s.g.log[next-s.g.first], true
+		}
+		s.g.cond.Wait()
+	}
+}
+
+// deliverLocked ships one envelope through the fault hook, verifies its
+// CRC, and applies it. A corrupt or dropped delivery is rejected and
+// re-requested from the retained log (which holds the pristine copy) up
+// to maxDeliveryAttempts times. Called with dmu held; a duplicate
+// delivery (the run loop racing a CatchUp) is skipped.
+func (s *Sub) deliverLocked(env Envelope) error {
+	if env.Seq <= s.applied.Load() {
+		return nil // already applied by a concurrent CatchUp
+	}
+	for attempt := 1; ; attempt++ {
+		payload := env.Payload
+		if ship := s.g.shipFn(); ship != nil {
+			// The hook gets a copy: corruption must damage one shipment,
+			// not the retained log the re-request reads from.
+			cp := Envelope{Seq: env.Seq, CRC: env.CRC, Payload: append([]byte(nil), env.Payload...)}
+			if err := ship(s.name, &cp); err != nil {
+				s.g.rejects.Add(1)
+				if attempt >= maxDeliveryAttempts {
+					return fmt.Errorf("replica: %s/%s: envelope %d dropped %d times: %w", s.g.name, s.name, env.Seq, attempt, err)
+				}
+				time.Sleep(redeliveryBackoff)
+				continue
+			}
+			payload = cp.Payload
+		}
+		if crc32.ChecksumIEEE(payload) != env.CRC {
+			// Never apply garbage: reject the envelope and re-request it.
+			s.g.rejects.Add(1)
+			if attempt >= maxDeliveryAttempts {
+				return fmt.Errorf("replica: %s/%s: envelope %d corrupt after %d deliveries", s.g.name, s.name, env.Seq, attempt)
+			}
+			time.Sleep(redeliveryBackoff)
+			continue
+		}
+		if err := s.apply(env.Seq, payload); err != nil {
+			return err
+		}
+		s.applied.Store(env.Seq)
+		s.g.applies.Add(1)
+		return nil
+	}
+}

@@ -1,0 +1,274 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// memApplier accumulates applied payloads, simulating a replica store.
+type memApplier struct {
+	mu       sync.Mutex
+	payloads [][]byte
+	lastSeq  uint64
+}
+
+func (m *memApplier) apply(seq uint64, payload []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if seq != m.lastSeq+1 {
+		return fmt.Errorf("out-of-order apply: %d after %d", seq, m.lastSeq)
+	}
+	m.lastSeq = seq
+	m.payloads = append(m.payloads, append([]byte(nil), payload...))
+	return nil
+}
+
+func (m *memApplier) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.payloads)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestGroupPublishApply(t *testing.T) {
+	g := NewGroup("r0")
+	var a memApplier
+	sub := g.Subscribe("s1", 0, a.apply, false)
+	for i := 0; i < 100; i++ {
+		g.Publish([]byte(fmt.Sprintf("batch-%03d", i)))
+	}
+	waitFor(t, "all applied", func() bool { return sub.Applied() == 100 })
+	if a.count() != 100 {
+		t.Fatalf("applied %d payloads, want 100", a.count())
+	}
+	if !bytes.Equal(a.payloads[42], []byte("batch-042")) {
+		t.Fatalf("payload 42 = %q", a.payloads[42])
+	}
+	st := g.Stats()
+	if st.ShippedBatches != 100 || st.Applies != 100 || st.Rejects != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	g.Close(true)
+}
+
+func TestPausedSubscriberLagsThenCatchesUp(t *testing.T) {
+	g := NewGroup("r0")
+	var a memApplier
+	sub := g.Subscribe("s1", 0, a.apply, true) // paused: server down
+	for i := 0; i < 50; i++ {
+		g.Publish([]byte("x"))
+	}
+	if sub.Lag() != 50 {
+		t.Fatalf("lag = %d, want 50", sub.Lag())
+	}
+	if a.count() != 0 {
+		t.Fatal("paused subscriber applied envelopes")
+	}
+	sub.Resume()
+	waitFor(t, "catch-up after resume", func() bool { return sub.Lag() == 0 })
+	if a.count() != 50 {
+		t.Fatalf("applied %d, want 50", a.count())
+	}
+	g.Close(true)
+}
+
+func TestCatchUpSynchronous(t *testing.T) {
+	g := NewGroup("r0")
+	var a memApplier
+	sub := g.Subscribe("s1", 0, a.apply, true)
+	for i := 0; i < 20; i++ {
+		g.Publish([]byte("x"))
+	}
+	// CatchUp drains even while paused — the failover-read path.
+	if err := sub.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Lag() != 0 || a.count() != 20 {
+		t.Fatalf("lag=%d applied=%d after CatchUp", sub.Lag(), a.count())
+	}
+	g.Close(true)
+}
+
+func TestCorruptDeliveryRejectedAndRerequested(t *testing.T) {
+	g := NewGroup("r0")
+	var a memApplier
+	var corrupted atomic.Int64
+	g.SetShip(func(sub string, env *Envelope) error {
+		// Corrupt exactly the first delivery of every envelope; the
+		// re-request must read the pristine copy from the log.
+		if corrupted.Add(1)%2 == 1 {
+			env.Payload[0] ^= 0xFF
+		}
+		return nil
+	})
+	sub := g.Subscribe("s1", 0, a.apply, false)
+	for i := 0; i < 10; i++ {
+		g.Publish([]byte(fmt.Sprintf("payload-%d", i)))
+	}
+	waitFor(t, "all applied despite corruption", func() bool { return sub.Applied() == 10 })
+	for i, p := range a.payloads {
+		if want := fmt.Sprintf("payload-%d", i); string(p) != want {
+			t.Fatalf("payload %d = %q, want %q — garbage applied", i, p, want)
+		}
+	}
+	if st := g.Stats(); st.Rejects != 10 {
+		t.Fatalf("rejects = %d, want 10", st.Rejects)
+	}
+	g.Close(true)
+}
+
+func TestDroppedDeliveryRetried(t *testing.T) {
+	g := NewGroup("r0")
+	var a memApplier
+	var calls atomic.Int64
+	g.SetShip(func(sub string, env *Envelope) error {
+		if calls.Add(1) <= 3 {
+			return errors.New("link down")
+		}
+		return nil
+	})
+	sub := g.Subscribe("s1", 0, a.apply, false)
+	g.Publish([]byte("p"))
+	waitFor(t, "delivery after drops", func() bool { return sub.Applied() == 1 })
+	if st := g.Stats(); st.Rejects != 3 {
+		t.Fatalf("rejects = %d, want 3", st.Rejects)
+	}
+	g.Close(true)
+}
+
+func TestPermanentCorruptionFailsSticky(t *testing.T) {
+	g := NewGroup("r0")
+	var a memApplier
+	g.SetShip(func(sub string, env *Envelope) error {
+		env.Payload[0] ^= 0xFF // every delivery corrupt
+		return nil
+	})
+	sub := g.Subscribe("s1", 0, a.apply, false)
+	g.Publish([]byte("p"))
+	waitFor(t, "sticky error", func() bool { return sub.Err() != nil })
+	if a.count() != 0 {
+		t.Fatal("corrupt envelope was applied")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	g := NewGroup("r0")
+	var a memApplier
+	g.SetShip(func(sub string, env *Envelope) error {
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	sub := g.Subscribe("s1", 0, a.apply, false)
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		g.Publish([]byte("x"))
+	}
+	waitFor(t, "delayed applies", func() bool { return sub.Applied() == 3 })
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("3 deliveries with 5ms injected latency took %v", d)
+	}
+	g.Close(true)
+}
+
+func TestTrimRetainsForSlowestSubscriber(t *testing.T) {
+	g := NewGroup("r0")
+	var fast, slow memApplier
+	sf := g.Subscribe("fast", 0, fast.apply, false)
+	ss := g.Subscribe("slow", 0, slow.apply, true) // paused holds retention
+	for i := 0; i < 30; i++ {
+		g.Publish([]byte(fmt.Sprintf("e-%d", i)))
+	}
+	waitFor(t, "fast applied", func() bool { return sf.Applied() == 30 })
+	g.mu.Lock()
+	retained := len(g.log)
+	g.mu.Unlock()
+	if retained != 30 {
+		t.Fatalf("retained %d envelopes, want 30 (paused sub holds trim)", retained)
+	}
+	ss.Resume()
+	waitFor(t, "slow caught up", func() bool { return ss.Applied() == 30 })
+	g.Publish([]byte("final")) // publish runs trim
+	waitFor(t, "both applied final", func() bool { return sf.Applied() == 31 && ss.Applied() == 31 })
+	g.mu.Lock()
+	retained = len(g.log)
+	g.mu.Unlock()
+	if retained > 1 {
+		t.Fatalf("retained %d envelopes after full catch-up, want ≤ 1", retained)
+	}
+	g.Close(true)
+}
+
+func TestUnsubscribeReleasesRetention(t *testing.T) {
+	g := NewGroup("r0")
+	var a memApplier
+	sub := g.Subscribe("s1", 0, a.apply, true)
+	for i := 0; i < 10; i++ {
+		g.Publish([]byte("x"))
+	}
+	sub.Unsubscribe()
+	g.Publish([]byte("y"))
+	g.mu.Lock()
+	retained := len(g.log)
+	g.mu.Unlock()
+	if retained != 0 {
+		t.Fatalf("retained %d envelopes with no subscribers, want 0", retained)
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	g := NewGroup("r0")
+	var a memApplier
+	g.SetShip(func(sub string, env *Envelope) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	g.Subscribe("s1", 0, a.apply, false)
+	for i := 0; i < 20; i++ {
+		g.Publish([]byte("x"))
+	}
+	if err := g.Close(true); err != nil {
+		t.Fatal(err)
+	}
+	if a.count() != 20 {
+		t.Fatalf("close(drain) left %d/20 applied", a.count())
+	}
+}
+
+func TestConcurrentPublishSequential(t *testing.T) {
+	g := NewGroup("r0")
+	var a memApplier
+	sub := g.Subscribe("s1", 0, a.apply, false)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				g.Publish([]byte("x"))
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, "all applied", func() bool { return sub.Applied() == 800 })
+	// memApplier errors on any out-of-order sequence; reaching 800 means
+	// delivery order was exactly 1..800.
+	if err := sub.Err(); err != nil {
+		t.Fatal(err)
+	}
+	g.Close(true)
+}

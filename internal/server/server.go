@@ -7,6 +7,7 @@
 package server
 
 import (
+	"container/list"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -27,6 +28,14 @@ type Options struct {
 	PageSize int
 	// CursorTTL expires abandoned cursors; default 5 minutes.
 	CursorTTL time.Duration
+	// MaxCursors bounds how many open cursors the server retains;
+	// default 256. When exceeded, the least recently used cursor is
+	// evicted (a later fetch on it reports "unknown or expired").
+	MaxCursors int
+	// MaxCursorBytes bounds the estimated memory held by open cursors;
+	// default 64 MiB. LRU eviction applies, but the most recently
+	// stored cursor is always kept even if it alone exceeds the bound.
+	MaxCursorBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -36,6 +45,12 @@ func (o Options) withDefaults() Options {
 	if o.CursorTTL <= 0 {
 		o.CursorTTL = 5 * time.Minute
 	}
+	if o.MaxCursors <= 0 {
+		o.MaxCursors = 256
+	}
+	if o.MaxCursorBytes <= 0 {
+		o.MaxCursorBytes = 64 << 20
+	}
 	return o
 }
 
@@ -44,16 +59,23 @@ type Server struct {
 	engine *core.Engine
 	opts   Options
 
-	mu      sync.Mutex
-	cursors map[string]*cursor
-	nextID  int64
-	now     func() time.Time
+	mu          sync.Mutex
+	cursors     map[string]*cursor
+	lru         *list.List // front = most recently used; values are *cursor
+	cursorBytes int64      // estimated memory held by open cursors
+	evicted     int64      // cursors dropped by the LRU bound
+	expired     int64      // cursors dropped by the TTL
+	nextID      int64
+	now         func() time.Time
 }
 
 type cursor struct {
+	id      string
 	rows    [][]any
 	columns []string
+	bytes   int64 // estimated memory footprint
 	expires time.Time
+	elem    *list.Element
 }
 
 // New creates a server over an engine.
@@ -62,6 +84,7 @@ func New(engine *core.Engine, opts Options) *Server {
 		engine:  engine,
 		opts:    opts.withDefaults(),
 		cursors: map[string]*cursor{},
+		lru:     list.New(),
 		now:     time.Now,
 	}
 }
@@ -73,6 +96,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/fetch", s.handleFetch)
 	mux.HandleFunc("/api/v1/health", s.handleHealth)
 	mux.HandleFunc("/api/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/api/v1/admin/replication", s.handleReplication)
+	mux.HandleFunc("/api/v1/admin/servers", s.handleServers)
 	return mux
 }
 
@@ -136,22 +161,74 @@ func (s *Server) storeCursor(columns []string, rest [][]any) string {
 	defer s.mu.Unlock()
 	s.gcLocked()
 	s.nextID++
-	id := fmt.Sprintf("cur-%d", s.nextID)
-	s.cursors[id] = &cursor{
+	c := &cursor{
+		id:      fmt.Sprintf("cur-%d", s.nextID),
 		rows:    rest,
 		columns: columns,
+		bytes:   estimateRows(rest),
 		expires: s.now().Add(s.opts.CursorTTL),
 	}
-	return id
+	s.cursors[c.id] = c
+	c.elem = s.lru.PushFront(c)
+	s.cursorBytes += c.bytes
+	// Evict least-recently-used cursors past the count/byte bounds. The
+	// newest cursor survives even when oversized on its own: its id was
+	// (or is about to be) handed to a client.
+	for s.lru.Len() > 1 && (s.lru.Len() > s.opts.MaxCursors || s.cursorBytes > s.opts.MaxCursorBytes) {
+		s.removeLocked(s.lru.Back().Value.(*cursor))
+		s.evicted++
+	}
+	return c.id
+}
+
+// removeLocked detaches a cursor from the map, the LRU list and the
+// byte accounting.
+func (s *Server) removeLocked(c *cursor) {
+	delete(s.cursors, c.id)
+	s.lru.Remove(c.elem)
+	s.cursorBytes -= c.bytes
 }
 
 func (s *Server) gcLocked() {
 	now := s.now()
-	for id, c := range s.cursors {
+	for _, c := range s.cursors {
 		if c.expires.Before(now) {
-			delete(s.cursors, id)
+			s.removeLocked(c)
+			s.expired++
 		}
 	}
+}
+
+// estimateRows approximates the memory a cursor's buffered rows hold —
+// value payloads plus slice/interface overhead — for the cursor-cache
+// byte bound. It is an estimate, not an exact accounting.
+func estimateRows(rows [][]any) int64 {
+	var n int64
+	for _, row := range rows {
+		n += 24 // row slice header
+		for _, v := range row {
+			n += 16 // interface header
+			switch x := v.(type) {
+			case string:
+				n += int64(len(x))
+			case map[string]any:
+				for k, mv := range x {
+					n += int64(len(k)) + 16
+					switch y := mv.(type) {
+					case string:
+						n += int64(len(y))
+					case [][3]float64:
+						n += int64(len(y)) * 24
+					default:
+						n += 8
+					}
+				}
+			default:
+				n += 8
+			}
+		}
+	}
+	return n
 }
 
 func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
@@ -160,7 +237,7 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	s.gcLocked()
 	c, ok := s.cursors[id]
 	if ok {
-		delete(s.cursors, id)
+		s.removeLocked(c)
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -185,10 +262,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics exposes the storage counters: the scan pipeline's
-// pairs-scanned / rows-kept stage counters and the write path's
-// group-commit, WAL-sync, flush-queue and write-stall counters.
+// pairs-scanned / rows-kept stage counters, the write path's
+// group-commit, WAL-sync, flush-queue and write-stall counters, the
+// replication shipping/failover counters and the cursor-cache gauges.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.engine.Cluster().Metrics()
+	s.mu.Lock()
+	s.gcLocked()
+	openCursors := len(s.cursors)
+	cursorBytes := s.cursorBytes
+	evicted, expired := s.evicted, s.expired
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"regions":              s.engine.Cluster().Regions(),
 		"bytes_written":        m.BytesWritten,
@@ -210,7 +294,74 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"flush_queue_depth":    m.FlushQueueDepth,
 		"write_stalls":         m.WriteStalls,
 		"write_stall_nanos":    m.WriteStallNanos,
+		"shipped_batches":      m.ShippedBatches,
+		"shipped_bytes":        m.ShippedBytes,
+		"replica_applies":      m.ReplicaApplies,
+		"replica_rejects":      m.ReplicaRejects,
+		"replica_lag_max":      m.ReplicaLagMax,
+		"failovers":            m.Failovers,
+		"failover_reads":       m.FailoverReads,
+		"stale_reads":          m.StaleReads,
+		"cursors_open":         openCursors,
+		"cursor_bytes":         cursorBytes,
+		"cursors_evicted":      evicted,
+		"cursors_expired":      expired,
 	})
+}
+
+// handleReplication exposes per-region replication topology and apply
+// lag: GET /api/v1/admin/replication.
+func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"regions": s.engine.Cluster().ReplicationState(),
+	})
+}
+
+// serverActionRequest is the body of POST /api/v1/admin/servers: a
+// failure-injection action against one simulated region server.
+type serverActionRequest struct {
+	ID     int    `json:"id"`
+	Action string `json:"action"` // "kill" or "revive"
+}
+
+// handleServers lists region servers (GET) or kills/revives one (POST)
+// for chaos drills: POST {"id": 2, "action": "kill"}.
+func (s *Server) handleServers(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"servers": s.engine.Cluster().ServerStates(),
+		})
+	case http.MethodPost:
+		var req serverActionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad request: " + err.Error()})
+			return
+		}
+		var err error
+		switch req.Action {
+		case "kill":
+			err = s.engine.Cluster().KillServer(req.ID)
+		case "revive":
+			err = s.engine.Cluster().ReviveServer(req.ID)
+		default:
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("unknown action %q", req.Action)})
+			return
+		}
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"servers": s.engine.Cluster().ServerStates(),
+		})
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

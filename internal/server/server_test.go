@@ -240,3 +240,199 @@ func TestServerMetrics(t *testing.T) {
 		t.Errorf("scan_pairs = %v, want > 0 after a scan", m["scan_pairs"])
 	}
 }
+
+// newReplicatedServer starts a server over a replicated cluster so the
+// admin/replication endpoints have a real topology behind them.
+func newReplicatedServer(t *testing.T, opts Options) (*httptest.Server, *Server) {
+	t.Helper()
+	eng, err := core.Open(core.Config{
+		Dir:     t.TempDir(),
+		Workers: 2,
+		Cluster: kv.ClusterOptions{Servers: 3, Replication: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	s := New(eng, opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAdminReplicationEndpoint(t *testing.T) {
+	ts, s := newReplicatedServer(t, Options{})
+	if err := s.engine.Cluster().Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	m := getJSON(t, ts.URL+"/api/v1/admin/replication")
+	regions, ok := m["regions"].([]any)
+	if !ok || len(regions) == 0 {
+		t.Fatalf("replication state = %v", m)
+	}
+	nodes := regions[0].(map[string]any)["nodes"].([]any)
+	if len(nodes) != 2 {
+		t.Fatalf("nodes = %v, want leader+replica", nodes)
+	}
+	if nodes[0].(map[string]any)["role"] != "leader" {
+		t.Fatalf("first node = %v, want leader", nodes[0])
+	}
+}
+
+func TestAdminServersKillRevive(t *testing.T) {
+	ts, s := newReplicatedServer(t, Options{})
+	m := getJSON(t, ts.URL+"/api/v1/admin/servers")
+	if servers := m["servers"].([]any); len(servers) != 3 {
+		t.Fatalf("servers = %v", m)
+	}
+	kill := func(action string, id int, wantStatus int) map[string]any {
+		t.Helper()
+		body, _ := json.Marshal(serverActionRequest{ID: id, Action: action})
+		resp, err := http.Post(ts.URL+"/api/v1/admin/servers", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s(%d) status = %d, want %d", action, id, resp.StatusCode, wantStatus)
+		}
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		return out
+	}
+	out := kill("kill", 1, http.StatusOK)
+	if down := out["servers"].([]any)[1].(map[string]any)["down"]; down != true {
+		t.Fatalf("server 1 not reported down: %v", out)
+	}
+	if !s.engine.Cluster().ServerStates()[1].Down {
+		t.Fatal("kill did not reach the cluster")
+	}
+	kill("revive", 1, http.StatusOK)
+	if s.engine.Cluster().ServerStates()[1].Down {
+		t.Fatal("revive did not reach the cluster")
+	}
+	kill("explode", 1, http.StatusBadRequest)
+	kill("kill", 99, http.StatusBadRequest)
+}
+
+func TestReplicationMetricsKeys(t *testing.T) {
+	ts, s := newReplicatedServer(t, Options{})
+	if err := s.engine.Cluster().Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.engine.Cluster().SyncReplicas(); err != nil {
+		t.Fatal(err)
+	}
+	m := getJSON(t, ts.URL+"/api/v1/metrics")
+	for _, key := range []string{
+		"shipped_batches", "shipped_bytes", "replica_applies", "replica_rejects",
+		"replica_lag_max", "failovers", "failover_reads", "stale_reads",
+		"cursors_open", "cursor_bytes", "cursors_evicted", "cursors_expired",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metrics missing %q", key)
+		}
+	}
+	if m["shipped_batches"].(float64) <= 0 {
+		t.Errorf("shipped_batches = %v, want > 0", m["shipped_batches"])
+	}
+	if m["replica_applies"].(float64) <= 0 {
+		t.Errorf("replica_applies = %v, want > 0", m["replica_applies"])
+	}
+}
+
+// TestCursorLRUBounds checks the cursor cache evicts least-recently-
+// used cursors past the configured count bound, and that byte
+// accounting tracks stores and fetches.
+func TestCursorLRUBounds(t *testing.T) {
+	ts, s := newTestServer(t, Options{PageSize: 2, MaxCursors: 3})
+	c := client.Connect(ts.URL, "u1")
+	c.Execute(`CREATE TABLE p (fid integer:primary key, geom point)`)
+	var values []string
+	for i := 0; i < 10; i++ {
+		values = append(values, fmt.Sprintf("(%d, st_makePoint(116.0, 39.9))", i))
+	}
+	c.Execute(`INSERT INTO p VALUES ` + strings.Join(values, ","))
+
+	// Each query leaves one open cursor (10 rows, page size 2).
+	var ids []string
+	for i := 0; i < 5; i++ {
+		res := post(t, ts.URL, "u1", `SELECT fid FROM p WHERE geom WITHIN st_makeMBR(115,39,117,40)`)
+		if res.Cursor == "" {
+			t.Fatalf("query %d left no cursor", i)
+		}
+		ids = append(ids, res.Cursor)
+	}
+	s.mu.Lock()
+	open, bytes, evicted := len(s.cursors), s.cursorBytes, s.evicted
+	s.mu.Unlock()
+	if open != 3 {
+		t.Fatalf("open cursors = %d, want 3 (MaxCursors)", open)
+	}
+	if evicted != 2 {
+		t.Fatalf("evicted = %d, want 2", evicted)
+	}
+	if bytes <= 0 {
+		t.Fatalf("cursorBytes = %d, want > 0", bytes)
+	}
+
+	// The two oldest cursors were evicted; the newest still pages.
+	for _, id := range ids[:2] {
+		resp, err := http.Get(ts.URL + "/api/v1/fetch?cursor=" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("evicted cursor %s fetch = %d, want 404", id, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/fetch?cursor=" + ids[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live cursor fetch = %d", resp.StatusCode)
+	}
+}
+
+// TestCursorByteBound: a tiny byte budget keeps only the newest cursor.
+func TestCursorByteBound(t *testing.T) {
+	ts, s := newTestServer(t, Options{PageSize: 2, MaxCursorBytes: 1})
+	c := client.Connect(ts.URL, "u1")
+	c.Execute(`CREATE TABLE p (fid integer:primary key, geom point)`)
+	var values []string
+	for i := 0; i < 10; i++ {
+		values = append(values, fmt.Sprintf("(%d, st_makePoint(116.0, 39.9))", i))
+	}
+	c.Execute(`INSERT INTO p VALUES ` + strings.Join(values, ","))
+	for i := 0; i < 3; i++ {
+		if res := post(t, ts.URL, "u1", `SELECT fid FROM p WHERE geom WITHIN st_makeMBR(115,39,117,40)`); res.Cursor == "" {
+			t.Fatalf("query %d left no cursor", i)
+		}
+	}
+	s.mu.Lock()
+	open := len(s.cursors)
+	s.mu.Unlock()
+	if open != 1 {
+		t.Fatalf("open cursors = %d, want 1 (newest survives a 1-byte budget)", open)
+	}
+}
