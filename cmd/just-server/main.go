@@ -26,6 +26,7 @@ func main() {
 	viewTTL := flag.Duration("view-ttl", 30*time.Minute, "idle view eviction")
 	servers := flag.Int("servers", 0, "simulated region servers (0 = default 5)")
 	replication := flag.Int("replication", 0, "replicas per region on distinct servers (0 = off)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "background SSTable integrity scrub period (0 = off)")
 	flag.Parse()
 
 	eng, err := core.Open(core.Config{
@@ -33,8 +34,9 @@ func main() {
 		Workers: *workers,
 		ViewTTL: *viewTTL,
 		Cluster: kv.ClusterOptions{
-			Servers:     *servers,
-			Replication: *replication,
+			Servers:       *servers,
+			Replication:   *replication,
+			ScrubInterval: *scrubInterval,
 		},
 	})
 	if err != nil {

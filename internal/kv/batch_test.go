@@ -539,7 +539,7 @@ func TestReplayWALReusedBufferLargeLog(t *testing.T) {
 	// payload buffer must not corrupt earlier records' contents.
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wal-000000.log")
-	l, err := openWAL(path)
+	l, err := openWAL(OSFS{}, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -562,7 +562,7 @@ func TestReplayWALReusedBufferLargeLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := map[string][]byte{}
-	_, err = replayWAL(path, func(k kind, key, value []byte) error {
+	_, err = replayWAL(OSFS{}, path, func(k kind, key, value []byte) error {
 		if k != kindPut {
 			t.Fatalf("unexpected kind %d", k)
 		}

@@ -3,12 +3,12 @@ package kv
 import (
 	"bytes"
 	"fmt"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"just/internal/replica"
 )
@@ -38,6 +38,12 @@ type ClusterOptions struct {
 	// smaller than Servers. With replication, reads and writes survive
 	// the failure of any Replication servers (see KillServer).
 	Replication int
+	// ScrubInterval enables the background integrity scrubber: every
+	// interval, all SSTable blocks on all nodes are re-read and
+	// checksum-verified, and corrupt stores are repaired from replicas
+	// (see Scrub). 0 (the default) disables the loop; Scrub can still
+	// be run on demand.
+	ScrubInterval time.Duration
 }
 
 // Cluster is the storage fabric: a sorted key space partitioned into
@@ -55,6 +61,17 @@ type Cluster struct {
 	servers []*regionServer
 	nextID  int
 	closed  bool
+
+	// Integrity subsystem state (see scrub.go). repairWG tracks every
+	// scheduled repair so Scrub and Close can wait for quiescence.
+	repairWG        sync.WaitGroup
+	scrubMu         sync.Mutex // serializes Scrub runs
+	scrubRunning    atomic.Bool
+	scrubLastStart  atomic.Int64 // unix ms
+	scrubLastDur    atomic.Int64 // ms
+	scrubLastBlocks atomic.Int64
+	scrubStop       chan struct{}
+	scrubDone       chan struct{}
 }
 
 // regionHandle binds a key range to its replication group: nodes[0] is
@@ -63,9 +80,11 @@ type Cluster struct {
 // never contended.
 type regionHandle struct {
 	kr    KeyRange
-	mu    sync.RWMutex // membership/leadership; write-held only by promote
+	mu    sync.RWMutex // membership/leadership; write-held by promote and repair
 	nodes []*node      // nodes[0] = current leader
 	group *replica.Group
+
+	repairing atomic.Bool // collapses concurrent repairHandle runs
 }
 
 // regionServer models one node: a semaphore bounding concurrent tasks,
@@ -132,6 +151,11 @@ func OpenCluster(dir string, opts ClusterOptions) (*Cluster, error) {
 		c.regions = append(c.regions, h)
 		c.nextID = i + 1
 	}
+	if opts.ScrubInterval > 0 {
+		c.scrubStop = make(chan struct{})
+		c.scrubDone = make(chan struct{})
+		go c.scrubLoop(opts.ScrubInterval)
+	}
 	return c, nil
 }
 
@@ -175,7 +199,10 @@ func (c *Cluster) Delete(key []byte) error {
 
 // Get fetches the value for key or ErrNotFound, transparently reading
 // from a replica (drained to the committed sequence first) when the
-// leader's server is down.
+// leader's server is down. A read that trips on a corrupt SSTable
+// block reports the damage (quarantine + background repair) and
+// retries on a healthy copy; only at RF=0 does the typed corruption
+// error reach the caller.
 func (c *Cluster) Get(key []byte) ([]byte, error) {
 	c.mu.RLock()
 	if c.closed {
@@ -184,11 +211,17 @@ func (c *Cluster) Get(key []byte) ([]byte, error) {
 	}
 	h := c.regionFor(key)
 	c.mu.RUnlock()
-	n, err := h.readNode(c)
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		n, err := h.readNode(c)
+		if err != nil {
+			return nil, err
+		}
+		v, err := n.r.Get(key)
+		if err != nil && c.reportCorruption(h, n.r, err) && attempt < maxCorruptRetries {
+			continue
+		}
+		return v, err
 	}
-	return n.r.Get(key)
 }
 
 // Flush persists all memtables; call after bulk loads and before
@@ -204,7 +237,9 @@ func (c *Cluster) Flush() error {
 	// serving and shipping, not the process hosting the data files).
 	err := eachRegion(hs, func(h *regionHandle) error {
 		for _, n := range h.nodeViews() {
-			if err := n.r.flush(); err != nil {
+			// ErrClosed: a corruption repair wiped this node between the
+			// snapshot and the flush; the fresh store starts empty.
+			if err := n.r.flush(); err != nil && err != ErrClosed {
 				return err
 			}
 		}
@@ -229,7 +264,10 @@ func (c *Cluster) Compact() error {
 	c.mu.RUnlock()
 	return eachRegion(hs, func(h *regionHandle) error {
 		for _, n := range h.nodeViews() {
-			if err := n.r.compact(); err != nil {
+			if err := n.r.compact(); err != nil && err != ErrClosed {
+				if c.reportCorruption(h, n.r, err) {
+					continue // repair scheduled; the rebuilt store needs no compaction
+				}
 				return err
 			}
 		}
@@ -337,11 +375,23 @@ func (c *Cluster) MultiGet(keys [][]byte) ([][]byte, error) {
 	}
 	c.mu.RUnlock()
 	err := eachRegion(order, func(h *regionHandle) error {
-		n, err := h.readNode(c)
-		if err != nil {
+		idxs := groups[h]
+		for attempt := 0; ; attempt++ {
+			n, err := h.readNode(c)
+			if err != nil {
+				return err
+			}
+			err = n.r.getBatch(idxs, keys, out)
+			if err != nil && c.reportCorruption(h, n.r, err) && attempt < maxCorruptRetries {
+				// getBatch may have filled some entries before tripping;
+				// reset them so the healthy copy's snapshot is authoritative.
+				for _, i := range idxs {
+					out[i] = nil
+				}
+				continue
+			}
 			return err
 		}
-		return n.r.getBatch(groups[h], keys, out)
 	})
 	if err != nil {
 		return nil, err
@@ -371,22 +421,20 @@ func (c *Cluster) ScanRange(kr KeyRange, emit func(key, value []byte) bool) erro
 		if !ok {
 			continue
 		}
-		n, err := h.readNode(c)
+		stop := false
+		err := c.scanOne(h, sub, func(k, v []byte) bool {
+			if !emit(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
 		if err != nil {
 			return err
 		}
-		it := n.r.Scan(sub)
-		for it.Next() {
-			if !emit(it.Key(), it.Value()) {
-				it.Close()
-				return nil
-			}
+		if stop {
+			return nil
 		}
-		if err := it.Err(); err != nil {
-			it.Close()
-			return err
-		}
-		it.Close()
 	}
 	return nil
 }
@@ -516,55 +564,79 @@ func ScanRangesFunc[T any](c *Cluster, ranges []KeyRange, process func(key, valu
 		wg.Add(1)
 		go func(t task) {
 			defer wg.Done()
-			// The serving node is picked when the task launches: a server
-			// killed mid-scan fails tasks over to replicas from the next
-			// task onward (tasks already running on it finish — the
-			// simulated failure boundary is task granularity).
-			n, err := t.h.readNode(c)
-			if err != nil {
-				fail(err)
-				return
-			}
-			n.server.run(func() {
-				if cancelled.Load() {
-					return
-				}
-				var scanned, kept int64
-				defer func() {
-					atomic.AddInt64(&c.met.ScanPairs, scanned)
-					atomic.AddInt64(&c.met.ScanKept, kept)
-				}()
-				batch := *pool.Get().(*[]T)
-				it := n.r.Scan(t.kr)
-				defer it.Close()
-				for it.Next() {
-					if cancelled.Load() {
-						return
-					}
-					scanned++
-					out, keep, err := process(it.Key(), it.Value())
-					if err != nil {
-						fail(err)
-						return
-					}
-					if !keep {
-						continue
-					}
-					kept++
-					batch = append(batch, out)
-					if len(batch) == scanBatchSize {
-						batches <- batch
-						batch = *pool.Get().(*[]T)
-					}
-				}
-				if err := it.Err(); err != nil {
+			var scanned, kept int64
+			defer func() {
+				atomic.AddInt64(&c.met.ScanPairs, scanned)
+				atomic.AddInt64(&c.met.ScanKept, kept)
+			}()
+			batch := *pool.Get().(*[]T)
+			var resume []byte // last key processed, reused across pairs
+			sub := t.kr
+			for attempt := 0; ; attempt++ {
+				// The serving node is picked when the task (or a corruption
+				// retry) launches: a server killed mid-scan fails tasks over
+				// to replicas from the next task onward (tasks already
+				// running on it finish — the simulated failure boundary is
+				// task granularity).
+				n, err := t.h.readNode(c)
+				if err != nil {
 					fail(err)
 					return
 				}
-				if len(batch) > 0 {
-					batches <- batch
+				var scanErr error
+				done := false
+				n.server.run(func() {
+					if cancelled.Load() {
+						done = true
+						return
+					}
+					it := n.r.Scan(sub)
+					defer it.Close()
+					for it.Next() {
+						if cancelled.Load() {
+							done = true
+							return
+						}
+						scanned++
+						resume = append(resume[:0], it.Key()...)
+						out, keep, err := process(it.Key(), it.Value())
+						if err != nil {
+							fail(err)
+							done = true
+							return
+						}
+						if !keep {
+							continue
+						}
+						kept++
+						batch = append(batch, out)
+						if len(batch) == scanBatchSize {
+							batches <- batch
+							batch = *pool.Get().(*[]T)
+						}
+					}
+					scanErr = it.Err()
+				})
+				if done {
+					return
 				}
-			})
+				if scanErr != nil && c.reportCorruption(t.h, n.r, scanErr) && attempt < maxCorruptRetries {
+					// Resume just past the last processed key on a healthy
+					// copy; everything already processed stays delivered.
+					if len(resume) > 0 {
+						sub.Start = append(append([]byte(nil), resume...), 0)
+					}
+					continue
+				}
+				if scanErr != nil {
+					fail(scanErr)
+					return
+				}
+				break
+			}
+			if len(batch) > 0 {
+				batches <- batch
+			}
 		}(t)
 	}
 	go func() {
@@ -596,22 +668,39 @@ func ScanRangesFunc[T any](c *Cluster, ranges []KeyRange, process func(key, valu
 	return err
 }
 
+// scanOne runs one region-range scan on the serving node with
+// corruption failover: a scan that trips on a corrupt block reports the
+// damage, re-picks a healthy node and resumes just past the last key it
+// delivered (keys are ascending, so nothing is re-emitted or skipped).
 func (c *Cluster) scanOne(h *regionHandle, kr KeyRange, emit func(k, v []byte) bool) error {
-	n, err := h.readNode(c)
-	if err != nil {
-		return err
-	}
-	n.server.run(func() {
-		it := n.r.Scan(kr)
-		defer it.Close()
-		for it.Next() {
-			if !emit(it.Key(), it.Value()) {
-				return
-			}
+	var resume []byte // last key handed to emit, reused across pairs
+	for attempt := 0; ; attempt++ {
+		n, err := h.readNode(c)
+		if err != nil {
+			return err
 		}
-		err = it.Err()
-	})
-	return err
+		var scanErr error
+		n.server.run(func() {
+			it := n.r.Scan(kr)
+			defer it.Close()
+			for it.Next() {
+				resume = append(resume[:0], it.Key()...)
+				if !emit(it.Key(), it.Value()) {
+					return
+				}
+			}
+			scanErr = it.Err()
+		})
+		if scanErr != nil && c.reportCorruption(h, n.r, scanErr) && attempt < maxCorruptRetries {
+			if len(resume) > 0 {
+				// Resume after the last delivered key (half-open ranges:
+				// key+"\x00" is the smallest key greater than key).
+				kr.Start = append(append([]byte(nil), resume...), 0)
+			}
+			continue
+		}
+		return scanErr
+	}
 }
 
 // maybeSplit splits h into two regions if it outgrew MaxRegionBytes.
@@ -681,7 +770,7 @@ func (c *Cluster) maybeSplit(h *regionHandle) error {
 	}
 	parentDir := hr.dir
 	hr.Close()
-	os.RemoveAll(parentDir)
+	hr.fs.RemoveAll(parentDir)
 	// The busier half goes to the least-loaded server.
 	lh := &regionHandle{kr: KeyRange{Start: h.kr.Start, End: mid}, nodes: []*node{{r: left, server: h.nodes[0].server}}}
 	rh := &regionHandle{kr: KeyRange{Start: mid, End: h.kr.End}, nodes: []*node{{r: right, server: c.leastLoadedServer()}}}
@@ -749,14 +838,14 @@ func (c *Cluster) Metrics() Metrics {
 		}
 	}
 	return Metrics{
-		ShippedBatches: shippedBatches,
-		ShippedBytes:   shippedBytes,
-		ReplicaApplies: applies,
-		ReplicaRejects: rejects,
-		ReplicaLagMax:  lagMax,
-		Failovers:      atomic.LoadInt64(&c.met.Failovers),
-		FailoverReads:  atomic.LoadInt64(&c.met.FailoverReads),
-		StaleReads:     atomic.LoadInt64(&c.met.StaleReads),
+		ShippedBatches:     shippedBatches,
+		ShippedBytes:       shippedBytes,
+		ReplicaApplies:     applies,
+		ReplicaRejects:     rejects,
+		ReplicaLagMax:      lagMax,
+		Failovers:          atomic.LoadInt64(&c.met.Failovers),
+		FailoverReads:      atomic.LoadInt64(&c.met.FailoverReads),
+		StaleReads:         atomic.LoadInt64(&c.met.StaleReads),
 		BytesWritten:       atomic.LoadInt64(&c.met.BytesWritten),
 		BytesRead:          atomic.LoadInt64(&c.met.BytesRead),
 		BlocksRead:         atomic.LoadInt64(&c.met.BlocksRead),
@@ -776,6 +865,14 @@ func (c *Cluster) Metrics() Metrics {
 		WriteStalls:        atomic.LoadInt64(&c.met.WriteStalls),
 		WriteStallNanos:    atomic.LoadInt64(&c.met.WriteStallNanos),
 		FlushQueueDepth:    depth,
+
+		CorruptionsDetected: atomic.LoadInt64(&c.met.CorruptionsDetected),
+		ReadRetries:         atomic.LoadInt64(&c.met.ReadRetries),
+		BlocksScrubbed:      atomic.LoadInt64(&c.met.BlocksScrubbed),
+		ScrubRuns:           atomic.LoadInt64(&c.met.ScrubRuns),
+		TablesQuarantined:   atomic.LoadInt64(&c.met.TablesQuarantined),
+		RepairsCompleted:    atomic.LoadInt64(&c.met.RepairsCompleted),
+		OrphansRemoved:      atomic.LoadInt64(&c.met.OrphansRemoved),
 	}
 }
 
@@ -786,11 +883,24 @@ func (c *Cluster) Metrics() Metrics {
 // race an in-flight flush or strand acknowledged batches unshipped.
 func (c *Cluster) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
+	c.mu.Unlock()
+	// Quiesce the integrity subsystem before touching the regions: the
+	// scrubber and in-flight repairs read and rebuild stores, so they
+	// must finish (repairs observe the closed flag and wind down) before
+	// the stores go away.
+	if c.scrubStop != nil {
+		close(c.scrubStop)
+		<-c.scrubDone
+	}
+	c.repairWG.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var first error
 	for _, h := range c.regions {
 		if h.group != nil {

@@ -1,0 +1,265 @@
+package kv
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the error returned by operations a FaultFS chose to
+// fail. Tests assert on it to distinguish injected faults from real
+// disk errors.
+var ErrInjected = errors.New("kv: injected disk fault")
+
+// FaultOp selects which filesystem operation a FaultRule intercepts.
+type FaultOp uint8
+
+const (
+	// OpRead intercepts File.ReadAt on files opened through the fault FS.
+	OpRead FaultOp = iota + 1
+	// OpWrite intercepts File.Write.
+	OpWrite
+	// OpSync intercepts File.Sync and VFS.SyncDir.
+	OpSync
+	// OpRename intercepts VFS.Rename (matched against the old path).
+	OpRename
+	// OpRemove intercepts VFS.Remove.
+	OpRemove
+	// OpCreate intercepts VFS.Create and VFS.OpenAppend.
+	OpCreate
+)
+
+// FaultKind selects how a triggered rule misbehaves.
+type FaultKind uint8
+
+const (
+	// FaultErr fails the operation with ErrInjected, leaving state
+	// untouched (reads return no data, writes write nothing).
+	FaultErr FaultKind = iota + 1
+	// FaultBitFlip (reads) flips one bit in the returned buffer — a
+	// transient bus/DMA fault; the bytes on disk stay intact, so a
+	// checksum-driven re-read sees good data.
+	FaultBitFlip
+	// FaultTorn (writes) persists only a prefix of the buffer, then
+	// fails with ErrInjected — a torn write at the crash boundary.
+	FaultTorn
+	// FaultDrop (sync, rename) reports success without doing the work:
+	// the lost fsync / lost directory entry of a misbehaving disk.
+	FaultDrop
+)
+
+// FaultRule arms one fault: operations of type Op on paths whose base
+// name matches Pattern fire with probability Prob, at most Count times
+// (Count <= 0 means unlimited).
+type FaultRule struct {
+	// Pattern is matched with path.Match against the file's base name;
+	// empty matches everything.
+	Pattern string
+	Op      FaultOp
+	Kind    FaultKind
+	// Prob is the chance each operation triggers the rule; values >= 1
+	// always trigger.
+	Prob float64
+	// Count bounds how many times the rule fires; 0 is unlimited.
+	Count int
+}
+
+// FaultFS wraps another VFS and injects disk faults per configured
+// rules. The RNG is seeded, so a test's fault schedule is reproducible.
+type FaultFS struct {
+	base VFS
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*FaultRule
+
+	injected atomic.Int64
+}
+
+// NewFaultFS wraps base with a fault injector using the given RNG seed.
+func NewFaultFS(base VFS, seed int64) *FaultFS {
+	return &FaultFS{base: base, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add arms a rule. Rules are evaluated in the order added; the first
+// match that passes its probability check fires.
+func (f *FaultFS) Add(r FaultRule) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rule := r
+	f.rules = append(f.rules, &rule)
+	return f
+}
+
+// Clear disarms every rule.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// Injected reports how many faults have fired.
+func (f *FaultFS) Injected() int64 { return f.injected.Load() }
+
+// pick returns the kind of fault to inject for op on path, if any.
+func (f *FaultFS) pick(op FaultOp, path string) (FaultKind, bool) {
+	base := filepath.Base(path)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.rules {
+		if r.Op != op || r.Count < 0 { // wrong op, or exhausted
+			continue
+		}
+		if r.Pattern != "" {
+			if ok, _ := filepath.Match(r.Pattern, base); !ok {
+				continue
+			}
+		}
+		if r.Prob < 1 && f.rng.Float64() >= r.Prob {
+			continue
+		}
+		if r.Count > 0 {
+			r.Count--
+			if r.Count == 0 {
+				r.Count = -1 // exhausted (0 at arm time means unlimited)
+			}
+		}
+		f.injected.Add(1)
+		return r.Kind, true
+	}
+	return 0, false
+}
+
+func (f *FaultFS) Create(path string) (File, error) {
+	if k, ok := f.pick(OpCreate, path); ok && k == FaultErr {
+		return nil, ErrInjected
+	}
+	fl, err := f.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: fl, fs: f, path: path}, nil
+}
+
+func (f *FaultFS) Open(path string) (File, error) {
+	fl, err := f.base.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: fl, fs: f, path: path}, nil
+}
+
+func (f *FaultFS) OpenAppend(path string) (File, error) {
+	if k, ok := f.pick(OpCreate, path); ok && k == FaultErr {
+		return nil, ErrInjected
+	}
+	fl, err := f.base.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: fl, fs: f, path: path}, nil
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) { return f.base.ReadFile(path) }
+func (f *FaultFS) WriteFile(path string, data []byte, perm os.FileMode) error {
+	return f.base.WriteFile(path, data, perm)
+}
+
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	if k, ok := f.pick(OpRename, oldPath); ok {
+		switch k {
+		case FaultDrop:
+			return nil // report success, leave the file unrenamed
+		default:
+			return ErrInjected
+		}
+	}
+	return f.base.Rename(oldPath, newPath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if k, ok := f.pick(OpRemove, path); ok {
+		switch k {
+		case FaultDrop:
+			return nil
+		default:
+			return ErrInjected
+		}
+	}
+	return f.base.Remove(path)
+}
+
+func (f *FaultFS) RemoveAll(path string) error            { return f.base.RemoveAll(path) }
+func (f *FaultFS) Truncate(path string, size int64) error { return f.base.Truncate(path, size) }
+func (f *FaultFS) Stat(path string) (os.FileInfo, error)  { return f.base.Stat(path) }
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.base.MkdirAll(path, perm)
+}
+func (f *FaultFS) Glob(pattern string) ([]string, error) { return f.base.Glob(pattern) }
+
+func (f *FaultFS) SyncDir(path string) error {
+	if k, ok := f.pick(OpSync, path); ok {
+		switch k {
+		case FaultDrop:
+			return nil
+		default:
+			return ErrInjected
+		}
+	}
+	return f.base.SyncDir(path)
+}
+
+// faultFile applies read/write/sync rules to one open file.
+type faultFile struct {
+	f    File
+	fs   *FaultFS
+	path string
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	if k, ok := w.fs.pick(OpWrite, w.path); ok {
+		switch k {
+		case FaultTorn:
+			n, _ := w.f.Write(p[:len(p)/2])
+			return n, ErrInjected
+		default:
+			return 0, ErrInjected
+		}
+	}
+	return w.f.Write(p)
+}
+
+func (w *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := w.f.ReadAt(p, off)
+	if err != nil {
+		return n, err
+	}
+	if k, ok := w.fs.pick(OpRead, w.path); ok {
+		switch k {
+		case FaultBitFlip:
+			if n > 0 {
+				p[int(off)%n] ^= 1 << (uint(off) % 8)
+			}
+		default:
+			return 0, ErrInjected
+		}
+	}
+	return n, nil
+}
+
+func (w *faultFile) Sync() error {
+	if k, ok := w.fs.pick(OpSync, w.path); ok {
+		switch k {
+		case FaultDrop:
+			return nil
+		default:
+			return ErrInjected
+		}
+	}
+	return w.f.Sync()
+}
+
+func (w *faultFile) Close() error { return w.f.Close() }

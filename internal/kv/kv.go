@@ -168,4 +168,22 @@ type Metrics struct {
 	FailoverReads  int64
 	StaleReads     int64
 	ReplicaLagMax  int64
+
+	// Integrity counters (SSTable checksums, scrub & repair):
+	// CorruptionsDetected persistent checksum mismatches (or undecodable
+	// blocks) found at read or scrub time; ReadRetries checksum-failed
+	// reads that were re-read (a retry that then passes was a transient
+	// fault, not corruption); BlocksScrubbed data blocks verified by the
+	// scrubber; ScrubRuns completed full-cluster scrub passes;
+	// TablesQuarantined corrupt SSTables moved aside out of the live
+	// set; RepairsCompleted region stores rebuilt from a replica after
+	// corruption; OrphansRemoved leftover temp/unreferenced SSTable
+	// files deleted at region open.
+	CorruptionsDetected int64
+	ReadRetries         int64
+	BlocksScrubbed      int64
+	ScrubRuns           int64
+	TablesQuarantined   int64
+	RepairsCompleted    int64
+	OrphansRemoved      int64
 }

@@ -112,7 +112,7 @@ func TestBloomRoundTrip(t *testing.T) {
 
 func TestWALRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, err := openWAL(path)
+	w, err := openWAL(OSFS{}, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestWALRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []rec
-	off, err := replayWAL(path, func(k kind, key, value []byte) error {
+	off, err := replayWAL(OSFS{}, path, func(k kind, key, value []byte) error {
 		got = append(got, rec{k, string(key), string(value)})
 		return nil
 	})
@@ -159,15 +159,15 @@ func TestWALRoundTrip(t *testing.T) {
 func TestWALTornTail(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wal.log")
-	w, _ := openWAL(path)
+	w, _ := openWAL(OSFS{}, path)
 	w.append(kindPut, []byte("good"), []byte("1"))
 	w.close()
 	// Append garbage simulating a torn write.
-	f, _ := openWAL(path)
+	f, _ := openWAL(OSFS{}, path)
 	f.w.Write([]byte{9, 0, 0, 0, 1, 2})
 	f.close()
 	n := 0
-	off, err := replayWAL(path, func(k kind, key, value []byte) error {
+	off, err := replayWAL(OSFS{}, path, func(k kind, key, value []byte) error {
 		n++
 		if string(key) != "good" {
 			t.Errorf("unexpected key %q", key)
@@ -189,7 +189,7 @@ func TestWALTornTail(t *testing.T) {
 
 func writeTestTable(t *testing.T, path string, n int, compress bool) *table {
 	t.Helper()
-	tw, err := newTableWriter(path, compress)
+	tw, err := newTableWriter(OSFS{}, path, compress)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func writeTestTable(t *testing.T, path string, n int, compress bool) *table {
 	if _, err := tw.finish(); err != nil {
 		t.Fatal(err)
 	}
-	tbl, err := openTable(path, nil, nil, 0)
+	tbl, err := openTable(OSFS{}, path, nil, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +284,7 @@ func TestSSTableScanFull(t *testing.T) {
 }
 
 func TestSSTableRejectsOutOfOrder(t *testing.T) {
-	tw, err := newTableWriter(filepath.Join(t.TempDir(), "t.sst"), false)
+	tw, err := newTableWriter(OSFS{}, filepath.Join(t.TempDir(), "t.sst"), false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,6 +41,11 @@ type Options struct {
 	// result) are observable on a laptop whose page cache would
 	// otherwise hide them.
 	DiskThroughputMBps int
+	// FS is the filesystem the store runs on. nil means the real
+	// filesystem (or, when JUST_FAULT_READ_PROB is set, the real
+	// filesystem under a global transient-read fault injector); tests
+	// install a FaultFS to make disk failures reproducible.
+	FS VFS
 }
 
 func (o Options) withDefaults() Options {
@@ -55,6 +60,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BlockCacheBytes == 0 {
 		o.BlockCacheBytes = 32 << 20 // negative disables (see newBlockCache)
+	}
+	if o.FS == nil {
+		o.FS = defaultFS()
 	}
 	return o
 }
@@ -71,8 +79,16 @@ type region struct {
 	id    int
 	dir   string
 	opts  Options
+	fs    VFS
 	cache *blockCache
 	met   *Metrics
+
+	// corrupt latches once a persistent checksum failure is detected in
+	// one of the region's tables (read- or scrub-time). A corrupt
+	// region keeps serving what it can — at RF=0 there is nowhere else
+	// to read from — but the cluster layer routes reads to healthy
+	// replicas and schedules a rebuild while it is set.
+	corrupt atomic.Bool
 
 	mu          sync.RWMutex
 	cond        *sync.Cond // broadcast on imm / closed / flushErr transitions
@@ -91,9 +107,9 @@ type region struct {
 	// append and memtable insert, so the shipped sequence matches the
 	// primary's apply order exactly (two racing batches ship in the
 	// same order they committed locally).
-	ship        func(payload []byte)
-	dataSz      int64 // on-disk bytes across tables
-	entries     int64 // approximate live entry count
+	ship    func(payload []byte)
+	dataSz  int64 // on-disk bytes across tables
+	entries int64 // approximate live entry count
 
 	ioMu        sync.Mutex // serializes SSTable builds (flush vs compact)
 	flusherDone chan struct{}
@@ -113,13 +129,17 @@ type manifest struct {
 }
 
 func openRegion(id int, dir string, opts Options, cache *blockCache, met *Metrics) (*region, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if fs == nil {
+		fs = defaultFS()
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	r := &region{id: id, dir: dir, opts: opts, cache: cache, met: met, mem: newSkiplist()}
+	r := &region{id: id, dir: dir, opts: opts, fs: fs, cache: cache, met: met, mem: newSkiplist()}
 
 	var m manifest
-	data, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	data, err := fs.ReadFile(filepath.Join(dir, "MANIFEST"))
 	if err == nil {
 		if err := json.Unmarshal(data, &m); err != nil {
 			return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
@@ -129,8 +149,11 @@ func openRegion(id int, dir string, opts Options, cache *blockCache, met *Metric
 	}
 	r.sstSeq = m.SSTSeq
 	r.walSeq = m.WALSeq
+	if err := r.removeOrphans(m); err != nil {
+		return nil, err
+	}
 	for _, name := range m.Tables {
-		t, err := openTable(filepath.Join(dir, name), cache, met, opts.DiskThroughputMBps)
+		t, err := openTable(fs, filepath.Join(dir, name), cache, met, opts.DiskThroughputMBps)
 		if err != nil {
 			return nil, err
 		}
@@ -144,14 +167,14 @@ func openRegion(id int, dir string, opts Options, cache *blockCache, met *Metric
 	// never finished) holds live data; replay all of them in sequence
 	// order.
 	if !opts.DisableWAL {
-		walFiles, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+		walFiles, err := fs.Glob(filepath.Join(dir, "wal-*.log"))
 		if err != nil {
 			return nil, err
 		}
 		sort.Strings(walFiles) // zero-padded sequence numbers sort correctly
-		var tail int64 // offset past the last valid record of the newest file
+		var tail int64         // offset past the last valid record of the newest file
 		for i, p := range walFiles {
-			end, err := replayWAL(p, func(k kind, key, value []byte) error {
+			end, err := replayWAL(fs, p, func(k kind, key, value []byte) error {
 				r.mem.put(append([]byte(nil), key...), append([]byte(nil), value...), k)
 				return nil
 			})
@@ -172,24 +195,146 @@ func openRegion(id int, dir string, opts Options, cache *blockCache, met *Metric
 		// stops at the torn record — silently losing group-committed,
 		// crash-durable batches written after this recovery.
 		if n := len(walFiles); n > 0 {
-			if st, err := os.Stat(walFiles[n-1]); err == nil && st.Size() > tail {
-				if err := os.Truncate(walFiles[n-1], tail); err != nil {
+			if st, err := fs.Stat(walFiles[n-1]); err == nil && st.Size() > tail {
+				if err := fs.Truncate(walFiles[n-1], tail); err != nil {
 					return nil, err
 				}
 			}
 		}
-		if r.log, err = openWAL(r.walPath()); err != nil {
+		if r.log, err = openWAL(fs, r.walPath()); err != nil {
 			return nil, err
 		}
 		r.memWALs = walFiles
 		if len(walFiles) == 0 || walFiles[len(walFiles)-1] != r.walPath() {
 			r.memWALs = append(r.memWALs, r.walPath())
+			// The first append segment's directory entry must survive a
+			// crash, or recovery would miss the whole segment.
+			if err := fs.SyncDir(dir); err != nil {
+				return nil, err
+			}
 		}
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.flusherDone = make(chan struct{})
 	go r.flusher()
 	return r, nil
+}
+
+// removeOrphans deletes files a crashed flush or compaction left
+// behind: .tmp build files (tables that never reached their rename, and
+// interrupted manifest writes) and sst files the manifest does not
+// reference (renamed but never committed to the manifest — their WALs
+// are still on disk, so the data replays). Run before tables are
+// opened, so a leftover can never be confused with live data.
+func (r *region) removeOrphans(m manifest) error {
+	live := make(map[string]bool, len(m.Tables))
+	for _, name := range m.Tables {
+		live[name] = true
+	}
+	var orphans []string
+	tmps, err := r.fs.Glob(filepath.Join(r.dir, "*.tmp"))
+	if err != nil {
+		return err
+	}
+	orphans = append(orphans, tmps...)
+	ssts, err := r.fs.Glob(filepath.Join(r.dir, "sst-*.sst"))
+	if err != nil {
+		return err
+	}
+	for _, p := range ssts {
+		if !live[filepath.Base(p)] {
+			orphans = append(orphans, p)
+		}
+	}
+	for _, p := range orphans {
+		if err := r.fs.Remove(p); err != nil {
+			return err
+		}
+		if r.met != nil {
+			atomic.AddInt64(&r.met.OrphansRemoved, 1)
+		}
+	}
+	if len(orphans) > 0 {
+		return r.fs.SyncDir(r.dir)
+	}
+	return nil
+}
+
+// markCorrupt latches the region's corruption flag; it reports whether
+// this call was the first to detect it.
+func (r *region) markCorrupt() bool { return r.corrupt.CompareAndSwap(false, true) }
+
+func (r *region) isCorrupt() bool { return r.corrupt.Load() }
+
+// quarantineTable moves the named table out of the live set into
+// quarantineDir (for post-mortem) and rewrites the manifest without it.
+// The data the table held is NOT recovered here — that is the repair
+// path's job (rebuild from a replica); at RF=0 the caller must leave
+// the table in place instead, since a quarantine would turn detected
+// corruption into silent data loss.
+func (r *region) quarantineTable(path string, quarantineDir string) error {
+	r.mu.Lock()
+	var victim *table
+	kept := r.tables[:0]
+	for _, t := range r.tables {
+		if t.path == path && victim == nil {
+			victim = t
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	if victim == nil {
+		r.mu.Unlock()
+		return nil // already gone (compacted away or quarantined twice)
+	}
+	r.tables = kept
+	r.dataSz -= victim.size
+	r.entries -= int64(victim.count)
+	r.mu.Unlock()
+
+	if err := r.fs.MkdirAll(quarantineDir, 0o755); err != nil {
+		return err
+	}
+	dst := filepath.Join(quarantineDir, fmt.Sprintf("region-%04d-%s", r.id, filepath.Base(path)))
+	if err := r.fs.Rename(path, dst); err != nil {
+		return err
+	}
+	if err := r.writeManifest(); err != nil {
+		return err
+	}
+	// The table object may still be pinned by in-flight reads; release
+	// the region's reference without unlinking (the file now lives in
+	// quarantine).
+	r.mu.Lock()
+	victim.decRef()
+	r.mu.Unlock()
+	if r.met != nil {
+		atomic.AddInt64(&r.met.TablesQuarantined, 1)
+	}
+	return nil
+}
+
+// verifyTables re-reads every data block of every live table and checks
+// its checksum against disk (the scrub pass). It returns the number of
+// blocks verified and the first corruption found, if any.
+func (r *region) verifyTables() (int64, error) {
+	r.mu.RLock()
+	if r.closed {
+		r.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	tables := pinTables(r.tables)
+	r.mu.RUnlock()
+	defer releaseTables(tables)
+	var blocks int64
+	for _, t := range tables {
+		n, err := t.verify()
+		blocks += n
+		if err != nil {
+			return blocks, err
+		}
+	}
+	return blocks, nil
 }
 
 func (r *region) walPath() string {
@@ -359,10 +504,16 @@ func (r *region) freezeLocked() error {
 		}
 		r.walSeq++
 		var err error
-		if r.log, err = openWAL(r.walPath()); err != nil {
+		if r.log, err = openWAL(r.fs, r.walPath()); err != nil {
 			return err
 		}
 		r.memWALs = []string{r.walPath()}
+		// Make the new segment's directory entry durable: if a crash
+		// dropped it, recovery would replay the frozen memtable's WALs
+		// but miss everything appended to this segment.
+		if err := r.fs.SyncDir(r.dir); err != nil {
+			return err
+		}
 	}
 	r.cond.Broadcast()
 	return nil
@@ -543,7 +694,7 @@ func (r *region) flushImm(im *immMem) error {
 	r.mu.Unlock()
 
 	entries := im.mem.entries(KeyRange{})
-	tw, err := newTableWriter(filepath.Join(r.dir, name), r.opts.Compress)
+	tw, err := newTableWriter(r.fs, filepath.Join(r.dir, name), r.opts.Compress)
 	if err != nil {
 		return err
 	}
@@ -558,7 +709,7 @@ func (r *region) flushImm(im *immMem) error {
 		tw.abort()
 		return err
 	}
-	t, err := openTable(filepath.Join(r.dir, name), r.cache, r.met, r.opts.DiskThroughputMBps)
+	t, err := openTable(r.fs, filepath.Join(r.dir, name), r.cache, r.met, r.opts.DiskThroughputMBps)
 	if err != nil {
 		return err
 	}
@@ -579,7 +730,7 @@ func (r *region) flushImm(im *immMem) error {
 		return err
 	}
 	for _, p := range im.wals {
-		os.Remove(p)
+		r.fs.Remove(p)
 	}
 	return nil
 }
@@ -603,7 +754,7 @@ func (r *region) compact() error {
 	r.mu.Unlock()
 
 	it := newMergeIter(nil, tables, KeyRange{}, true)
-	tw, err := newTableWriter(filepath.Join(r.dir, name), r.opts.Compress)
+	tw, err := newTableWriter(r.fs, filepath.Join(r.dir, name), r.opts.Compress)
 	if err != nil {
 		return err
 	}
@@ -627,7 +778,7 @@ func (r *region) compact() error {
 		tw.abort()
 		return err
 	}
-	nt, err := openTable(filepath.Join(r.dir, name), r.cache, r.met, r.opts.DiskThroughputMBps)
+	nt, err := openTable(r.fs, filepath.Join(r.dir, name), r.cache, r.met, r.opts.DiskThroughputMBps)
 	if err != nil {
 		return err
 	}
@@ -687,10 +838,15 @@ func (r *region) writeManifest() error {
 		return err
 	}
 	tmp := filepath.Join(r.dir, "MANIFEST.tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := r.fs.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(r.dir, "MANIFEST"))
+	if err := r.fs.Rename(tmp, filepath.Join(r.dir, "MANIFEST")); err != nil {
+		return err
+	}
+	// The manifest rename must be durable before the caller deletes the
+	// WALs (flush) or unlinks the merged tables (compaction).
+	return r.fs.SyncDir(r.dir)
 }
 
 // Scan returns an iterator over live pairs in the range, merging the

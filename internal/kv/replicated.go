@@ -167,25 +167,26 @@ func (h *regionHandle) leaderDo(c *Cluster, fn func(r *region) error) error {
 	}
 }
 
-// promote fails the leadership over to the most caught-up live replica.
-// The candidate first drains the retained shipped log to the committed
-// sequence — every write the old leader acknowledged — then becomes the
-// publisher; the failed leader is demoted to a paused subscriber at the
-// committed sequence, ready to catch up and rejoin when its server is
-// revived.
+// promote fails the leadership over to the most caught-up live,
+// uncorrupted replica. The candidate first drains the retained shipped
+// log to the committed sequence — every write the old leader
+// acknowledged — then becomes the publisher; the old leader is demoted
+// to a paused subscriber at the committed sequence, ready to catch up
+// and rejoin when its server is revived (or, when it was demoted for
+// corruption, to be wiped and rebuilt by the repair path).
 func (h *regionHandle) promote(c *Cluster) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	old := h.nodes[0]
-	if !old.server.isDown() {
-		return nil // lost the race: another writer already promoted, or the server revived
+	if !old.server.isDown() && !old.r.isCorrupt() {
+		return nil // lost the race: another caller already promoted, or the server revived
 	}
 	if h.group == nil {
 		return ErrUnavailable
 	}
 	best := -1
 	for i, n := range h.nodes[1:] {
-		if n.server.isDown() || n.sub.Err() != nil {
+		if n.server.isDown() || n.sub.Err() != nil || n.r.isCorrupt() {
 			continue
 		}
 		if best < 0 || n.sub.Applied() > h.nodes[best].sub.Applied() {
@@ -210,32 +211,65 @@ func (h *regionHandle) promote(c *Cluster) error {
 }
 
 // readNode picks the node to serve a read: the leader when its server
-// is up, otherwise the most caught-up live replica, drained to the
-// committed sequence before serving (bounded staleness: a failover read
-// observes every acknowledged write). Reads do not promote — leadership
-// changes only on the write path — so a read-only workload fails over
-// per-operation and the revived leader resumes seamlessly.
-func (h *regionHandle) readNode(c *Cluster) (*node, error) {
+// is up and its store uncorrupted, otherwise the most caught-up live,
+// uncorrupted replica, drained to the committed sequence before serving
+// (bounded staleness: a failover read observes every acknowledged
+// write). Reads do not promote — leadership changes only on the write
+// path — so a read-only workload fails over per-operation and the
+// revived leader resumes seamlessly.
+//
+// When every live copy is corrupt — RF=0 with a damaged table, or a
+// multi-fault pile-up — the read is served from a corrupt-but-live node
+// anyway: the checksum layer guarantees the damage surfaces as a typed
+// ErrCorruptBlock (or the read misses the damaged blocks entirely),
+// which is strictly more useful than ErrUnavailable and can never
+// return wrong data.
+//
+// It returns a nodeView snapshot, not the *node itself: the repair path
+// swaps a node's region and subscriber in place, so the fields must be
+// captured under the membership lock.
+func (h *regionHandle) readNode(c *Cluster) (nodeView, error) {
 	for {
 		h.mu.RLock()
 		n := h.nodes[0]
-		if !n.server.isDown() {
+		if !n.server.isDown() && !n.r.isCorrupt() {
+			v := nodeView{r: n.r, server: n.server}
 			h.mu.RUnlock()
-			return n, nil
+			return v, nil
 		}
 		var best *node
 		var bestSub *replica.Sub
+		var fallback nodeView
+		haveFallback := false
 		for _, cand := range h.nodes[1:] {
 			if cand.server.isDown() || cand.sub == nil || cand.sub.Err() != nil {
+				continue
+			}
+			if cand.r.isCorrupt() {
+				if !haveFallback {
+					fallback = nodeView{r: cand.r, server: cand.server, sub: cand.sub}
+					haveFallback = true
+				}
 				continue
 			}
 			if best == nil || cand.sub.Applied() > bestSub.Applied() {
 				best, bestSub = cand, cand.sub
 			}
 		}
+		var bestView nodeView
+		if best != nil {
+			bestView = nodeView{r: best.r, server: best.server, sub: best.sub}
+		} else if !n.server.isDown() && !haveFallback {
+			// Corrupt leader, no healthy replica: serve the leader.
+			fallback = nodeView{r: n.r, server: n.server}
+			haveFallback = true
+		}
 		h.mu.RUnlock()
 		if best == nil {
-			return nil, ErrUnavailable
+			if haveFallback {
+				return fallback, nil
+			}
+			return nodeView{}, ErrUnavailable
 		}
 		atomic.AddInt64(&c.met.FailoverReads, 1)
 		if bestSub.Lag() > 0 {
@@ -244,10 +278,10 @@ func (h *regionHandle) readNode(c *Cluster) (*node, error) {
 				if err == replica.ErrStopped {
 					continue // the replica was promoted to leader meanwhile; re-pick
 				}
-				return nil, err
+				return nodeView{}, err
 			}
 		}
-		return best, nil
+		return bestView, nil
 	}
 }
 

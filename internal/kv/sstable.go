@@ -6,14 +6,15 @@ import (
 	"compress/gzip"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
-	"os"
+	"path/filepath"
 	"sort"
 	"sync/atomic"
 	"time"
 )
 
-// SSTable layout:
+// SSTable layout (format 2, magic "JUSTSST2"):
 //
 //	[data block]* [bloom filter] [block index] [footer]
 //
@@ -23,24 +24,70 @@ import (
 // value layer, but block compression keeps the substrate honest about IO
 // volume. The index records each block's first key, so a scan seeks
 // directly to its first candidate block.
+//
+// Integrity: every byte of the file is covered by a CRC32C. Each index
+// entry carries the checksum of its block's on-disk bytes, verified on
+// every cache-miss load; the footer carries checksums of the bloom
+// filter, the index, and of itself. A checksum mismatch on a read is
+// first retried once (a transient bus/DMA flip re-reads clean); a
+// persistent mismatch is reported as *ErrCorruptBlock — corrupt data is
+// never decoded, let alone served.
+//
+// Tables are written to `<name>.tmp` and renamed into place after the
+// final fsync, so a crash mid-build can never leave a half-written file
+// under a live name; region open deletes orphaned .tmp files.
 const (
 	blockTargetSize = 4 << 10
-	footerSize      = 48
-	tableMagic      = 0x4a555354_53535431 // "JUSTSST1"
+	footerSize      = 64
+	tableMagic      = 0x4a555354_53535432 // "JUSTSST2"
+
+	// maxBlockReadRetries re-reads a block whose checksum failed before
+	// declaring it corrupt: a mismatch caused by a transient fault on
+	// the read path (not damaged media) clears on re-read. Two retries
+	// drive the odds of a transient fault masquerading as disk
+	// corruption to (per-read fault rate)^3.
+	maxBlockReadRetries = 2
 )
+
+// castagnoli is the CRC32C table used for all SSTable checksums (the
+// polynomial with hardware support on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptBlock reports a persistent checksum mismatch (or an
+// undecodable structure) in one SSTable region. It unwraps to
+// ErrCorrupt, so existing errors.Is(err, ErrCorrupt) checks still hold;
+// the cluster layer uses the Path to quarantine the damaged table and
+// repair the region from a replica.
+type ErrCorruptBlock struct {
+	Path   string // file the corruption was detected in
+	Block  int    // data block ordinal, or -1 for footer/index/bloom
+	Offset int64  // file offset of the damaged region
+	Len    int    // length of the damaged region
+}
+
+func (e *ErrCorruptBlock) Error() string {
+	if e.Block < 0 {
+		return fmt.Sprintf("kv: corrupt sstable metadata in %s (offset %d, %d bytes)", e.Path, e.Offset, e.Len)
+	}
+	return fmt.Sprintf("kv: corrupt sstable block %d in %s (offset %d, %d bytes): checksum mismatch", e.Block, e.Path, e.Offset, e.Len)
+}
+
+func (e *ErrCorruptBlock) Unwrap() error { return ErrCorrupt }
 
 type blockHandle struct {
 	firstKey   []byte
 	offset     uint64
 	length     uint32
 	rawLen     uint32
+	crc        uint32 // CRC32C of the block's on-disk (possibly compressed) bytes
 	compressed bool
 }
 
 type tableWriter struct {
+	fs       VFS
 	w        *bufio.Writer
-	f        *os.File
-	path     string
+	f        File
+	path     string // final path; bytes are written to path+".tmp"
 	compress bool
 
 	block     bytes.Buffer
@@ -52,12 +99,14 @@ type tableWriter struct {
 	lastKey   []byte
 }
 
-func newTableWriter(path string, compress bool) (*tableWriter, error) {
-	f, err := os.Create(path)
+func tmpPath(path string) string { return path + ".tmp" }
+
+func newTableWriter(fs VFS, path string, compress bool) (*tableWriter, error) {
+	f, err := fs.Create(tmpPath(path))
 	if err != nil {
 		return nil, fmt.Errorf("kv: create sstable: %w", err)
 	}
-	return &tableWriter{f: f, w: bufio.NewWriterSize(f, 256<<10), path: path, compress: compress}, nil
+	return &tableWriter{fs: fs, f: f, w: bufio.NewWriterSize(f, 256<<10), path: path, compress: compress}, nil
 }
 
 // add appends an entry; keys must arrive in strictly ascending order.
@@ -110,6 +159,7 @@ func (t *tableWriter) flushBlock() error {
 		offset:     t.offset,
 		length:     uint32(len(out)),
 		rawLen:     uint32(len(raw)),
+		crc:        crc32.Checksum(out, castagnoli),
 		compressed: compressed,
 	})
 	t.offset += uint64(len(out))
@@ -117,8 +167,10 @@ func (t *tableWriter) flushBlock() error {
 	return nil
 }
 
-// finish writes the bloom filter, index and footer, then syncs the file.
-// It returns the total file size.
+// finish writes the bloom filter, index and checksummed footer, syncs
+// the file, and renames it from its .tmp build name to the final path
+// (fsyncing the directory so the rename is durable). It returns the
+// total file size.
 func (t *tableWriter) finish() (int64, error) {
 	if err := t.flushBlock(); err != nil {
 		return 0, err
@@ -147,6 +199,7 @@ func (t *tableWriter) finish() (int64, error) {
 		writeUvarint(h.offset)
 		writeUvarint(uint64(h.length))
 		writeUvarint(uint64(h.rawLen))
+		writeUvarint(uint64(h.crc))
 		if h.compressed {
 			idx.WriteByte(1)
 		} else {
@@ -161,13 +214,19 @@ func (t *tableWriter) finish() (int64, error) {
 	}
 	t.offset += uint64(idx.Len())
 
+	// Footer: five u64 handles, the bloom/index checksums, a checksum of
+	// the footer bytes themselves, then the magic. A torn footer write
+	// (the crash boundary of a table build) fails the footer CRC.
 	var footer [footerSize]byte
 	binary.LittleEndian.PutUint64(footer[0:], bloomOff)
 	binary.LittleEndian.PutUint64(footer[8:], uint64(len(bloomBytes)))
 	binary.LittleEndian.PutUint64(footer[16:], indexOff)
 	binary.LittleEndian.PutUint64(footer[24:], uint64(idx.Len()))
 	binary.LittleEndian.PutUint64(footer[32:], t.count)
-	binary.LittleEndian.PutUint64(footer[40:], tableMagic)
+	binary.LittleEndian.PutUint32(footer[40:], crc32.Checksum(bloomBytes, castagnoli))
+	binary.LittleEndian.PutUint32(footer[44:], crc32.Checksum(idx.Bytes(), castagnoli))
+	binary.LittleEndian.PutUint32(footer[48:], crc32.Checksum(footer[0:48], castagnoli))
+	binary.LittleEndian.PutUint64(footer[56:], tableMagic)
 	if _, err := t.w.Write(footer[:]); err != nil {
 		return 0, err
 	}
@@ -181,13 +240,21 @@ func (t *tableWriter) finish() (int64, error) {
 	if err := t.f.Close(); err != nil {
 		return 0, err
 	}
+	if err := t.fs.Rename(tmpPath(t.path), t.path); err != nil {
+		return 0, err
+	}
+	// The rename's directory entry must be durable before the manifest
+	// can reference the table: fsync the directory.
+	if err := t.fs.SyncDir(filepath.Dir(t.path)); err != nil {
+		return 0, err
+	}
 	return int64(t.offset), nil
 }
 
 // abort discards a partially written table.
 func (t *tableWriter) abort() {
 	t.f.Close()
-	os.Remove(t.path)
+	t.fs.Remove(tmpPath(t.path))
 }
 
 var nextTableID atomic.Uint64
@@ -202,8 +269,9 @@ var nextTableID atomic.Uint64
 // reference is released.
 type table struct {
 	id      uint64
+	fs      VFS
 	path    string
-	f       *os.File
+	f       File
 	refs    atomic.Int32 // open references; starts at 1 (the region's)
 	drop    atomic.Bool  // unlink the file when the last ref is released
 	index   []blockHandle
@@ -219,57 +287,114 @@ type table struct {
 	mbps int
 }
 
-func openTable(path string, cache *blockCache, metrics *Metrics, mbps int) (*table, error) {
-	f, err := os.Open(path)
+// readChecked reads length bytes at offset and verifies them against
+// want (CRC32C), retrying transient mismatches. It is the common
+// checked-read primitive under both data-block loads and metadata
+// reads.
+func readChecked(f File, path string, block int, offset int64, length int, want uint32, met *Metrics) ([]byte, error) {
+	buf := make([]byte, length)
+	for attempt := 0; ; attempt++ {
+		if _, err := f.ReadAt(buf, offset); err != nil {
+			return nil, err
+		}
+		if crc32.Checksum(buf, castagnoli) == want {
+			return buf, nil
+		}
+		if attempt < maxBlockReadRetries {
+			if met != nil {
+				atomic.AddInt64(&met.ReadRetries, 1)
+			}
+			continue
+		}
+		if met != nil {
+			atomic.AddInt64(&met.CorruptionsDetected, 1)
+		}
+		return nil, &ErrCorruptBlock{Path: path, Block: block, Offset: offset, Len: length}
+	}
+}
+
+func openTable(fs VFS, path string, cache *blockCache, metrics *Metrics, mbps int) (*table, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	st, err := f.Stat()
+	t, err := loadTableMeta(f, fs, path, metrics)
 	if err != nil {
 		f.Close()
+		return nil, err
+	}
+	t.cache = cache
+	t.mbps = mbps
+	t.refs.Store(1)
+	return t, nil
+}
+
+// loadTableMeta reads and verifies the footer, bloom filter and index.
+// Every read is checksum-verified with transient-fault retries; a
+// persistent mismatch is *ErrCorruptBlock (which also unwraps to
+// ErrCorrupt, the historical open-failure error).
+func loadTableMeta(f File, fs VFS, path string, metrics *Metrics) (*table, error) {
+	st, err := fs.Stat(path)
+	if err != nil {
 		return nil, err
 	}
 	if st.Size() < footerSize {
-		f.Close()
 		return nil, fmt.Errorf("%w: sstable %s too small", ErrCorrupt, path)
 	}
+	footerOff := st.Size() - footerSize
 	var footer [footerSize]byte
-	if _, err := f.ReadAt(footer[:], st.Size()-footerSize); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if binary.LittleEndian.Uint64(footer[40:]) != tableMagic {
-		f.Close()
-		return nil, fmt.Errorf("%w: bad magic in %s", ErrCorrupt, path)
+	for attempt := 0; ; attempt++ {
+		if _, err := f.ReadAt(footer[:], footerOff); err != nil {
+			return nil, err
+		}
+		if binary.LittleEndian.Uint64(footer[56:]) == tableMagic &&
+			crc32.Checksum(footer[0:48], castagnoli) == binary.LittleEndian.Uint32(footer[48:]) {
+			break
+		}
+		if attempt < maxBlockReadRetries {
+			if metrics != nil {
+				atomic.AddInt64(&metrics.ReadRetries, 1)
+			}
+			continue
+		}
+		if binary.LittleEndian.Uint64(footer[56:]) != tableMagic {
+			return nil, fmt.Errorf("%w: bad magic in %s", ErrCorrupt, path)
+		}
+		if metrics != nil {
+			atomic.AddInt64(&metrics.CorruptionsDetected, 1)
+		}
+		return nil, &ErrCorruptBlock{Path: path, Block: -1, Offset: footerOff, Len: footerSize}
 	}
 	bloomOff := binary.LittleEndian.Uint64(footer[0:])
 	bloomLen := binary.LittleEndian.Uint64(footer[8:])
 	indexOff := binary.LittleEndian.Uint64(footer[16:])
 	indexLen := binary.LittleEndian.Uint64(footer[24:])
 	count := binary.LittleEndian.Uint64(footer[32:])
+	bloomCRC := binary.LittleEndian.Uint32(footer[40:])
+	indexCRC := binary.LittleEndian.Uint32(footer[44:])
+	if int64(bloomOff)+int64(bloomLen) > footerOff || int64(indexOff)+int64(indexLen) > footerOff {
+		return nil, fmt.Errorf("%w: sstable %s footer handles out of range", ErrCorrupt, path)
+	}
 
-	bloomBytes := make([]byte, bloomLen)
-	if _, err := f.ReadAt(bloomBytes, int64(bloomOff)); err != nil {
-		f.Close()
+	bloomBytes, err := readChecked(f, path, -1, int64(bloomOff), int(bloomLen), bloomCRC, metrics)
+	if err != nil {
 		return nil, err
 	}
 	bloom, err := unmarshalBloom(bloomBytes)
 	if err != nil {
-		f.Close()
 		return nil, err
 	}
-	idxBytes := make([]byte, indexLen)
-	if _, err := f.ReadAt(idxBytes, int64(indexOff)); err != nil {
-		f.Close()
+	idxBytes, err := readChecked(f, path, -1, int64(indexOff), int(indexLen), indexCRC, metrics)
+	if err != nil {
 		return nil, err
 	}
 	index, lastKey, err := decodeIndex(idxBytes)
 	if err != nil {
-		f.Close()
 		return nil, err
 	}
-	t := &table{
+	return &table{
 		id:      nextTableID.Add(1),
+		fs:      fs,
 		path:    path,
 		f:       f,
 		index:   index,
@@ -277,12 +402,8 @@ func openTable(path string, cache *blockCache, metrics *Metrics, mbps int) (*tab
 		lastKey: lastKey,
 		count:   count,
 		size:    st.Size(),
-		cache:   cache,
 		metrics: metrics,
-		mbps:    mbps,
-	}
-	t.refs.Store(1)
-	return t, nil
+	}, nil
 }
 
 func decodeIndex(b []byte) ([]blockHandle, []byte, error) {
@@ -308,17 +429,13 @@ func decodeIndex(b []byte) ([]blockHandle, []byte, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		off, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, nil, ErrCorrupt
-		}
-		length, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, nil, ErrCorrupt
-		}
-		rawLen, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, nil, ErrCorrupt
+		var vals [4]uint64
+		for j := range vals {
+			v, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, nil, ErrCorrupt
+			}
+			vals[j] = v
 		}
 		cflag, err := r.ReadByte()
 		if err != nil {
@@ -326,9 +443,10 @@ func decodeIndex(b []byte) ([]blockHandle, []byte, error) {
 		}
 		index = append(index, blockHandle{
 			firstKey:   firstKey,
-			offset:     off,
-			length:     uint32(length),
-			rawLen:     uint32(rawLen),
+			offset:     vals[0],
+			length:     uint32(vals[1]),
+			rawLen:     uint32(vals[2]),
+			crc:        uint32(vals[3]),
 			compressed: cflag == 1,
 		})
 	}
@@ -353,7 +471,7 @@ func (t *table) decRef() error {
 	}
 	err := t.f.Close()
 	if t.drop.Load() {
-		os.Remove(t.path)
+		t.fs.Remove(t.path)
 	}
 	return err
 }
@@ -379,7 +497,18 @@ func (t *table) firstKey() []byte {
 	return t.index[0].firstKey
 }
 
-// loadBlock returns the decompressed contents of block i, via the cache.
+// readBlockRaw reads block i's on-disk bytes and verifies their
+// checksum, bypassing the cache — the scrub path, and the disk half of
+// loadBlock. A transient mismatch is retried; a persistent one is
+// *ErrCorruptBlock.
+func (t *table) readBlockRaw(i int) ([]byte, error) {
+	h := t.index[i]
+	return readChecked(t.f, t.path, i, int64(h.offset), int(h.length), h.crc, t.metrics)
+}
+
+// loadBlock returns the decompressed contents of block i, via the
+// cache. On a cache miss the disk bytes are checksum-verified before
+// they are decompressed or decoded.
 func (t *table) loadBlock(i int) ([]byte, error) {
 	if t.cache != nil {
 		if b, ok := t.cache.get(t.id, i); ok {
@@ -393,8 +522,8 @@ func (t *table) loadBlock(i int) ([]byte, error) {
 		}
 	}
 	h := t.index[i]
-	buf := make([]byte, h.length)
-	if _, err := t.f.ReadAt(buf, int64(h.offset)); err != nil {
+	buf, err := t.readBlockRaw(i)
+	if err != nil {
 		return nil, err
 	}
 	if t.mbps > 0 {
@@ -408,11 +537,11 @@ func (t *table) loadBlock(i int) ([]byte, error) {
 	if h.compressed {
 		zr, err := gzip.NewReader(bytes.NewReader(buf))
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return nil, t.corruptBlock(i)
 		}
 		raw := make([]byte, h.rawLen)
 		if _, err := io.ReadFull(zr, raw); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return nil, t.corruptBlock(i)
 		}
 		zr.Close()
 		buf = raw
@@ -421,6 +550,31 @@ func (t *table) loadBlock(i int) ([]byte, error) {
 		t.cache.put(t.id, i, buf)
 	}
 	return buf, nil
+}
+
+// corruptBlock reports block i as corrupt: its checksum matched but its
+// contents would not decode (a writer-side fault baked into the file).
+func (t *table) corruptBlock(i int) error {
+	if t.metrics != nil {
+		atomic.AddInt64(&t.metrics.CorruptionsDetected, 1)
+	}
+	h := t.index[i]
+	return &ErrCorruptBlock{Path: t.path, Block: i, Offset: int64(h.offset), Len: int(h.length)}
+}
+
+// verify re-reads every data block of the table from disk and checks
+// its checksum (cache bypassed: the scrubber must see the disk bytes,
+// not a cached decode). It returns the number of blocks verified and
+// the first corruption found.
+func (t *table) verify() (int64, error) {
+	var blocks int64
+	for i := range t.index {
+		if _, err := t.readBlockRaw(i); err != nil {
+			return blocks, err
+		}
+		blocks++
+	}
+	return blocks, nil
 }
 
 // blockFor returns the index of the block that could contain key: the
@@ -460,7 +614,10 @@ func (t *table) get(key []byte) (value []byte, k kind, ok bool, err error) {
 			return nil, 0, false, nil
 		}
 	}
-	return nil, 0, false, it.err
+	if it.err != nil {
+		return nil, 0, false, t.corruptBlock(bi)
+	}
+	return nil, 0, false, nil
 }
 
 // blockIter walks entries inside a single decompressed block.
@@ -549,7 +706,7 @@ func (it *tableIter) Next() bool {
 			return true
 		}
 		if it.block.err != nil {
-			it.err = it.block.err
+			it.err = it.t.corruptBlock(it.bi)
 			return false
 		}
 		it.bi++

@@ -30,7 +30,7 @@ import (
 // the end of the last valid record so the caller can truncate the
 // garbage tail before appending again.
 type wal struct {
-	f   *os.File
+	f   File
 	w   *bufio.Writer
 	buf []byte
 	n   int64 // bytes appended
@@ -40,8 +40,8 @@ type wal struct {
 // the kind values (kindPut, kindDelete) that open a single-entry payload.
 const walBatchTag = 0xB0
 
-func openWAL(path string) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func openWAL(fs VFS, path string) (*wal, error) {
+	f, err := fs.OpenAppend(path)
 	if err != nil {
 		return nil, fmt.Errorf("kv: open wal: %w", err)
 	}
@@ -162,8 +162,8 @@ func (l *wal) close() error {
 // the returned offset first, or the garbage would hide everything
 // appended after it on the next replay. The key and value slices alias a
 // buffer reused across records; fn must copy anything it retains.
-func replayWAL(path string, fn func(k kind, key, value []byte) error) (int64, error) {
-	f, err := os.Open(path)
+func replayWAL(fs VFS, path string, fn func(k kind, key, value []byte) error) (int64, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return 0, nil
@@ -171,7 +171,7 @@ func replayWAL(path string, fn func(k kind, key, value []byte) error) (int64, er
 		return 0, err
 	}
 	defer f.Close()
-	r := bufio.NewReaderSize(f, 64<<10)
+	r := bufio.NewReaderSize(io.NewSectionReader(f, 0, 1<<62), 64<<10)
 	var off int64
 	var hdr [8]byte
 	var buf []byte // grown once to the largest record, reused across records

@@ -98,6 +98,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("/api/v1/admin/replication", s.handleReplication)
 	mux.HandleFunc("/api/v1/admin/servers", s.handleServers)
+	mux.HandleFunc("/api/v1/admin/scrub", s.handleScrub)
+	mux.HandleFunc("/api/v1/admin/scrub/run", s.handleScrubRun)
 	return mux
 }
 
@@ -302,6 +304,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"failovers":            m.Failovers,
 		"failover_reads":       m.FailoverReads,
 		"stale_reads":          m.StaleReads,
+		"corruptions_detected": m.CorruptionsDetected,
+		"read_retries":         m.ReadRetries,
+		"blocks_scrubbed":      m.BlocksScrubbed,
+		"scrub_runs":           m.ScrubRuns,
+		"tables_quarantined":   m.TablesQuarantined,
+		"repairs_completed":    m.RepairsCompleted,
+		"orphans_removed":      m.OrphansRemoved,
 		"cursors_open":         openCursors,
 		"cursor_bytes":         cursorBytes,
 		"cursors_evicted":      evicted,
@@ -310,7 +319,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReplication exposes per-region replication topology and apply
-// lag: GET /api/v1/admin/replication.
+// lag, plus scrub progress: GET /api/v1/admin/replication.
 func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
@@ -318,7 +327,36 @@ func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"regions": s.engine.Cluster().ReplicationState(),
+		"scrub":   s.engine.Cluster().ScrubState(),
 	})
+}
+
+// handleScrub reports integrity/scrub status: GET /api/v1/admin/scrub.
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"scrub": s.engine.Cluster().ScrubState(),
+	})
+}
+
+// handleScrubRun runs a synchronous scrub-and-repair pass over every
+// SSTable block on every node: POST /api/v1/admin/scrub/run. The
+// response reports the pass's outcome; an error field means corruption
+// was found that could not be repaired (no replicas).
+func (s *Server) handleScrubRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := map[string]any{}
+	if err := s.engine.Cluster().Scrub(); err != nil {
+		resp["error"] = err.Error()
+	}
+	resp["scrub"] = s.engine.Cluster().ScrubState()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // serverActionRequest is the body of POST /api/v1/admin/servers: a

@@ -436,3 +436,69 @@ func TestCursorByteBound(t *testing.T) {
 		t.Fatalf("open cursors = %d, want 1 (newest survives a 1-byte budget)", open)
 	}
 }
+
+// TestAdminScrubEndpoints: GET reports integrity state, POST runs a
+// synchronous scrub pass, and the integrity counters are on /metrics.
+func TestAdminScrubEndpoints(t *testing.T) {
+	ts, s := newReplicatedServer(t, Options{})
+	if err := s.engine.Cluster().Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.engine.Cluster().Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := getJSON(t, ts.URL+"/api/v1/admin/scrub")
+	scrub, ok := m["scrub"].(map[string]any)
+	if !ok {
+		t.Fatalf("scrub state = %v", m)
+	}
+	if scrub["runs"].(float64) != 0 {
+		t.Fatalf("runs before any scrub = %v", scrub["runs"])
+	}
+	if nodes := scrub["nodes"].([]any); len(nodes) == 0 {
+		t.Fatalf("no nodes in scrub state: %v", scrub)
+	}
+
+	resp, err := http.Post(ts.URL+"/api/v1/admin/scrub/run", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrub/run status = %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if errMsg, ok := out["error"]; ok {
+		t.Fatalf("scrub reported error on healthy store: %v", errMsg)
+	}
+	scrub = out["scrub"].(map[string]any)
+	if scrub["runs"].(float64) != 1 || scrub["blocks_scrubbed"].(float64) == 0 {
+		t.Fatalf("scrub after run = %v", scrub)
+	}
+
+	// GET on the run endpoint and POST on the state endpoint are rejected.
+	if r2, _ := http.Get(ts.URL + "/api/v1/admin/scrub/run"); r2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET scrub/run = %d", r2.StatusCode)
+	}
+	if r3, _ := http.Post(ts.URL+"/api/v1/admin/scrub", "application/json", nil); r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST scrub = %d", r3.StatusCode)
+	}
+
+	mm := getJSON(t, ts.URL+"/api/v1/metrics")
+	for _, key := range []string{
+		"corruptions_detected", "read_retries", "blocks_scrubbed",
+		"scrub_runs", "tables_quarantined", "repairs_completed",
+		"orphans_removed",
+	} {
+		if _, ok := mm[key]; !ok {
+			t.Errorf("metrics missing %q", key)
+		}
+	}
+	if mm["blocks_scrubbed"].(float64) == 0 {
+		t.Errorf("blocks_scrubbed = %v, want > 0", mm["blocks_scrubbed"])
+	}
+}
