@@ -7,6 +7,7 @@
 package just
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -102,7 +103,7 @@ func stQueryLoop(b *testing.B, e *core.Engine) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0
-		err := e.Scan("", "orders", index.Query{
+		err := e.Scan(context.Background(), "", "orders", index.Query{
 			Window: win, HasTime: true, TMin: 0, TMax: day,
 		}, func(exec.Row) bool { n++; return true })
 		if err != nil {

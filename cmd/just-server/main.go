@@ -8,9 +8,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"just/internal/core"
@@ -27,6 +31,13 @@ func main() {
 	servers := flag.Int("servers", 0, "simulated region servers (0 = default 5)")
 	replication := flag.Int("replication", 0, "replicas per region on distinct servers (0 = off)")
 	scrubInterval := flag.Duration("scrub-interval", 0, "background SSTable integrity scrub period (0 = off)")
+	queryTimeout := flag.Duration("query-timeout", 0, "default per-query deadline (0 = none; X-JUST-Timeout may tighten it)")
+	maxConcurrent := flag.Int("max-concurrent-queries", 0, "queries executing at once (0 = unlimited)")
+	maxQueued := flag.Int("max-queued-queries", 0, "admission wait-queue depth (0 = 2x max-concurrent-queries)")
+	queryMemBudget := flag.Int64("query-mem-budget", 0, "per-query memory budget in bytes (0 = unlimited)")
+	maxBodyBytes := flag.Int64("max-body-bytes", 0, "request body cap for /api/v1/sql (0 = 1 MiB)")
+	slowQuery := flag.Duration("slow-query", time.Second, "slow-query log threshold")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 
 	eng, err := core.Open(core.Config{
@@ -42,11 +53,49 @@ func main() {
 	if err != nil {
 		log.Fatalf("just-server: open engine: %v", err)
 	}
-	defer eng.Close()
 
-	srv := server.New(eng, server.Options{PageSize: *pageSize})
+	srv := server.New(eng, server.Options{
+		PageSize:             *pageSize,
+		QueryTimeout:         *queryTimeout,
+		MaxConcurrentQueries: *maxConcurrent,
+		MaxQueuedQueries:     *maxQueued,
+		QueryMemBudget:       *queryMemBudget,
+		MaxBodyBytes:         *maxBodyBytes,
+		SlowQueryThreshold:   *slowQuery,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// SIGINT/SIGTERM starts a graceful shutdown: stop accepting, drain
+	// in-flight requests up to the drain deadline (in-flight queries see
+	// their request contexts cancel when the deadline passes), then tear
+	// down the service layer and the engine in order.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("just-server: serving %s on %s", *dir, *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	select {
+	case err := <-errc:
+		eng.Close()
 		log.Fatalf("just-server: %v", err)
+	case <-ctx.Done():
 	}
+	stop()
+	log.Printf("just-server: shutting down (drain deadline %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("just-server: drain incomplete: %v", err)
+		httpSrv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("just-server: serve: %v", err)
+	}
+	srv.Close()
+	if err := eng.Close(); err != nil {
+		log.Printf("just-server: close engine: %v", err)
+	}
+	log.Printf("just-server: shutdown complete")
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"just/internal/baseline"
 	"just/internal/core"
 	"just/internal/geom"
@@ -10,7 +11,7 @@ import (
 // queryKNNJUST times k-NN queries against a JUST engine.
 func (r *Runner) queryKNNJUST(e *core.Engine, tbl string, pts []geom.Point, k int) cell {
 	d, err := medianDuration(len(pts), func(i int) error {
-		_, err := e.KNN("", tbl, pts[i], k, core.KNNOptions{Root: workload.Region})
+		_, err := e.KNN(context.Background(), "", tbl, pts[i], k, core.KNNOptions{Root: workload.Region})
 		return err
 	})
 	return cell{d: d, err: err}

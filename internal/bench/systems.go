@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"time"
 
 	"just/internal/baseline"
@@ -111,7 +112,7 @@ func loadTrajs(e *core.Engine, v justVariant, trajs []*table.Trajectory) error {
 // spatialCount runs a spatial range query and returns the hit count.
 func spatialCount(e *core.Engine, tbl string, win geom.MBR) (int, error) {
 	n := 0
-	err := e.Scan("", tbl, index.Query{Window: win}, func(exec.Row) bool {
+	err := e.Scan(context.Background(), "", tbl, index.Query{Window: win}, func(exec.Row) bool {
 		n++
 		return true
 	})
@@ -121,7 +122,7 @@ func spatialCount(e *core.Engine, tbl string, win geom.MBR) (int, error) {
 // stCount runs a spatio-temporal range query.
 func stCount(e *core.Engine, tbl string, win geom.MBR, tmin, tmax int64) (int, error) {
 	n := 0
-	err := e.Scan("", tbl, index.Query{Window: win, HasTime: true, TMin: tmin, TMax: tmax},
+	err := e.Scan(context.Background(), "", tbl, index.Query{Window: win, HasTime: true, TMin: tmin, TMax: tmax},
 		func(exec.Row) bool {
 			n++
 			return true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -110,7 +111,7 @@ func TestSpatialRange(t *testing.T) {
 	}
 	loadGrid(t, e, "pts", 1000)
 	// Window covering lng 116.0-116.05, lat 39.0-39.02: 6 x 3 grid points.
-	df, err := e.SpatialRange("", "pts", geom.NewMBR(115.999, 38.999, 116.051, 39.021))
+	df, err := e.SpatialRange(context.Background(), "", "pts", geom.NewMBR(115.999, 38.999, 116.051, 39.021))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestSTRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	loadGrid(t, e, "pts", 1000)
-	df, err := e.STRange("", "pts", geom.WorldMBR, 0, 10*hourMS)
+	df, err := e.STRange(context.Background(), "", "pts", geom.WorldMBR, 0, 10*hourMS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestSTRange(t *testing.T) {
 		t.Fatalf("st range = %d rows, want 41", df.Count())
 	}
 	// Combined space+time filter.
-	df2, err := e.STRange("", "pts", geom.NewMBR(115.9, 38.9, 116.05, 39.005), 0, 10*hourMS)
+	df2, err := e.STRange(context.Background(), "", "pts", geom.NewMBR(115.9, 38.9, 116.05, 39.005), 0, 10*hourMS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestSTRangeMatchesBruteForce(t *testing.T) {
 				want[r.id] = true
 			}
 		}
-		df, err := e.STRange("", "pts", win, tmin, tmax)
+		df, err := e.STRange(context.Background(), "", "pts", win, tmin, tmax)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -220,7 +221,7 @@ func TestKNNMatchesBruteForce(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		q := geom.Point{Lng: 116 + rng.Float64()*0.5, Lat: 39 + rng.Float64()*0.5}
 		k := 10 + trial*20
-		got, err := e.KNN("", "pts", q, k, KNNOptions{Root: geom.NewMBR(115, 38, 118, 41)})
+		got, err := e.KNN(context.Background(), "", "pts", q, k, KNNOptions{Root: geom.NewMBR(115, 38, 118, 41)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,14 +257,14 @@ func TestKNNFewerThanK(t *testing.T) {
 		{int64(1), "a", int64(0), geom.Point{Lng: 1, Lat: 1}},
 		{int64(2), "b", int64(0), geom.Point{Lng: 2, Lat: 2}},
 	})
-	got, err := e.KNN("", "pts", geom.Point{Lng: 0, Lat: 0}, 10, KNNOptions{Root: geom.NewMBR(0, 0, 4, 4)})
+	got, err := e.KNN(context.Background(), "", "pts", geom.Point{Lng: 0, Lat: 0}, 10, KNNOptions{Root: geom.NewMBR(0, 0, 4, 4)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 2 {
 		t.Fatalf("results = %d, want 2 (all records)", len(got))
 	}
-	if _, err := e.KNN("", "pts", geom.Point{}, 0, KNNOptions{}); err == nil {
+	if _, err := e.KNN(context.Background(), "", "pts", geom.Point{}, 0, KNNOptions{}); err == nil {
 		t.Fatal("k=0 should fail")
 	}
 }
@@ -299,7 +300,7 @@ func TestDropTableRemovesData(t *testing.T) {
 	if err := e.CreateTable(pointDesc("pts")); err != nil {
 		t.Fatal(err)
 	}
-	df, err := e.SpatialRange("", "pts", geom.WorldMBR)
+	df, err := e.SpatialRange(context.Background(), "", "pts", geom.WorldMBR)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestHistoricalUpdate(t *testing.T) {
 	}
 	e.Insert("", "pts", []exec.Row{{int64(1), "new", 100 * hourMS, geom.Point{Lng: 1, Lat: 1}}})
 	e.Insert("", "pts", []exec.Row{{int64(2), "old", 1 * hourMS, geom.Point{Lng: 1, Lat: 1}}})
-	df, err := e.STRange("", "pts", geom.WorldMBR, 0, 2*hourMS)
+	df, err := e.STRange(context.Background(), "", "pts", geom.WorldMBR, 0, 2*hourMS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +346,7 @@ func TestEngineReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e2.Close()
-	df, err := e2.SpatialRange("", "pts", geom.NewMBR(4, 4, 6, 6))
+	df, err := e2.SpatialRange(context.Background(), "", "pts", geom.NewMBR(4, 4, 6, 6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +383,7 @@ func TestTrajectorySTQuery(t *testing.T) {
 	if err := e.BulkInsert("", "traj", rows); err != nil {
 		t.Fatal(err)
 	}
-	df, err := e.STRange("", "traj", geom.NewMBR(116, 39.5, 116.5, 40.0), 0, 96*hourMS)
+	df, err := e.STRange(context.Background(), "", "traj", geom.NewMBR(116, 39.5, 116.5, 40.0), 0, 96*hourMS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,7 +391,7 @@ func TestTrajectorySTQuery(t *testing.T) {
 		t.Fatalf("trajectory ST query = %d, want 150", df.Count())
 	}
 	// Time-restricted query returns a strict subset.
-	df2, err := e.STRange("", "traj", geom.NewMBR(116, 39.5, 116.5, 40.0), 0, 2*hourMS)
+	df2, err := e.STRange(context.Background(), "", "traj", geom.NewMBR(116, 39.5, 116.5, 40.0), 0, 2*hourMS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +412,7 @@ func TestScanEarlyStop(t *testing.T) {
 	}
 	loadGrid(t, e, "pts", 500)
 	n := 0
-	err := e.Scan("", "pts", index.Query{Window: geom.WorldMBR}, func(r exec.Row) bool {
+	err := e.Scan(context.Background(), "", "pts", index.Query{Window: geom.WorldMBR}, func(r exec.Row) bool {
 		n++
 		return n < 7
 	})
@@ -454,7 +455,7 @@ func TestConcurrentSessions(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				df, err := e.SpatialRange("", "pts", geom.NewMBR(115, 38, 118, 41))
+				df, err := e.SpatialRange(context.Background(), "", "pts", geom.NewMBR(115, 38, 118, 41))
 				if err != nil {
 					errs <- err
 					return
@@ -468,7 +469,7 @@ func TestConcurrentSessions(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	df, err := e.SpatialRange("", "pts", geom.NewMBR(115, 38, 118, 41))
+	df, err := e.SpatialRange(context.Background(), "", "pts", geom.NewMBR(115, 38, 118, 41))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -494,7 +495,7 @@ func TestStreamInsert(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
-	df, err := e.SpatialRange("", "pts", geom.NewMBR(116, 39, 117, 40))
+	df, err := e.SpatialRange(context.Background(), "", "pts", geom.NewMBR(116, 39, 117, 40))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -538,7 +539,7 @@ func TestScanProjectedMatchesScan(t *testing.T) {
 		HasTime: true, TMin: 0, TMax: 500 * hourMS,
 	}
 	full := map[int64]string{}
-	if err := e.Scan("", "pts", q, func(r exec.Row) bool {
+	if err := e.Scan(context.Background(), "", "pts", q, func(r exec.Row) bool {
 		full[r[0].(int64)] = r[1].(string)
 		return true
 	}); err != nil {
@@ -548,7 +549,7 @@ func TestScanProjectedMatchesScan(t *testing.T) {
 		t.Fatal("scan found nothing")
 	}
 	got := map[int64]bool{}
-	err := e.ScanProjected("", "pts", q, []string{"fid"}, func(r exec.Row) bool {
+	err := e.ScanProjected(context.Background(), "", "pts", q, []string{"fid"}, func(r exec.Row) bool {
 		if r[1] != nil {
 			t.Fatalf("name decoded despite projection: %v", r)
 		}
@@ -567,7 +568,7 @@ func TestScanProjectedMatchesScan(t *testing.T) {
 		}
 	}
 	// Unknown column names degrade to a full decode rather than failing.
-	err = e.ScanProjected("", "pts", q, []string{"nope"}, func(r exec.Row) bool {
+	err = e.ScanProjected(context.Background(), "", "pts", q, []string{"nope"}, func(r exec.Row) bool {
 		if r[1] == nil {
 			t.Fatal("fallback full decode expected")
 		}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -318,50 +319,68 @@ func (e *Engine) StreamInsert(user, name string, ch <-chan exec.Row, batchSize i
 
 // SpatialRange answers a spatial range query (Section V-C): all records
 // whose geometry intersects the window. The result is a DataFrame so
-// further Spark-SQL-style operations compose (Fig. 2).
-func (e *Engine) SpatialRange(user, name string, window geom.MBR) (*exec.DataFrame, error) {
-	return e.rangeQuery(user, name, index.Query{Window: window})
+// further Spark-SQL-style operations compose (Fig. 2). ctx cancels the
+// scan and carries the query's lifecycle (deadline, memory budget).
+func (e *Engine) SpatialRange(ctx context.Context, user, name string, window geom.MBR) (*exec.DataFrame, error) {
+	return e.rangeQuery(ctx, user, name, index.Query{Window: window})
 }
 
 // STRange answers a spatio-temporal range query: records intersecting
 // the window generated during [tmin, tmax] (Unix ms, inclusive).
-func (e *Engine) STRange(user, name string, window geom.MBR, tmin, tmax int64) (*exec.DataFrame, error) {
-	return e.rangeQuery(user, name, index.Query{
+func (e *Engine) STRange(ctx context.Context, user, name string, window geom.MBR, tmin, tmax int64) (*exec.DataFrame, error) {
+	return e.rangeQuery(ctx, user, name, index.Query{
 		Window: window, HasTime: true, TMin: tmin, TMax: tmax,
 	})
 }
 
-func (e *Engine) rangeQuery(user, name string, q index.Query) (*exec.DataFrame, error) {
+func (e *Engine) rangeQuery(ctx context.Context, user, name string, q index.Query) (*exec.DataFrame, error) {
 	t, err := e.OpenTable(user, name)
 	if err != nil {
 		return nil, err
 	}
+	ectx := e.ctx.Bind(ctx)
 	var rows []exec.Row
+	var reserved int64
 	gi := t.GeomIndex()
-	err = t.ScanQuery(q, func(row exec.Row) bool {
+	var budgetErr error
+	err = t.ScanQuery(ctx, q, func(row exec.Row) bool {
 		// Exact geometry refinement on top of the MBR-level post-filter.
 		if gi >= 0 {
 			if g, ok := row[gi].(geom.Geometry); ok && !geom.IntersectsMBR(g, q.Window) {
 				return true
 			}
 		}
+		// Accumulated rows are charged to the query budget before the
+		// frame exists, so a result set that cannot fit the budget stops
+		// the scan instead of OOMing the process.
+		n := exec.RowSize(row)
+		if err := ectx.Reserve(n); err != nil {
+			budgetErr = err
+			return false
+		}
+		reserved += n
 		rows = append(rows, row)
 		return true
 	})
+	ectx.Release(reserved)
+	if budgetErr != nil {
+		return nil, budgetErr
+	}
 	if err != nil {
 		return nil, err
 	}
-	return exec.NewDataFrame(e.ctx, t.Schema(), rows)
+	return exec.NewDataFrame(ectx, t.Schema(), rows)
 }
 
 // Scan streams raw matching rows without materializing a frame; emit
-// returning false stops early.
-func (e *Engine) Scan(user, name string, q index.Query, emit func(exec.Row) bool) error {
+// returning false stops early; canceling ctx aborts the scan with a
+// typed lifecycle error.
+func (e *Engine) Scan(ctx context.Context, user, name string, q index.Query, emit func(exec.Row) bool) error {
 	t, err := e.OpenTable(user, name)
 	if err != nil {
 		return err
 	}
-	return t.ScanQuery(q, emit)
+	return t.ScanQuery(ctx, q, emit)
 }
 
 // ScanProjected is Scan with projection pushdown: only the named
@@ -370,7 +389,7 @@ func (e *Engine) Scan(user, name string, q index.Query, emit func(exec.Row) bool
 // the emitted rows and skips decompression entirely. cols == nil means
 // all columns; an unknown name degrades to a full decode rather than
 // failing.
-func (e *Engine) ScanProjected(user, name string, q index.Query, cols []string, emit func(exec.Row) bool) error {
+func (e *Engine) ScanProjected(ctx context.Context, user, name string, q index.Query, cols []string, emit func(exec.Row) bool) error {
 	t, err := e.OpenTable(user, name)
 	if err != nil {
 		return err
@@ -388,7 +407,7 @@ func (e *Engine) ScanProjected(user, name string, q index.Query, cols []string, 
 			needed[i] = true
 		}
 	}
-	return t.ScanProjected(q, needed, emit)
+	return t.ScanProjected(ctx, q, needed, emit)
 }
 
 // Flush persists all buffered writes.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"just/internal/exec"
@@ -77,9 +78,12 @@ func (h *areaHeap) Pop() interface{} {
 // iterative area expansion over spatial range queries, pruned by
 // Lemma 1 (dA(q, a) > dmax with a full candidate queue stops the
 // search). Results come back ordered nearest first.
-func (e *Engine) KNN(user, name string, q geom.Point, k int, opts KNNOptions) ([]Neighbor, error) {
+func (e *Engine) KNN(ctx context.Context, user, name string, q geom.Point, k int, opts KNNOptions) ([]Neighbor, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	opts = opts.withDefaults()
 	t, err := e.OpenTable(user, name)
@@ -96,7 +100,7 @@ func (e *Engine) KNN(user, name string, q geom.Point, k int, opts KNNOptions) ([
 	// optimization): when the table holds at most k records, the answer
 	// is the whole table; area expansion would futilely exhaust the grid.
 	if t.Desc.RecordCount > 0 && t.Desc.RecordCount <= int64(k)*2 {
-		return e.knnByFullScan(t, q, k, opts)
+		return e.knnByFullScan(ctx, t, q, k, opts)
 	}
 
 	cq := &candHeap{} // candidate queue, max size k (Line 1)
@@ -106,6 +110,9 @@ func (e *Engine) KNN(user, name string, q geom.Point, k int, opts KNNOptions) ([
 	seen := map[string]bool{}
 
 	for aq.Len() > 0 { // Line 4
+		if err := exec.MapCtxErr(ctx.Err()); err != nil {
+			return nil, err
+		}
 		a := heap.Pop(aq).(areaEntry) // Line 5
 		if cq.Len() == k && a.dist > dmax {
 			break // Line 6-7: Area Pruning (Lemma 1)
@@ -118,7 +125,7 @@ func (e *Engine) KNN(user, name string, q geom.Point, k int, opts KNNOptions) ([
 		}
 		// Line 10: spatial range query by a.
 		iq := index.Query{Window: a.mbr, HasTime: opts.HasTime, TMin: opts.TMin, TMax: opts.TMax}
-		err := t.ScanQuery(iq, func(row exec.Row) bool {
+		err := t.ScanQuery(ctx, iq, func(row exec.Row) bool {
 			fid := string(table.FIDBytes(row[fi]))
 			if seen[fid] {
 				return true // quadrant-boundary duplicate
@@ -153,11 +160,11 @@ func (e *Engine) KNN(user, name string, q geom.Point, k int, opts KNNOptions) ([
 }
 
 // knnByFullScan answers tiny-table k-NN queries with one scan.
-func (e *Engine) knnByFullScan(t *table.Table, q geom.Point, k int, opts KNNOptions) ([]Neighbor, error) {
+func (e *Engine) knnByFullScan(ctx context.Context, t *table.Table, q geom.Point, k int, opts KNNOptions) ([]Neighbor, error) {
 	gi := t.GeomIndex()
 	cq := &candHeap{}
 	iq := index.Query{Window: opts.Root, HasTime: opts.HasTime, TMin: opts.TMin, TMax: opts.TMax}
-	err := t.ScanQuery(iq, func(row exec.Row) bool {
+	err := t.ScanQuery(ctx, iq, func(row exec.Row) bool {
 		g, ok := row[gi].(geom.Geometry)
 		if !ok {
 			return true

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -9,15 +10,27 @@ import (
 	"sync/atomic"
 )
 
-// Context owns the worker pool and memory budget shared by all frames of
-// one query or session — the analogue of the shared Spark context the
-// paper's service layer maintains (Section VII-A).
-type Context struct {
+// ctxShared is the engine-wide execution state every bound Context
+// aliases: the worker pool and the global memory budget.
+type ctxShared struct {
 	workers int
 	sem     chan struct{}
 
 	memBudget int64 // 0 = unlimited
 	memUsed   atomic.Int64
+}
+
+// Context owns the worker pool and memory budget shared by all frames of
+// one query or session — the analogue of the shared Spark context the
+// paper's service layer maintains (Section VII-A). Bind derives
+// per-query views that add cancellation and a per-query memory budget
+// on top of the shared state.
+type Context struct {
+	s *ctxShared
+
+	// Per-query lifecycle; both nil on the engine-wide root context.
+	ctx   context.Context // cancellation/deadline; nil = never canceled
+	query *Query          // per-query memory budget and progress counters
 }
 
 // NewContext creates a context. workers <= 0 selects NumCPU;
@@ -26,34 +39,70 @@ func NewContext(workers int, memBudget int64) *Context {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return &Context{
+	return &Context{s: &ctxShared{
 		workers:   workers,
 		sem:       make(chan struct{}, workers),
 		memBudget: memBudget,
-	}
+	}}
 }
 
 // DefaultContext returns a context with NumCPU workers and no memory cap.
 func DefaultContext() *Context { return NewContext(0, 0) }
 
-// Workers returns the configured parallelism.
-func (c *Context) Workers() int { return c.workers }
+// Bind derives a per-query view of the context: same worker pool and
+// global budget, plus cancellation from ctx and (when ctx carries one
+// via WithQuery) a per-query memory budget. Frames built under the
+// bound context inherit both; operators abort with the typed lifecycle
+// errors once ctx is done.
+func (c *Context) Bind(ctx context.Context) *Context {
+	return &Context{s: c.s, ctx: ctx, query: QueryFromContext(ctx)}
+}
 
-// reserve accounts n bytes; it fails when the budget is exhausted.
+// Query returns the per-query lifecycle bound to this context, or nil.
+func (c *Context) Query() *Query { return c.query }
+
+// Err reports the typed lifecycle error once the bound query context is
+// canceled or past its deadline, else nil.
+func (c *Context) Err() error {
+	if c.ctx == nil {
+		return nil
+	}
+	return MapCtxErr(c.ctx.Err())
+}
+
+// Workers returns the configured parallelism.
+func (c *Context) Workers() int { return c.s.workers }
+
+// reserve accounts n bytes against the global budget and, when bound,
+// the per-query budget; it fails when either is exhausted.
 func (c *Context) reserve(n int64) error {
-	used := c.memUsed.Add(n)
-	if c.memBudget > 0 && used > c.memBudget {
-		c.memUsed.Add(-n)
+	used := c.s.memUsed.Add(n)
+	if c.s.memBudget > 0 && used > c.s.memBudget {
+		c.s.memUsed.Add(-n)
 		return ErrOutOfMemory
+	}
+	if err := c.query.Reserve(n); err != nil {
+		c.s.memUsed.Add(-n)
+		return err
 	}
 	return nil
 }
 
-// release returns n bytes to the budget.
-func (c *Context) release(n int64) { c.memUsed.Add(-n) }
+// release returns n bytes to the budget(s).
+func (c *Context) release(n int64) {
+	c.s.memUsed.Add(-n)
+	c.query.Release(n)
+}
 
-// MemUsed reports the currently accounted bytes.
-func (c *Context) MemUsed() int64 { return c.memUsed.Load() }
+// Reserve charges n bytes of off-frame buffer memory (e.g. rows
+// accumulated by a scan before materialization) against the budgets.
+func (c *Context) Reserve(n int64) error { return c.reserve(n) }
+
+// Release returns bytes taken with Reserve.
+func (c *Context) Release(n int64) { c.release(n) }
+
+// MemUsed reports the currently accounted bytes (global).
+func (c *Context) MemUsed() int64 { return c.s.memUsed.Load() }
 
 // RunParallel executes fn for i in [0, n) on the worker pool and returns
 // the first error. It is the scheduling primitive behind every operator
@@ -63,8 +112,12 @@ func (c *Context) RunParallel(n int, fn func(i int) error) error {
 }
 
 // runParallel executes fn for each partition index on the pool and
-// returns the first error.
+// returns the first error. A canceled bound context aborts between
+// partitions with the typed lifecycle error.
 func (c *Context) runParallel(n int, fn func(i int) error) error {
+	if err := c.Err(); err != nil {
+		return err
+	}
 	if n == 0 {
 		return nil
 	}
@@ -74,12 +127,20 @@ func (c *Context) runParallel(n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	var firstErr atomic.Value
 	for i := 0; i < n; i++ {
+		if err := c.Err(); err != nil {
+			firstErr.CompareAndSwap(nil, err)
+			break
+		}
 		wg.Add(1)
-		c.sem <- struct{}{}
+		c.s.sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
-			defer func() { <-c.sem }()
+			defer func() { <-c.s.sem }()
 			if firstErr.Load() != nil {
+				return
+			}
+			if err := c.Err(); err != nil {
+				firstErr.CompareAndSwap(nil, err)
 				return
 			}
 			if err := fn(i); err != nil {
@@ -106,7 +167,7 @@ type DataFrame struct {
 // NewDataFrame wraps rows into a frame with the context's default
 // partitioning.
 func NewDataFrame(ctx *Context, schema *Schema, rows []Row) (*DataFrame, error) {
-	parts := partition(rows, ctx.workers)
+	parts := partition(rows, ctx.s.workers)
 	return newFrame(ctx, schema, parts)
 }
 
@@ -116,8 +177,13 @@ func NewDataFramePartitioned(ctx *Context, schema *Schema, parts [][]Row) (*Data
 }
 
 func newFrame(ctx *Context, schema *Schema, parts [][]Row) (*DataFrame, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var mem int64
+	var rows int64
 	for _, p := range parts {
+		rows += int64(len(p))
 		for _, r := range p {
 			mem += RowSize(r)
 		}
@@ -125,6 +191,7 @@ func newFrame(ctx *Context, schema *Schema, parts [][]Row) (*DataFrame, error) {
 	if err := ctx.reserve(mem); err != nil {
 		return nil, err
 	}
+	ctx.query.AddRows(rows)
 	return &DataFrame{ctx: ctx, schema: schema, parts: parts, mem: mem}, nil
 }
 
@@ -153,6 +220,18 @@ func (d *DataFrame) Release() {
 	d.ctx.release(d.mem)
 	d.mem = 0
 	d.parts = nil
+}
+
+// Bound returns a zero-cost alias of the frame bound to ctx: same
+// schema and partitions, no additional memory reservation (Release on
+// the alias is a no-op for the shared rows). It lets a cached view
+// frame participate in a new query under that query's cancellation and
+// budget instead of the (long-finished) one it was built under.
+func (d *DataFrame) Bound(ctx *Context) *DataFrame {
+	if d.ctx == ctx {
+		return d
+	}
+	return &DataFrame{ctx: ctx, schema: d.schema, parts: d.parts}
 }
 
 // Schema returns the frame's schema.

@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// Typed lifecycle errors. They unwrap to the corresponding context
+// errors so errors.Is works against either taxonomy: storage-layer
+// code returns raw ctx.Err() values, and MapCtxErr lifts them into
+// these at the query layer.
+var (
+	// ErrQueryCanceled reports a query aborted by client disconnect or
+	// an explicit admin kill.
+	ErrQueryCanceled error = &lifecycleError{"exec: query canceled", context.Canceled}
+	// ErrDeadlineExceeded reports a query that outlived its deadline
+	// (the -query-timeout flag or a per-request override).
+	ErrDeadlineExceeded error = &lifecycleError{"exec: query deadline exceeded", context.DeadlineExceeded}
+	// ErrMemoryBudget reports a query killed for exceeding its per-query
+	// memory budget — the overload-protection alternative to OOMing the
+	// whole process.
+	ErrMemoryBudget = errors.New("exec: query memory budget exceeded")
+)
+
+type lifecycleError struct {
+	msg   string
+	cause error
+}
+
+func (e *lifecycleError) Error() string { return e.msg }
+func (e *lifecycleError) Unwrap() error { return e.cause }
+
+// MapCtxErr lifts raw context errors into the typed lifecycle errors;
+// every other error (including nil) passes through unchanged.
+func MapCtxErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrQueryCanceled) || errors.Is(err, ErrDeadlineExceeded):
+		return err // already typed
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		return ErrQueryCanceled
+	}
+	return err
+}
+
+// Query is one query's resource lifecycle: a memory budget charged by
+// dataframe materialization and scan batch buffers, plus rows/bytes
+// progress counters for the active-query registry. A nil *Query is
+// valid everywhere and disables per-query accounting.
+type Query struct {
+	budget int64 // 0 = unlimited
+	used   atomic.Int64
+	peak   atomic.Int64
+	rows   atomic.Int64
+}
+
+// NewQuery creates a lifecycle with the given memory budget
+// (<= 0 = unlimited).
+func NewQuery(memBudget int64) *Query {
+	if memBudget < 0 {
+		memBudget = 0
+	}
+	return &Query{budget: memBudget}
+}
+
+// Reserve charges n bytes against the query budget; it fails with
+// ErrMemoryBudget when the budget would be exceeded.
+func (q *Query) Reserve(n int64) error {
+	if q == nil {
+		return nil
+	}
+	used := q.used.Add(n)
+	if q.budget > 0 && used > q.budget {
+		q.used.Add(-n)
+		return ErrMemoryBudget
+	}
+	for {
+		peak := q.peak.Load()
+		if used <= peak || q.peak.CompareAndSwap(peak, used) {
+			return nil
+		}
+	}
+}
+
+// Release returns n bytes to the query budget.
+func (q *Query) Release(n int64) {
+	if q != nil {
+		q.used.Add(-n)
+	}
+}
+
+// AddRows advances the rows-materialized progress counter.
+func (q *Query) AddRows(n int64) {
+	if q != nil {
+		q.rows.Add(n)
+	}
+}
+
+// MemUsed reports the currently reserved bytes.
+func (q *Query) MemUsed() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.used.Load()
+}
+
+// MemPeak reports the high-water mark of reserved bytes.
+func (q *Query) MemPeak() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.peak.Load()
+}
+
+// Rows reports rows materialized so far (including intermediates).
+func (q *Query) Rows() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.rows.Load()
+}
+
+// queryKey carries a *Query through a context.Context.
+type queryKey struct{}
+
+// WithQuery attaches a query lifecycle to ctx so the executor can
+// recover it via QueryFromContext without changing every signature in
+// between.
+func WithQuery(ctx context.Context, q *Query) context.Context {
+	return context.WithValue(ctx, queryKey{}, q)
+}
+
+// QueryFromContext recovers the lifecycle attached by WithQuery, or nil.
+func QueryFromContext(ctx context.Context) *Query {
+	if ctx == nil {
+		return nil
+	}
+	q, _ := ctx.Value(queryKey{}).(*Query)
+	return q
+}

@@ -2,6 +2,7 @@ package kv
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"path/filepath"
 	"runtime"
@@ -101,6 +102,21 @@ func (s *regionServer) run(task func()) {
 	defer func() { <-s.slots }()
 	s.scans.Add(1)
 	task()
+}
+
+// runCtx is run with cancellation: a task still queued for a server
+// slot when ctx is canceled never starts, so a canceled query does not
+// hold the cluster's scan concurrency hostage behind slow neighbors.
+func (s *regionServer) runCtx(ctx context.Context, task func()) error {
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-s.slots }()
+	s.scans.Add(1)
+	task()
+	return nil
 }
 
 // OpenCluster opens (or creates) a cluster rooted at dir.
@@ -422,7 +438,7 @@ func (c *Cluster) ScanRange(kr KeyRange, emit func(key, value []byte) bool) erro
 			continue
 		}
 		stop := false
-		err := c.scanOne(h, sub, func(k, v []byte) bool {
+		err := c.scanOne(context.Background(), h, sub, func(k, v []byte) bool {
 			if !emit(k, v) {
 				stop = true
 				return false
@@ -450,8 +466,8 @@ func (c *Cluster) ScanRange(kr KeyRange, emit func(key, value []byte) bool) erro
 // every key and value; callers that can decode or filter per pair
 // should use ScanRangesFunc, which runs that stage inside the scan
 // workers and skips the copies entirely.
-func (c *Cluster) ScanRanges(ranges []KeyRange, emit func(key, value []byte) bool) error {
-	return ScanRangesFunc(c, ranges, func(k, v []byte) (Pair, bool, error) {
+func (c *Cluster) ScanRanges(ctx context.Context, ranges []KeyRange, emit func(key, value []byte) bool) error {
+	return ScanRangesFunc(ctx, c, ranges, func(k, v []byte) (Pair, bool, error) {
 		return Pair{
 			Key:   append([]byte(nil), k...),
 			Value: append([]byte(nil), v...),
@@ -480,7 +496,18 @@ const maxSerialScanTasks = 4
 // even when emit cancelled the scan concurrently). emit returning
 // false cancels outstanding tasks and drains the pipeline before
 // returning.
-func ScanRangesFunc[T any](c *Cluster, ranges []KeyRange, process func(key, value []byte) (T, bool, error), emit func(T) bool) error {
+//
+// Canceling ctx (client disconnect, deadline, admin kill) aborts the
+// scan promptly: every worker checks the cancel flag per pair, queued
+// tasks never take a server slot, and the raw context error is
+// returned (callers lift it into the typed lifecycle errors).
+func ScanRangesFunc[T any](ctx context.Context, c *Cluster, ranges []KeyRange, process func(key, value []byte) (T, bool, error), emit func(T) bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	c.mu.RLock()
 	hs := append([]*regionHandle(nil), c.regions...)
 	c.mu.RUnlock()
@@ -509,8 +536,12 @@ func ScanRangesFunc[T any](c *Cluster, ranges []KeyRange, process func(key, valu
 			var scanned, kept int64
 			stop := false
 			var stageErr error
-			err := c.scanOne(t.h, t.kr, func(k, v []byte) bool {
+			err := c.scanOne(ctx, t.h, t.kr, func(k, v []byte) bool {
 				scanned++
+				if scanned&63 == 0 && ctx.Err() != nil {
+					stageErr = ctx.Err()
+					return false
+				}
 				out, keep, perr := process(k, v)
 				if perr != nil {
 					stageErr = perr
@@ -551,6 +582,10 @@ func ScanRangesFunc[T any](c *Cluster, ranges []KeyRange, process func(key, valu
 		errMu.Unlock()
 		cancelled.Store(true)
 	}
+	// A canceled context flips the shared cancel flag every worker
+	// already polls per pair, so teardown is prompt even mid-iterator.
+	stopWatch := context.AfterFunc(ctx, func() { fail(ctx.Err()) })
+	defer stopWatch()
 	// Batch slices are pooled: the consumer returns each batch after
 	// draining it, so a steady scan recycles ~one batch per in-flight
 	// task instead of allocating one per scanBatchSize pairs.
@@ -585,7 +620,7 @@ func ScanRangesFunc[T any](c *Cluster, ranges []KeyRange, process func(key, valu
 				}
 				var scanErr error
 				done := false
-				n.server.run(func() {
+				err = n.server.runCtx(ctx, func() {
 					if cancelled.Load() {
 						done = true
 						return
@@ -617,6 +652,10 @@ func ScanRangesFunc[T any](c *Cluster, ranges []KeyRange, process func(key, valu
 					}
 					scanErr = it.Err()
 				})
+				if err != nil {
+					fail(err)
+					return
+				}
 				if done {
 					return
 				}
@@ -672,7 +711,7 @@ func ScanRangesFunc[T any](c *Cluster, ranges []KeyRange, process func(key, valu
 // corruption failover: a scan that trips on a corrupt block reports the
 // damage, re-picks a healthy node and resumes just past the last key it
 // delivered (keys are ascending, so nothing is re-emitted or skipped).
-func (c *Cluster) scanOne(h *regionHandle, kr KeyRange, emit func(k, v []byte) bool) error {
+func (c *Cluster) scanOne(ctx context.Context, h *regionHandle, kr KeyRange, emit func(k, v []byte) bool) error {
 	var resume []byte // last key handed to emit, reused across pairs
 	for attempt := 0; ; attempt++ {
 		n, err := h.readNode(c)
@@ -680,7 +719,7 @@ func (c *Cluster) scanOne(h *regionHandle, kr KeyRange, emit func(k, v []byte) b
 			return err
 		}
 		var scanErr error
-		n.server.run(func() {
+		if err := n.server.runCtx(ctx, func() {
 			it := n.r.Scan(kr)
 			defer it.Close()
 			for it.Next() {
@@ -690,7 +729,9 @@ func (c *Cluster) scanOne(h *regionHandle, kr KeyRange, emit func(k, v []byte) b
 				}
 			}
 			scanErr = it.Err()
-		})
+		}); err != nil {
+			return err
+		}
 		if scanErr != nil && c.reportCorruption(h, n.r, scanErr) && attempt < maxCorruptRetries {
 			if len(resume) > 0 {
 				// Resume after the last delivered key (half-open ranges:

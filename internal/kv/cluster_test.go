@@ -2,6 +2,7 @@ package kv
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -88,7 +89,7 @@ func TestClusterScanRangesParallel(t *testing.T) {
 		{Start: []byte("7"), End: []byte("8")},
 	}
 	got := map[string]bool{}
-	err := c.ScanRanges(ranges, func(k, v []byte) bool {
+	err := c.ScanRanges(context.Background(), ranges, func(k, v []byte) bool {
 		got[string(k)] = true
 		return true
 	})
@@ -112,7 +113,7 @@ func TestClusterScanEarlyStop(t *testing.T) {
 	}
 	c.Flush()
 	n := 0
-	err := c.ScanRanges([]KeyRange{{}}, func(k, v []byte) bool {
+	err := c.ScanRanges(context.Background(), []KeyRange{{}}, func(k, v []byte) bool {
 		n++
 		return n < 10
 	})

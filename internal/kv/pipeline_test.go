@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -36,7 +37,7 @@ func TestScanRangesFuncProcessAndFilter(t *testing.T) {
 	c := pipelineCluster(t, n)
 	var mu sync.Mutex
 	var got []int
-	err := ScanRangesFunc(c, []KeyRange{{}},
+	err := ScanRangesFunc(context.Background(), c, []KeyRange{{}},
 		func(k, v []byte) (int, bool, error) {
 			i, err := strconv.Atoi(string(v))
 			if err != nil {
@@ -87,7 +88,7 @@ func TestScanRangesFuncProcessErrorPropagates(t *testing.T) {
 
 	t.Run("parallel", func(t *testing.T) {
 		c := pipelineCluster(t, 2000)
-		err := ScanRangesFunc(c, []KeyRange{{}}, process, func([]byte) bool { return true })
+		err := ScanRangesFunc(context.Background(), c, []KeyRange{{}}, process, func([]byte) bool { return true })
 		if !errors.Is(err, boom) {
 			t.Fatalf("err = %v, want %v", err, boom)
 		}
@@ -100,7 +101,7 @@ func TestScanRangesFuncProcessErrorPropagates(t *testing.T) {
 			c.Put([]byte(fmt.Sprintf("k-%05d", i)), []byte("v"))
 		}
 		c.Flush()
-		err := ScanRangesFunc(c, []KeyRange{{}}, process, func([]byte) bool { return true })
+		err := ScanRangesFunc(context.Background(), c, []KeyRange{{}}, process, func([]byte) bool { return true })
 		if !errors.Is(err, boom) {
 			t.Fatalf("err = %v, want %v", err, boom)
 		}
@@ -118,7 +119,7 @@ func TestScanRangesFuncErrorBeatsCancel(t *testing.T) {
 	entered := make(chan struct{}) // poison pair reached process
 	gate := make(chan struct{})    // holds the poison failure until cancel
 	var enterOnce, gateOnce sync.Once
-	err := ScanRangesFunc(c, []KeyRange{{}},
+	err := ScanRangesFunc(context.Background(), c, []KeyRange{{}},
 		func(k, v []byte) ([]byte, bool, error) {
 			if strings.HasPrefix(string(k), "9-") {
 				enterOnce.Do(func() { close(entered) })
@@ -142,7 +143,7 @@ func TestScanRangesFuncEarlyStopReleasesWorkers(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for round := 0; round < 3; round++ {
 		n := 0
-		err := ScanRangesFunc(c, []KeyRange{{}},
+		err := ScanRangesFunc(context.Background(), c, []KeyRange{{}},
 			func(k, v []byte) ([]byte, bool, error) {
 				return append([]byte(nil), v...), true, nil
 			},

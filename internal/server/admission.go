@@ -1,0 +1,81 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// Admission shedding errors. handleSQL maps errQueueFull to HTTP 429
+// (the server is saturated and the wait queue is full — back off) and
+// errQueueTimeout to HTTP 503 (the query waited in the queue but its
+// deadline or the client connection expired first). Both carry a
+// Retry-After hint.
+var (
+	errQueueFull    = errors.New("server: too many concurrent queries, wait queue full")
+	errQueueTimeout = errors.New("server: query timed out waiting for admission")
+)
+
+// admissionController bounds concurrent query execution with a
+// semaphore plus a bounded deadline-aware wait queue. A query first
+// tries for a run slot; if none is free it takes a queue slot (or is
+// shed immediately when the queue is full) and waits until a run slot
+// frees or its context expires.
+type admissionController struct {
+	sem   chan struct{} // run slots; nil = unlimited
+	queue chan struct{} // wait-queue slots
+
+	admitted atomic.Int64 // queries granted a run slot
+	queued   atomic.Int64 // queries that had to wait in the queue
+	shed     atomic.Int64 // queries rejected (queue full or wait expired)
+}
+
+// newAdmissionController builds a controller for maxConcurrent run
+// slots and maxQueued waiters. maxConcurrent <= 0 disables admission
+// control entirely (every query is admitted immediately).
+func newAdmissionController(maxConcurrent, maxQueued int) *admissionController {
+	a := &admissionController{}
+	if maxConcurrent > 0 {
+		a.sem = make(chan struct{}, maxConcurrent)
+		if maxQueued < 0 {
+			maxQueued = 0
+		}
+		a.queue = make(chan struct{}, maxQueued)
+	}
+	return a
+}
+
+// admit blocks until the query may run, returning a release function
+// that must be called exactly once when the query finishes. It returns
+// errQueueFull when the server is saturated and the wait queue is full,
+// and errQueueTimeout when ctx expires while waiting for a slot.
+func (a *admissionController) admit(ctx context.Context) (func(), error) {
+	if a.sem == nil {
+		a.admitted.Add(1)
+		return func() {}, nil
+	}
+	release := func() { <-a.sem }
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		return release, nil
+	default:
+	}
+	// Saturated: claim a queue slot or shed immediately.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.shed.Add(1)
+		return nil, errQueueFull
+	}
+	a.queued.Add(1)
+	defer func() { <-a.queue }()
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		return release, nil
+	case <-ctx.Done():
+		a.shed.Add(1)
+		return nil, errQueueTimeout
+	}
+}

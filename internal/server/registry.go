@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"just/internal/exec"
+)
+
+// queryEntry is one in-flight query in the registry.
+type queryEntry struct {
+	id     int64
+	user   string
+	sql    string
+	start  time.Time
+	cancel context.CancelFunc
+	query  *exec.Query
+	killed atomic.Bool
+}
+
+// queryRegistry tracks every admitted query for the admin endpoints:
+// GET /api/v1/admin/queries lists them, POST /api/v1/admin/queries/kill
+// cancels one by id.
+type queryRegistry struct {
+	mu     sync.Mutex
+	active map[int64]*queryEntry
+	nextID int64
+	killed atomic.Int64
+}
+
+func newQueryRegistry() *queryRegistry {
+	return &queryRegistry{active: map[int64]*queryEntry{}}
+}
+
+func (r *queryRegistry) register(user, sqlText string, start time.Time, cancel context.CancelFunc, q *exec.Query) *queryEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	e := &queryEntry{
+		id:     r.nextID,
+		user:   user,
+		sql:    sqlText,
+		start:  start,
+		cancel: cancel,
+		query:  q,
+	}
+	r.active[e.id] = e
+	return e
+}
+
+func (r *queryRegistry) unregister(id int64) {
+	r.mu.Lock()
+	delete(r.active, id)
+	r.mu.Unlock()
+}
+
+func (r *queryRegistry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.active)
+}
+
+// kill cancels the query with the given id. It reports whether the id
+// named an in-flight query.
+func (r *queryRegistry) kill(id int64) bool {
+	r.mu.Lock()
+	e, ok := r.active[id]
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	e.killed.Store(true)
+	r.killed.Add(1)
+	e.cancel()
+	return true
+}
+
+// snapshot lists in-flight queries, oldest first.
+func (r *queryRegistry) snapshot(now time.Time) []map[string]any {
+	r.mu.Lock()
+	entries := make([]*queryEntry, 0, len(r.active))
+	for _, e := range r.active {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j].id < entries[j-1].id; j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+	out := make([]map[string]any, len(entries))
+	for i, e := range entries {
+		out[i] = map[string]any{
+			"id":        e.id,
+			"user":      e.user,
+			"sql":       e.sql,
+			"age_ms":    now.Sub(e.start).Milliseconds(),
+			"rows":      e.query.Rows(),
+			"mem_bytes": e.query.MemUsed(),
+			"mem_peak":  e.query.MemPeak(),
+		}
+	}
+	return out
+}

@@ -8,11 +8,17 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
+	"mime"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"just/internal/core"
@@ -36,6 +42,26 @@ type Options struct {
 	// default 64 MiB. LRU eviction applies, but the most recently
 	// stored cursor is always kept even if it alone exceeds the bound.
 	MaxCursorBytes int64
+	// QueryTimeout is the default per-query deadline; 0 means none. A
+	// request may tighten it (never widen it) with an X-JUST-Timeout
+	// header holding a Go duration.
+	QueryTimeout time.Duration
+	// MaxConcurrentQueries bounds queries executing at once; 0 means
+	// unlimited. Excess queries wait in a bounded queue and are shed
+	// with 429/503 once it overflows or their deadline passes.
+	MaxConcurrentQueries int
+	// MaxQueuedQueries bounds the admission wait queue; default 2x
+	// MaxConcurrentQueries. Only meaningful with MaxConcurrentQueries.
+	MaxQueuedQueries int
+	// QueryMemBudget caps the bytes one query may hold in dataframes
+	// and scan buffers; 0 means unlimited. Exceeding it fails the
+	// query with a typed memory_budget error instead of an engine OOM.
+	QueryMemBudget int64
+	// MaxBodyBytes bounds the request body of POST /api/v1/sql;
+	// default 1 MiB. Oversized bodies get HTTP 413.
+	MaxBodyBytes int64
+	// SlowQueryThreshold logs queries slower than this; default 1s.
+	SlowQueryThreshold time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -51,13 +77,34 @@ func (o Options) withDefaults() Options {
 	if o.MaxCursorBytes <= 0 {
 		o.MaxCursorBytes = 64 << 20
 	}
+	if o.MaxQueuedQueries <= 0 {
+		o.MaxQueuedQueries = 2 * o.MaxConcurrentQueries
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.SlowQueryThreshold <= 0 {
+		o.SlowQueryThreshold = time.Second
+	}
 	return o
 }
 
 // Server is the HTTP front end.
 type Server struct {
-	engine *core.Engine
-	opts   Options
+	engine   *core.Engine
+	opts     Options
+	adm      *admissionController
+	registry *queryRegistry
+
+	// Query lifecycle counters.
+	canceled         atomic.Int64 // queries ended by cancellation (disconnect or kill)
+	deadlineExceeded atomic.Int64 // queries ended by their deadline
+	memBudgetKills   atomic.Int64 // queries ended by the per-query memory budget
+	slowQueries      atomic.Int64 // queries past SlowQueryThreshold
+	peakQueryBytes   atomic.Int64 // high-water mark of any single query's memory
+
+	janitorStop chan struct{}
+	closeOnce   sync.Once
 
 	mu          sync.Mutex
 	cursors     map[string]*cursor
@@ -80,12 +127,49 @@ type cursor struct {
 
 // New creates a server over an engine.
 func New(engine *core.Engine, opts Options) *Server {
-	return &Server{
-		engine:  engine,
-		opts:    opts.withDefaults(),
-		cursors: map[string]*cursor{},
-		lru:     list.New(),
-		now:     time.Now,
+	opts = opts.withDefaults()
+	s := &Server{
+		engine:      engine,
+		opts:        opts,
+		adm:         newAdmissionController(opts.MaxConcurrentQueries, opts.MaxQueuedQueries),
+		registry:    newQueryRegistry(),
+		janitorStop: make(chan struct{}),
+		cursors:     map[string]*cursor{},
+		lru:         list.New(),
+		now:         time.Now,
+	}
+	go s.cursorJanitor()
+	return s
+}
+
+// Close stops the background cursor janitor. It does not close the
+// engine. Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.janitorStop) })
+}
+
+// cursorJanitor expires abandoned cursors on a timer, so TTL'd pages
+// release their memory even when no request arrives to trigger the
+// lazy sweep.
+func (s *Server) cursorJanitor() {
+	interval := s.opts.CursorTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.mu.Lock()
+			s.gcLocked()
+			s.mu.Unlock()
+		case <-s.janitorStop:
+			return
+		}
 	}
 }
 
@@ -96,6 +180,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/fetch", s.handleFetch)
 	mux.HandleFunc("/api/v1/health", s.handleHealth)
 	mux.HandleFunc("/api/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/api/v1/admin/queries", s.handleQueries)
+	mux.HandleFunc("/api/v1/admin/queries/kill", s.handleQueryKill)
 	mux.HandleFunc("/api/v1/admin/replication", s.handleReplication)
 	mux.HandleFunc("/api/v1/admin/servers", s.handleServers)
 	mux.HandleFunc("/api/v1/admin/scrub", s.handleScrub)
@@ -109,7 +195,10 @@ type sqlRequest struct {
 	SQL  string `json:"sql"`
 }
 
-// sqlResponse carries the first page of a result.
+// sqlResponse carries the first page of a result. Code classifies
+// lifecycle failures ("deadline_exceeded", "canceled", "killed",
+// "memory_budget", "body_too_large", "queue_full", "queue_timeout") so
+// clients can branch without parsing the message.
 type sqlResponse struct {
 	Message string   `json:"message,omitempty"`
 	Columns []string `json:"columns,omitempty"`
@@ -117,6 +206,7 @@ type sqlResponse struct {
 	Cursor  string   `json:"cursor,omitempty"`
 	Total   int      `json:"total"`
 	Error   string   `json:"error,omitempty"`
+	Code    string   `json:"code,omitempty"`
 }
 
 func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
@@ -124,18 +214,105 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || (mt != "application/json" && mt != "text/json") {
+			writeJSON(w, http.StatusUnsupportedMediaType,
+				sqlResponse{Error: fmt.Sprintf("unsupported content type %q, want application/json", ct), Code: "bad_content_type"})
+			return
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	var req sqlRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				sqlResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), Code: "body_too_large"})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, sqlResponse{Error: "bad request: " + err.Error()})
 		return
 	}
 	if req.User == "" {
 		req.User = r.Header.Get("X-JUST-User")
 	}
-	sess := sql.NewSession(s.engine, req.User)
-	res, err := sess.Execute(req.SQL)
+
+	// The query's lifecycle context: client disconnect cancels it, and
+	// the effective deadline (server default, tightened per-request by
+	// X-JUST-Timeout) bounds it.
+	ctx := r.Context()
+	timeout := s.opts.QueryTimeout
+	if h := r.Header.Get("X-JUST-Timeout"); h != "" {
+		d, err := time.ParseDuration(h)
+		if err != nil || d <= 0 {
+			writeJSON(w, http.StatusBadRequest, sqlResponse{Error: fmt.Sprintf("bad X-JUST-Timeout %q", h)})
+			return
+		}
+		if timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+	if timeout > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, timeout)
+		defer cancelT()
+	}
+
+	release, err := s.adm.admit(ctx)
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, sqlResponse{Error: err.Error()})
+		w.Header().Set("Retry-After", "1")
+		switch {
+		case errors.Is(err, errQueueFull):
+			writeJSON(w, http.StatusTooManyRequests, sqlResponse{Error: err.Error(), Code: "queue_full"})
+		default:
+			writeJSON(w, http.StatusServiceUnavailable, sqlResponse{Error: err.Error(), Code: "queue_timeout"})
+		}
+		return
+	}
+	defer release()
+
+	q := exec.NewQuery(s.opts.QueryMemBudget)
+	qctx, cancelQ := context.WithCancel(exec.WithQuery(ctx, q))
+	defer cancelQ()
+	start := s.now()
+	entry := s.registry.register(req.User, req.SQL, start, cancelQ, q)
+	defer s.registry.unregister(entry.id)
+
+	sess := sql.NewSession(s.engine, req.User)
+	res, err := sess.ExecuteContext(qctx, req.SQL)
+
+	if peak := q.MemPeak(); peak > 0 {
+		for {
+			old := s.peakQueryBytes.Load()
+			if peak <= old || s.peakQueryBytes.CompareAndSwap(old, peak) {
+				break
+			}
+		}
+	}
+	if elapsed := time.Since(start); elapsed > s.opts.SlowQueryThreshold {
+		s.slowQueries.Add(1)
+		log.Printf("just/server: slow query user=%q elapsed=%s rows=%d sql=%q",
+			req.User, elapsed, q.Rows(), truncateSQL(req.SQL))
+	}
+
+	if err != nil {
+		code := ""
+		switch {
+		case errors.Is(err, exec.ErrDeadlineExceeded):
+			s.deadlineExceeded.Add(1)
+			code = "deadline_exceeded"
+		case errors.Is(err, exec.ErrQueryCanceled):
+			s.canceled.Add(1)
+			code = "canceled"
+			if entry.killed.Load() {
+				code = "killed"
+			}
+		case errors.Is(err, exec.ErrMemoryBudget):
+			s.memBudgetKills.Add(1)
+			code = "memory_budget"
+		}
+		writeJSON(w, http.StatusUnprocessableEntity, sqlResponse{Error: err.Error(), Code: code})
 		return
 	}
 	resp := sqlResponse{Message: res.Message}
@@ -276,45 +453,55 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	evicted, expired := s.evicted, s.expired
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"regions":              s.engine.Cluster().Regions(),
-		"bytes_written":        m.BytesWritten,
-		"bytes_read":           m.BytesRead,
-		"blocks_read":          m.BlocksRead,
-		"block_cache_hits":     m.BlockCacheHits,
-		"block_cache_misses":   m.BlockCacheMisses,
-		"bloom_negatives":      m.BloomNegatives,
-		"flushes":              m.Flushes,
-		"compactions":          m.Compactions,
-		"scan_tasks":           m.ScanTasks,
-		"scan_pairs":           m.ScanPairs,
-		"scan_kept":            m.ScanKept,
-		"scan_batches":         m.ScanBatches,
-		"group_commits":        m.GroupCommits,
-		"group_commit_records": m.GroupCommitRecords,
-		"wal_syncs":            m.WALSyncs,
-		"wal_sync_bytes":       m.WALSyncBytes,
-		"flush_queue_depth":    m.FlushQueueDepth,
-		"write_stalls":         m.WriteStalls,
-		"write_stall_nanos":    m.WriteStallNanos,
-		"shipped_batches":      m.ShippedBatches,
-		"shipped_bytes":        m.ShippedBytes,
-		"replica_applies":      m.ReplicaApplies,
-		"replica_rejects":      m.ReplicaRejects,
-		"replica_lag_max":      m.ReplicaLagMax,
-		"failovers":            m.Failovers,
-		"failover_reads":       m.FailoverReads,
-		"stale_reads":          m.StaleReads,
-		"corruptions_detected": m.CorruptionsDetected,
-		"read_retries":         m.ReadRetries,
-		"blocks_scrubbed":      m.BlocksScrubbed,
-		"scrub_runs":           m.ScrubRuns,
-		"tables_quarantined":   m.TablesQuarantined,
-		"repairs_completed":    m.RepairsCompleted,
-		"orphans_removed":      m.OrphansRemoved,
-		"cursors_open":         openCursors,
-		"cursor_bytes":         cursorBytes,
-		"cursors_evicted":      evicted,
-		"cursors_expired":      expired,
+		"regions":                   s.engine.Cluster().Regions(),
+		"bytes_written":             m.BytesWritten,
+		"bytes_read":                m.BytesRead,
+		"blocks_read":               m.BlocksRead,
+		"block_cache_hits":          m.BlockCacheHits,
+		"block_cache_misses":        m.BlockCacheMisses,
+		"bloom_negatives":           m.BloomNegatives,
+		"flushes":                   m.Flushes,
+		"compactions":               m.Compactions,
+		"scan_tasks":                m.ScanTasks,
+		"scan_pairs":                m.ScanPairs,
+		"scan_kept":                 m.ScanKept,
+		"scan_batches":              m.ScanBatches,
+		"group_commits":             m.GroupCommits,
+		"group_commit_records":      m.GroupCommitRecords,
+		"wal_syncs":                 m.WALSyncs,
+		"wal_sync_bytes":            m.WALSyncBytes,
+		"flush_queue_depth":         m.FlushQueueDepth,
+		"write_stalls":              m.WriteStalls,
+		"write_stall_nanos":         m.WriteStallNanos,
+		"shipped_batches":           m.ShippedBatches,
+		"shipped_bytes":             m.ShippedBytes,
+		"replica_applies":           m.ReplicaApplies,
+		"replica_rejects":           m.ReplicaRejects,
+		"replica_lag_max":           m.ReplicaLagMax,
+		"failovers":                 m.Failovers,
+		"failover_reads":            m.FailoverReads,
+		"stale_reads":               m.StaleReads,
+		"corruptions_detected":      m.CorruptionsDetected,
+		"read_retries":              m.ReadRetries,
+		"blocks_scrubbed":           m.BlocksScrubbed,
+		"scrub_runs":                m.ScrubRuns,
+		"tables_quarantined":        m.TablesQuarantined,
+		"repairs_completed":         m.RepairsCompleted,
+		"orphans_removed":           m.OrphansRemoved,
+		"cursors_open":              openCursors,
+		"cursor_bytes":              cursorBytes,
+		"cursors_evicted":           evicted,
+		"cursors_expired":           expired,
+		"queries_admitted":          s.adm.admitted.Load(),
+		"queries_queued":            s.adm.queued.Load(),
+		"queries_shed":              s.adm.shed.Load(),
+		"queries_canceled":          s.canceled.Load(),
+		"queries_deadline_exceeded": s.deadlineExceeded.Load(),
+		"queries_mem_budget_kills":  s.memBudgetKills.Load(),
+		"queries_killed":            s.registry.killed.Load(),
+		"queries_active":            s.registry.count(),
+		"peak_query_bytes":          s.peakQueryBytes.Load(),
+		"slow_queries":              s.slowQueries.Load(),
 	})
 }
 
@@ -400,6 +587,50 @@ func (s *Server) handleServers(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
 	}
+}
+
+// truncateSQL bounds statements for the slow-query log.
+func truncateSQL(q string) string {
+	const max = 200
+	if len(q) > max {
+		return q[:max] + "..."
+	}
+	return q
+}
+
+// handleQueries lists in-flight queries: GET /api/v1/admin/queries.
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queries": s.registry.snapshot(s.now()),
+	})
+}
+
+// killRequest is the body of POST /api/v1/admin/queries/kill.
+type killRequest struct {
+	ID int64 `json:"id"`
+}
+
+// handleQueryKill cancels one in-flight query by id. The victim fails
+// with a typed canceled error (code "killed" in its response).
+func (s *Server) handleQueryKill(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req killRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad request: " + err.Error()})
+		return
+	}
+	if !s.registry.kill(req.ID) {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "no such query: " + strconv.FormatInt(req.ID, 10)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"killed": req.ID})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

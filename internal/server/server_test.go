@@ -28,6 +28,7 @@ func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Server) {
 	}
 	t.Cleanup(func() { eng.Close() })
 	s := New(eng, opts)
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts, s
@@ -255,6 +256,7 @@ func newReplicatedServer(t *testing.T, opts Options) (*httptest.Server, *Server)
 	}
 	t.Cleanup(func() { eng.Close() })
 	s := New(eng, opts)
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts, s

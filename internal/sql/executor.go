@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -38,22 +39,45 @@ type Result struct {
 	Plan Plan
 }
 
-// Execute parses, plans and runs one JustQL statement.
+// Execute parses, plans and runs one JustQL statement under a
+// background context (no deadline, no cancellation).
 func (s *Session) Execute(src string) (*Result, error) {
+	return s.ExecuteContext(context.Background(), src)
+}
+
+// ExecuteContext parses, plans and runs one JustQL statement. ctx
+// cancels the statement end-to-end — scans abort inside the storage
+// workers, operators abort between partitions — surfacing as the typed
+// exec.ErrQueryCanceled / exec.ErrDeadlineExceeded. A per-query memory
+// budget attached with exec.WithQuery is charged by every dataframe
+// materialization and scan buffer.
+func (s *Session) ExecuteContext(ctx context.Context, src string) (*Result, error) {
 	stmt, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecuteStmt(stmt)
+	return s.ExecuteStmtContext(ctx, stmt)
 }
 
-// ExecuteStmt runs an already-parsed statement.
+// ExecuteStmt runs an already-parsed statement under a background
+// context.
 func (s *Session) ExecuteStmt(stmt Statement) (*Result, error) {
+	return s.ExecuteStmtContext(context.Background(), stmt)
+}
+
+// ExecuteStmtContext runs an already-parsed statement under ctx.
+func (s *Session) ExecuteStmtContext(ctx context.Context, stmt Statement) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := exec.MapCtxErr(ctx.Err()); err != nil {
+		return nil, err
+	}
 	switch v := stmt.(type) {
 	case *CreateTableStmt:
 		return s.execCreateTable(v)
 	case *CreateViewStmt:
-		return s.execCreateView(v)
+		return s.execCreateView(ctx, v)
 	case *StoreViewStmt:
 		return s.execStoreView(v)
 	case *DropStmt:
@@ -65,9 +89,9 @@ func (s *Session) ExecuteStmt(stmt Statement) (*Result, error) {
 	case *InsertStmt:
 		return s.execInsert(v)
 	case *LoadStmt:
-		return s.execLoad(v)
+		return s.execLoad(ctx, v)
 	case *SelectStmt:
-		return s.execSelect(v)
+		return s.execSelect(ctx, v)
 	case *ExplainStmt:
 		a := &analyzer{engine: s.engine, user: s.user}
 		plan, err := a.analyzeSelect(v.Query)
@@ -180,8 +204,8 @@ func periodByName(name string) (int64, error) {
 	}
 }
 
-func (s *Session) execCreateView(st *CreateViewStmt) (*Result, error) {
-	res, err := s.execSelect(st.Query)
+func (s *Session) execCreateView(ctx context.Context, st *CreateViewStmt) (*Result, error) {
+	res, err := s.execSelect(ctx, st.Query)
 	if err != nil {
 		return nil, err
 	}
@@ -372,14 +396,18 @@ func coerceValue(col table.Column, v any) (any, error) {
 
 // --- SELECT ---
 
-func (s *Session) execSelect(st *SelectStmt) (*Result, error) {
+func (s *Session) execSelect(ctx context.Context, st *SelectStmt) (*Result, error) {
 	a := &analyzer{engine: s.engine, user: s.user}
 	plan, err := a.analyzeSelect(st)
 	if err != nil {
 		return nil, err
 	}
 	plan = Optimize(plan)
-	ex := &executor{session: s}
+	ex := &executor{
+		session: s,
+		ctx:     ctx,
+		ectx:    s.engine.Context().Bind(ctx),
+	}
 	df, err := ex.run(plan)
 	if err != nil {
 		ex.cleanup(nil)
@@ -390,9 +418,14 @@ func (s *Session) execSelect(st *SelectStmt) (*Result, error) {
 }
 
 // executor runs an optimized plan, tracking intermediate frames so their
-// memory returns to the shared context budget.
+// memory returns to the shared context budget. ctx is the query's
+// lifecycle (cancellation, deadline); ectx is the engine execution
+// context bound to it (and to the per-query memory budget, when the
+// context carries one).
 type executor struct {
 	session *Session
+	ctx     context.Context
+	ectx    *exec.Context
 	temps   []*exec.DataFrame
 }
 
@@ -412,11 +445,20 @@ func (ex *executor) cleanup(keep *exec.DataFrame) {
 }
 
 func (ex *executor) run(p Plan) (*exec.DataFrame, error) {
+	// Every plan node re-checks the query lifecycle on entry, so a
+	// cancel or deadline between operators aborts before the next
+	// materialization rather than after it.
+	if err := ex.ectx.Err(); err != nil {
+		return nil, err
+	}
 	switch v := p.(type) {
 	case *ScanPlan:
 		return ex.runScan(v)
 	case *ViewPlan:
-		return v.View.Frame, nil // borrowed, never released here
+		// Borrowed, never released here: the alias rebinds the cached
+		// rows to this query's cancellation and budget (the frame was
+		// built under the long-finished creating query's context).
+		return v.View.Frame.Bound(ex.ectx), nil
 	case *FilterPlan:
 		child, err := ex.run(v.Child)
 		if err != nil {
@@ -522,6 +564,7 @@ func (ex *executor) run(p Plan) (*exec.DataFrame, error) {
 
 func (ex *executor) runScan(v *ScanPlan) (*exec.DataFrame, error) {
 	eng := ex.session.engine
+	ectx := ex.ectx
 	fullSchema := v.Table.Schema()
 	var colIdx []int
 	outSchema := fullSchema
@@ -598,7 +641,7 @@ func (ex *executor) runScan(v *ScanPlan) (*exec.DataFrame, error) {
 				rows = append(rows, project(row))
 			}
 		}
-		df, err := exec.NewDataFrame(eng.Context(), outSchema, rows)
+		df, err := exec.NewDataFrame(ectx, outSchema, rows)
 		if err != nil {
 			return nil, err
 		}
@@ -614,7 +657,7 @@ func (ex *executor) runScan(v *ScanPlan) (*exec.DataFrame, error) {
 			opts.HasTime = true
 			opts.TMin, opts.TMax = timeBounds(v.TMin, v.TMax)
 		}
-		neighbors, err := eng.KNN(v.Table.Desc.User, v.Table.Desc.Name, v.KNN.Point, v.KNN.K, opts)
+		neighbors, err := eng.KNN(ex.ctx, v.Table.Desc.User, v.Table.Desc.Name, v.KNN.Point, v.KNN.K, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -628,7 +671,7 @@ func (ex *executor) runScan(v *ScanPlan) (*exec.DataFrame, error) {
 				rows = append(rows, project(nb.Row))
 			}
 		}
-		df, err := exec.NewDataFrame(eng.Context(), outSchema, rows)
+		df, err := exec.NewDataFrame(ectx, outSchema, rows)
 		if err != nil {
 			return nil, err
 		}
@@ -665,7 +708,13 @@ func (ex *executor) runScan(v *ScanPlan) (*exec.DataFrame, error) {
 	gi := v.Table.GeomIndex()
 	var rows []exec.Row
 	var scanErr error
-	err := eng.ScanProjected(v.Table.Desc.User, v.Table.Desc.Name, q, scanCols, func(row exec.Row) bool {
+	// Rows accumulated before the frame exists are charged to the
+	// query's memory budget incrementally, so an oversized result set
+	// kills the query with exec.ErrMemoryBudget mid-scan instead of
+	// OOMing the process at materialization time.
+	var reserved int64
+	defer func() { ectx.Release(reserved) }()
+	err := eng.ScanProjected(ex.ctx, v.Table.Desc.User, v.Table.Desc.Name, q, scanCols, func(row exec.Row) bool {
 		// Exact geometry refinement when a window was pushed.
 		if v.Window != nil && gi >= 0 {
 			if g, ok := row[gi].(geom.Geometry); ok && !geom.IntersectsMBR(g, *v.Window) {
@@ -678,7 +727,19 @@ func (ex *executor) runScan(v *ScanPlan) (*exec.DataFrame, error) {
 			return false
 		}
 		if ok {
-			rows = append(rows, project(row))
+			pr := project(row)
+			n := exec.RowSize(pr)
+			if err := ectx.Reserve(n); err != nil {
+				scanErr = err
+				return false
+			}
+			reserved += n
+			rows = append(rows, pr)
+			// A pushed-down LIMIT stops the scan (cancelling region
+			// workers) once enough surviving rows are in hand.
+			if v.Limit > 0 && len(rows) >= v.Limit {
+				return false
+			}
 		}
 		return true
 	})
@@ -688,7 +749,7 @@ func (ex *executor) runScan(v *ScanPlan) (*exec.DataFrame, error) {
 	if scanErr != nil {
 		return nil, scanErr
 	}
-	df, err := exec.NewDataFrame(eng.Context(), outSchema, rows)
+	df, err := exec.NewDataFrame(ectx, outSchema, rows)
 	if err != nil {
 		return nil, err
 	}
@@ -886,7 +947,7 @@ func (ex *executor) runAnalysis(call *FuncCall, child *exec.DataFrame, outSchema
 		for i := range pts {
 			out[i] = exec.Row{int64(labels[i]), pts[i]}
 		}
-		return exec.NewDataFrame(ex.session.engine.Context(), outSchema, out)
+		return exec.NewDataFrame(ex.ectx, outSchema, out)
 	default:
 		return nil, fmt.Errorf("sql: unknown analysis function %q", call.Name)
 	}
@@ -894,7 +955,7 @@ func (ex *executor) runAnalysis(call *FuncCall, child *exec.DataFrame, outSchema
 
 // --- LOAD ---
 
-func (s *Session) execLoad(st *LoadStmt) (*Result, error) {
+func (s *Session) execLoad(ctx context.Context, st *LoadStmt) (*Result, error) {
 	switch st.SrcKind {
 	case "csv":
 		return s.loadCSV(st)
@@ -902,13 +963,13 @@ func (s *Session) execLoad(st *LoadStmt) (*Result, error) {
 		return s.loadGeoJSON(st)
 	case "table", "hive":
 		// Hive is simulated by loading from another JUST table.
-		return s.loadTable(st)
+		return s.loadTable(ctx, st)
 	default:
 		return nil, fmt.Errorf("sql: unsupported LOAD source %q", st.SrcKind)
 	}
 }
 
-func (s *Session) loadTable(st *LoadStmt) (*Result, error) {
+func (s *Session) loadTable(ctx context.Context, st *LoadStmt) (*Result, error) {
 	src, err := s.engine.OpenTable(s.user, strings.TrimPrefix(st.Src, "default."))
 	if err != nil {
 		return nil, err
@@ -924,7 +985,7 @@ func (s *Session) loadTable(st *LoadStmt) (*Result, error) {
 	var rows []exec.Row
 	srcSchema := src.Schema()
 	var ferr error
-	err = src.FullScan(func(r exec.Row) bool {
+	err = src.FullScan(ctx, func(r exec.Row) bool {
 		if limit > 0 && len(rows) >= limit {
 			return false
 		}

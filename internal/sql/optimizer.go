@@ -13,7 +13,58 @@ func Optimize(p Plan) Plan {
 	p = foldPlanConstants(p)
 	p = pushDownFilters(p)
 	p = pruneColumns(p)
+	p = pushDownLimit(p)
 	return p
+}
+
+// --- Rule 4: push LIMIT into the scan ---
+
+// pushDownLimit lowers a LIMIT sitting directly above a table scan —
+// or above a purely 1-1 projection of one — into ScanPlan.Limit, so
+// the storage scan stops emitting (and tears down its region workers)
+// after N surviving rows instead of materializing the full result
+// first. Residual predicates run inside the scan, so the scan's
+// emitted-row count is exactly the row count the LIMIT observes; k-NN
+// scans are skipped (their candidate search must not be truncated).
+// The LimitPlan wrapper stays: it is a no-op over an already-truncated
+// frame but keeps EXPLAIN output and plan shapes stable.
+func pushDownLimit(p Plan) Plan {
+	switch v := p.(type) {
+	case *LimitPlan:
+		v.Child = pushDownLimit(v.Child)
+		target := v.Child
+		if pr, ok := target.(*ProjectPlan); ok && !hasAnalysisItem(pr) {
+			target = pr.Child
+		}
+		if sc, ok := target.(*ScanPlan); ok && sc.KNN == nil {
+			if sc.Limit == 0 || v.N < sc.Limit {
+				sc.Limit = v.N
+			}
+		}
+	case *FilterPlan:
+		v.Child = pushDownLimit(v.Child)
+	case *ProjectPlan:
+		v.Child = pushDownLimit(v.Child)
+	case *AggregatePlan:
+		v.Child = pushDownLimit(v.Child)
+	case *SortPlan:
+		v.Child = pushDownLimit(v.Child)
+	case *JoinPlan:
+		v.Left = pushDownLimit(v.Left)
+		v.Right = pushDownLimit(v.Right)
+	}
+	return p
+}
+
+// hasAnalysisItem reports whether the projection invokes a 1-N/N-M
+// analysis operator (whose output cardinality differs from its input).
+func hasAnalysisItem(pr *ProjectPlan) bool {
+	for _, it := range pr.Items {
+		if call, ok := it.Expr.(*FuncCall); ok && analysisFuncs[call.Name] {
+			return true
+		}
+	}
+	return false
 }
 
 // --- Rule 1: calculate constant expressions ---

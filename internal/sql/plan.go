@@ -43,6 +43,11 @@ type ScanPlan struct {
 	Residual []Expr
 	// Cols is the pushed projection (nil = all columns).
 	Cols []string
+	// Limit stops the scan after emitting this many surviving rows
+	// (0 = unlimited) — pushed down from a LIMIT directly above the
+	// scan so region workers are cancelled instead of materializing
+	// the whole result.
+	Limit int
 }
 
 // Schema implements Plan.
@@ -81,6 +86,9 @@ func (s *ScanPlan) String() string {
 	}
 	if s.Cols != nil {
 		parts = append(parts, "cols="+strings.Join(s.Cols, ","))
+	}
+	if s.Limit > 0 {
+		parts = append(parts, fmt.Sprintf("limit=%d", s.Limit))
 	}
 	return strings.Join(parts, " ") + "]"
 }

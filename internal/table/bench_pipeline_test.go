@@ -1,6 +1,7 @@
 package table
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -52,7 +53,7 @@ func seedScanQuery(t *Table, q index.Query, emit func(exec.Row) bool) error {
 		full[i] = prefixRange(prefix, r)
 	}
 	var decodeErr error
-	err = t.cluster.ScanRanges(full, func(k, v []byte) bool {
+	err = t.cluster.ScanRanges(context.Background(), full, func(k, v []byte) bool {
 		row, err := t.codec.Decode(v)
 		if err != nil {
 			decodeErr = err
@@ -196,7 +197,7 @@ func runTrajBench(b *testing.B, scan func(*Table, index.Query, func(exec.Row) bo
 // scan workers, two-phase decode).
 func BenchmarkScanPipelineTrajST(b *testing.B) {
 	runTrajBench(b, func(t *Table, q index.Query, emit func(exec.Row) bool) error {
-		return t.ScanQuery(q, emit)
+		return t.ScanQuery(context.Background(), q, emit)
 	}, true)
 }
 
@@ -212,7 +213,7 @@ func BenchmarkScanPipelineTrajSTProjected(b *testing.B) {
 	needed := make([]bool, 7)
 	needed[0] = true // tid
 	runTrajBench(b, func(t *Table, q index.Query, emit func(exec.Row) bool) error {
-		return t.ScanProjected(q, needed, emit)
+		return t.ScanProjected(context.Background(), q, needed, emit)
 	}, false)
 }
 
@@ -318,7 +319,7 @@ func runOrderBench(b *testing.B, scan func(*Table, index.Query, func(exec.Row) b
 
 func BenchmarkScanPipelineOrderST(b *testing.B) {
 	runOrderBench(b, func(t *Table, q index.Query, emit func(exec.Row) bool) error {
-		return t.ScanQuery(q, emit)
+		return t.ScanQuery(context.Background(), q, emit)
 	})
 }
 

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -111,7 +112,7 @@ func TestInsertBatchMatchesInsert(t *testing.T) {
 
 	// A window over a superseded location must not resurface moved rows.
 	old := index.Query{Window: geom.NewMBR(116.49, 39.59, 116.51, 39.61)}
-	err = batched.ScanQuery(old, func(r exec.Row) bool {
+	err = batched.ScanQuery(context.Background(), old, func(r exec.Row) bool {
 		if r[0] == int64(60) {
 			t.Fatal("superseded within-batch location of fid 60 still indexed")
 		}

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -98,7 +99,7 @@ func TestScanProjected(t *testing.T) {
 		HasTime: true, TMin: 0, TMax: 100 * hourMS,
 	}
 	var fullIDs []int64
-	if err := tbl.ScanQuery(q, func(r exec.Row) bool {
+	if err := tbl.ScanQuery(context.Background(), q, func(r exec.Row) bool {
 		fullIDs = append(fullIDs, r[0].(int64))
 		return true
 	}); err != nil {
@@ -111,7 +112,7 @@ func TestScanProjected(t *testing.T) {
 	// filter columns (geom/time) are decoded by the filter pass.
 	needed := []bool{true, false, false, false}
 	var gotIDs []int64
-	if err := tbl.ScanProjected(q, needed, func(r exec.Row) bool {
+	if err := tbl.ScanProjected(context.Background(), q, needed, func(r exec.Row) bool {
 		if r[3] != nil {
 			t.Fatalf("projected-out column decoded: %v", r)
 		}
@@ -156,11 +157,11 @@ func TestScanDecodeErrorPropagates(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	err := tbl.FullScan(func(exec.Row) bool { return true })
+	err := tbl.FullScan(context.Background(), func(exec.Row) bool { return true })
 	if !errors.Is(err, ErrBadRow) {
 		t.Fatalf("FullScan err = %v, want ErrBadRow", err)
 	}
-	err = tbl.ScanQuery(index.Query{Window: geom.WorldMBR}, func(exec.Row) bool { return true })
+	err = tbl.ScanQuery(context.Background(), index.Query{Window: geom.WorldMBR}, func(exec.Row) bool { return true })
 	if !errors.Is(err, ErrBadRow) {
 		t.Fatalf("ScanQuery err = %v, want ErrBadRow", err)
 	}

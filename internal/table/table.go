@@ -2,6 +2,7 @@ package table
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -481,8 +482,8 @@ func (t *Table) chooseStrategy(q index.Query) (index.Strategy, uint8, bool) {
 // post-filters on the record's MBR and time span (the curve-level
 // over-approximation is removed here; exact geometry refinement belongs
 // to the caller, which knows the predicate). Every column is decoded.
-func (t *Table) ScanQuery(q index.Query, emit func(exec.Row) bool) error {
-	return t.ScanProjected(q, nil, emit)
+func (t *Table) ScanQuery(ctx context.Context, q index.Query, emit func(exec.Row) bool) error {
+	return t.ScanProjected(ctx, q, nil, emit)
 }
 
 // ScanProjected is ScanQuery with projection pushdown: needed marks the
@@ -492,14 +493,14 @@ func (t *Table) ScanQuery(q index.Query, emit func(exec.Row) bool) error {
 // first so rows rejected by the window never pay the decompression cost
 // of their remaining fields (for trajectories, the gzip'd GPS list).
 // Columns outside needed are left nil in emitted rows.
-func (t *Table) ScanProjected(q index.Query, needed []bool, emit func(exec.Row) bool) error {
+func (t *Table) ScanProjected(ctx context.Context, q index.Query, needed []bool, emit func(exec.Row) bool) error {
 	s, indexID, ok := t.chooseStrategy(q)
 	if !ok {
 		// No index can narrow the scan: pipeline over the attribute
 		// index's whole key range instead.
 		prefix := t.keyPrefix(t.attrID)
 		full := []kv.KeyRange{{Start: prefix, End: nextKeyPrefix(prefix)}}
-		return t.pipelineScan(full, q, needed, emit)
+		return t.pipelineScan(ctx, full, q, needed, emit)
 	}
 	planQ := q
 	if s.Temporal() && !q.HasTime {
@@ -517,7 +518,7 @@ func (t *Table) ScanProjected(q index.Query, needed []bool, emit func(exec.Row) 
 	for i, r := range ranges {
 		full[i] = prefixRange(prefix, r)
 	}
-	return t.pipelineScan(full, q, needed, emit)
+	return t.pipelineScan(ctx, full, q, needed, emit)
 }
 
 // filterCols returns the bitmap of columns matches() reads, or nil when
@@ -536,7 +537,7 @@ func (t *Table) filterCols() []bool {
 }
 
 // pipelineScan runs decode + post-filter inside the scan workers.
-func (t *Table) pipelineScan(ranges []kv.KeyRange, q index.Query, needed []bool, emit func(exec.Row) bool) error {
+func (t *Table) pipelineScan(ctx context.Context, ranges []kv.KeyRange, q index.Query, needed []bool, emit func(exec.Row) bool) error {
 	filter := t.filterCols()
 	process := func(_, v []byte) (exec.Row, bool, error) {
 		row := make(exec.Row, len(t.Desc.Columns))
@@ -556,7 +557,7 @@ func (t *Table) pipelineScan(ranges []kv.KeyRange, q index.Query, needed []bool,
 		}
 		return row, true, nil
 	}
-	return kv.ScanRangesFunc(t.cluster, ranges, process, emit)
+	return exec.MapCtxErr(kv.ScanRangesFunc(ctx, t.cluster, ranges, process, emit))
 }
 
 // matches post-filters a decoded row against the query window.
@@ -587,14 +588,14 @@ func (t *Table) matches(row exec.Row, q index.Query) (bool, error) {
 
 // FullScan streams every row via the attribute index, decoding inside
 // the scan workers.
-func (t *Table) FullScan(emit func(exec.Row) bool) error {
+func (t *Table) FullScan(ctx context.Context, emit func(exec.Row) bool) error {
 	prefix := t.keyPrefix(t.attrID)
 	ranges := []kv.KeyRange{{Start: prefix, End: nextKeyPrefix(prefix)}}
 	process := func(_, v []byte) (exec.Row, bool, error) {
 		row, err := t.codec.Decode(v)
 		return row, err == nil, err
 	}
-	return kv.ScanRangesFunc(t.cluster, ranges, process, emit)
+	return exec.MapCtxErr(kv.ScanRangesFunc(ctx, t.cluster, ranges, process, emit))
 }
 
 // DropData deletes every key owned by the table. (DROP TABLE deletes the
@@ -605,7 +606,7 @@ func (t *Table) DropData() error {
 	prefix := []byte{byte(id >> 24), byte(id >> 16), byte(id >> 8), byte(id)}
 	ranges := []kv.KeyRange{{Start: prefix, End: nextKeyPrefix(prefix)}}
 	var keys [][]byte
-	err := kv.ScanRangesFunc(t.cluster, ranges,
+	err := kv.ScanRangesFunc(context.Background(), t.cluster, ranges,
 		func(k, _ []byte) ([]byte, bool, error) {
 			return append([]byte(nil), k...), true, nil
 		},

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -340,7 +341,7 @@ func TestTableScanQuery(t *testing.T) {
 		TMin:    0, TMax: 200 * hourMS,
 	}
 	var got []int64
-	if err := tbl.ScanQuery(q, func(r exec.Row) bool {
+	if err := tbl.ScanQuery(context.Background(), q, func(r exec.Row) bool {
 		got = append(got, r[0].(int64))
 		return true
 	}); err != nil {
@@ -357,7 +358,7 @@ func TestTableScanQuery(t *testing.T) {
 	// Narrow time filter: first 10 hours only.
 	q.TMax = 10*hourMS - 1
 	got = got[:0]
-	if err := tbl.ScanQuery(q, func(r exec.Row) bool {
+	if err := tbl.ScanQuery(context.Background(), q, func(r exec.Row) bool {
 		got = append(got, r[0].(int64))
 		return true
 	}); err != nil {
@@ -382,7 +383,7 @@ func TestTableUpdateInPlace(t *testing.T) {
 	}
 	// Spatial scan must see exactly one copy.
 	n := 0
-	tbl.ScanQuery(index.Query{Window: geom.NewMBR(9, 9, 11, 11)}, func(r exec.Row) bool {
+	tbl.ScanQuery(context.Background(), index.Query{Window: geom.NewMBR(9, 9, 11, 11)}, func(r exec.Row) bool {
 		n++
 		return true
 	})
@@ -401,7 +402,7 @@ func TestTableUpdateMovesRecord(t *testing.T) {
 
 	count := func(win geom.MBR) int {
 		n := 0
-		tbl.ScanQuery(index.Query{Window: win}, func(exec.Row) bool { n++; return true })
+		tbl.ScanQuery(context.Background(), index.Query{Window: win}, func(exec.Row) bool { n++; return true })
 		return n
 	}
 	if n := count(geom.NewMBR(9, 9, 11, 11)); n != 0 {
@@ -413,7 +414,7 @@ func TestTableUpdateMovesRecord(t *testing.T) {
 	// Moving in time matters too (Z2T period changes).
 	tbl.Insert(exec.Row{int64(7), 40 * 24 * hourMS, geom.Point{Lng: 50, Lat: 50}, "new-time"})
 	n := 0
-	tbl.ScanQuery(index.Query{Window: geom.NewMBR(49, 49, 51, 51), HasTime: true, TMin: 0, TMax: hourMS},
+	tbl.ScanQuery(context.Background(), index.Query{Window: geom.NewMBR(49, 49, 51, 51), HasTime: true, TMin: 0, TMax: hourMS},
 		func(exec.Row) bool { n++; return true })
 	if n != 0 {
 		t.Fatalf("old time period still matches %d rows", n)
@@ -426,7 +427,7 @@ func TestTableFullScan(t *testing.T) {
 		tbl.Insert(exec.Row{int64(i), int64(0), geom.Point{Lng: float64(i), Lat: 0}, "x"})
 	}
 	n := 0
-	if err := tbl.FullScan(func(r exec.Row) bool { n++; return true }); err != nil {
+	if err := tbl.FullScan(context.Background(), func(r exec.Row) bool { n++; return true }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 50 {
@@ -521,7 +522,7 @@ func TestTrajectoryTableEndToEnd(t *testing.T) {
 	}
 	// Query a window covering everything: all 100 back.
 	n := 0
-	err = tbl.ScanQuery(index.Query{
+	err = tbl.ScanQuery(context.Background(), index.Query{
 		Window: geom.WorldMBR, HasTime: true, TMin: 0, TMax: 100 * hourMS,
 	}, func(r exec.Row) bool { n++; return true })
 	if err != nil {
@@ -532,7 +533,7 @@ func TestTrajectoryTableEndToEnd(t *testing.T) {
 	}
 	// Spatial-only query (XZ2 index path).
 	n = 0
-	err = tbl.ScanQuery(index.Query{Window: geom.NewMBR(115, 39, 118, 41)},
+	err = tbl.ScanQuery(context.Background(), index.Query{Window: geom.NewMBR(115, 39, 118, 41)},
 		func(r exec.Row) bool { n++; return true })
 	if err != nil {
 		t.Fatal(err)

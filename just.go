@@ -22,6 +22,7 @@
 package just
 
 import (
+	"context"
 	"time"
 
 	"just/internal/core"
@@ -174,18 +175,18 @@ func (e *Engine) InsertTrajectories(user, name string, trajs []*Trajectory) erro
 
 // SpatialRange answers a spatial range query.
 func (e *Engine) SpatialRange(user, name string, window MBR) (*DataFrame, error) {
-	return e.core.SpatialRange(user, name, window)
+	return e.core.SpatialRange(context.Background(), user, name, window)
 }
 
 // STRange answers a spatio-temporal range query ([tmin, tmax] in Unix
 // milliseconds, inclusive).
 func (e *Engine) STRange(user, name string, window MBR, tmin, tmax int64) (*DataFrame, error) {
-	return e.core.STRange(user, name, window, tmin, tmax)
+	return e.core.STRange(context.Background(), user, name, window, tmin, tmax)
 }
 
 // KNN answers a k-nearest-neighbor query (Algorithm 1 of the paper).
 func (e *Engine) KNN(user, name string, q Point, k int) ([]Neighbor, error) {
-	return e.core.KNN(user, name, q, k, core.KNNOptions{})
+	return e.core.KNN(context.Background(), user, name, q, k, core.KNNOptions{})
 }
 
 // Session executes JustQL.
