@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"just/internal/exec"
@@ -51,6 +52,8 @@ type Engine struct {
 
 	mu     sync.Mutex
 	tables map[string]*table.Table // qualified name -> open runtime
+
+	statsRefreshes atomic.Int64 // completed RefreshStats runs
 }
 
 // Open creates or reopens an engine rooted at cfg.Dir.
@@ -409,6 +412,32 @@ func (e *Engine) ScanProjected(ctx context.Context, user, name string, q index.Q
 	}
 	return t.ScanProjected(ctx, q, needed, emit)
 }
+
+// RefreshStats recollects planner statistics for a table (ANALYZE):
+// per-index entry counts and key-distribution samples are rebuilt from
+// a keys-only scan, installed on the table runtime (scans planned from
+// that point on are cost-based) and persisted in the catalog so they
+// survive restarts. Statistics are advisory: until refreshed they
+// describe the data as of the last collection, and a table without any
+// is planned heuristically.
+func (e *Engine) RefreshStats(ctx context.Context, user, name string) (*table.TableStats, error) {
+	t, err := e.OpenTable(user, name)
+	if err != nil {
+		return nil, err
+	}
+	st, err := t.RefreshStats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.catalog.SetStats(t.Desc.User, t.Desc.Name, st); err != nil {
+		return nil, err
+	}
+	e.statsRefreshes.Add(1)
+	return st, nil
+}
+
+// StatsRefreshes counts completed RefreshStats runs (for /metrics).
+func (e *Engine) StatsRefreshes() int64 { return e.statsRefreshes.Load() }
 
 // Flush persists all buffered writes.
 func (e *Engine) Flush() error { return e.cluster.Flush() }

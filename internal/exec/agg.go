@@ -75,6 +75,83 @@ func (a *accumulator) add(v any) {
 	}
 }
 
+// addNull mirrors add(nil): COUNT includes NULL rows, extrema ignore
+// them.
+func (a *accumulator) addNull() { a.count++ }
+
+// addInt is add(int64) without boxing on the hot path: the interface
+// allocation for min/max happens only when the extremum moves.
+func (a *accumulator) addInt(x int64) {
+	a.count++
+	a.sum += float64(x)
+	if y, ok := a.min.(int64); ok {
+		if x < y {
+			a.min = x
+		}
+	} else if a.min == nil {
+		a.min = x
+	} else if c, ok := Compare(x, a.min); ok && c < 0 {
+		a.min = x
+	}
+	if y, ok := a.max.(int64); ok {
+		if x > y {
+			a.max = x
+		}
+	} else if a.max == nil {
+		a.max = x
+	} else if c, ok := Compare(x, a.max); ok && c > 0 {
+		a.max = x
+	}
+}
+
+// addFloat is add(float64) without boxing on the hot path.
+func (a *accumulator) addFloat(x float64) {
+	a.count++
+	a.sum += x
+	if y, ok := a.min.(float64); ok {
+		if x < y {
+			a.min = x
+		}
+	} else if a.min == nil {
+		a.min = x
+	} else if c, ok := Compare(x, a.min); ok && c < 0 {
+		a.min = x
+	}
+	if y, ok := a.max.(float64); ok {
+		if x > y {
+			a.max = x
+		}
+	} else if a.max == nil {
+		a.max = x
+	} else if c, ok := Compare(x, a.max); ok && c > 0 {
+		a.max = x
+	}
+}
+
+// addStr is add(string) without boxing on the hot path.
+func (a *accumulator) addStr(x string) {
+	a.count++
+	a.hasNF = true
+	if y, ok := a.min.(string); ok {
+		if x < y {
+			a.min = x
+		}
+	} else if a.min == nil {
+		a.min = x
+	} else if c, ok := Compare(x, a.min); ok && c < 0 {
+		a.min = x
+	}
+	if y, ok := a.max.(string); ok {
+		if x > y {
+			a.max = x
+		}
+	} else if a.max == nil {
+		a.max = x
+	} else if c, ok := Compare(x, a.max); ok && c > 0 {
+		a.max = x
+	}
+}
+
 func (a *accumulator) merge(o *accumulator) {
 	a.count += o.count
 	a.sum += o.sum
@@ -130,6 +207,13 @@ type group struct {
 // for a global aggregate). The result schema is keys followed by one
 // column per aggregate.
 func (d *DataFrame) GroupBy(keys []string, aggs []Agg) (*DataFrame, error) {
+	return d.GroupBySized(keys, aggs, 0)
+}
+
+// GroupBySized is GroupBy with the hash tables presized for an expected
+// group count, the hint the cost-based optimizer derives from table
+// statistics. A hint of 0 means unknown.
+func (d *DataFrame) GroupBySized(keys []string, aggs []Agg, sizeHint int) (*DataFrame, error) {
 	keyIdx := make([]int, len(keys))
 	for i, k := range keys {
 		j := d.schema.Index(k)
@@ -152,9 +236,13 @@ func (d *DataFrame) GroupBy(keys []string, aggs []Agg) (*DataFrame, error) {
 	}
 
 	// Phase 1: parallel partial aggregation per partition.
+	perPart := 0
+	if sizeHint > 0 && len(d.parts) > 0 {
+		perPart = sizeHint / len(d.parts)
+	}
 	partials := make([]map[uint64][]*group, len(d.parts))
 	err := d.ctx.runParallel(len(d.parts), func(p int) error {
-		local := make(map[uint64][]*group)
+		local := make(map[uint64][]*group, perPart)
 		for _, r := range d.parts[p] {
 			h := rowHash(r, keyIdx)
 			var g *group
@@ -217,23 +305,8 @@ func (d *DataFrame) GroupBy(keys []string, aggs []Agg) (*DataFrame, error) {
 	}
 
 	// Build the output frame.
-	fields := make([]Field, 0, len(keys)+len(aggs))
-	for i, k := range keys {
-		fields = append(fields, Field{Name: k, Type: d.schema.Field(keyIdx[i]).Type})
-	}
-	for i, a := range aggs {
-		t := TypeFloat
-		if a.Kind == AggCount {
-			t = TypeInt
-		} else if aggIdx[i] >= 0 && (a.Kind == AggMin || a.Kind == AggMax) {
-			t = d.schema.Field(aggIdx[i]).Type
-		}
-		name := a.Name
-		if name == "" {
-			name = fmt.Sprintf("%s_%s", aggName(a.Kind), a.Col)
-		}
-		fields = append(fields, Field{Name: name, Type: t})
-	}
+	out := aggResultSchema(d.schema, keyIdx, aggs, aggIdx)
+	fields := out.Fields
 	var rows []Row
 	for _, gs := range merged {
 		for _, g := range gs {
@@ -261,6 +334,30 @@ func (d *DataFrame) GroupBy(keys []string, aggs []Agg) (*DataFrame, error) {
 		rows = []Row{row}
 	}
 	return NewDataFrame(d.ctx, &Schema{Fields: fields}, rows)
+}
+
+// aggResultSchema builds the result schema of an aggregation: the key
+// columns followed by one column per aggregate. Shared by the row and
+// columnar paths so both produce identical shapes.
+func aggResultSchema(schema *Schema, keyIdx []int, aggs []Agg, aggIdx []int) *Schema {
+	fields := make([]Field, 0, len(keyIdx)+len(aggs))
+	for _, j := range keyIdx {
+		fields = append(fields, schema.Field(j))
+	}
+	for i, a := range aggs {
+		t := TypeFloat
+		if a.Kind == AggCount {
+			t = TypeInt
+		} else if aggIdx[i] >= 0 && (a.Kind == AggMin || a.Kind == AggMax) {
+			t = schema.Field(aggIdx[i]).Type
+		}
+		name := a.Name
+		if name == "" {
+			name = fmt.Sprintf("%s_%s", aggName(a.Kind), a.Col)
+		}
+		fields = append(fields, Field{Name: name, Type: t})
+	}
+	return &Schema{Fields: fields}
 }
 
 func aggName(k AggKind) string {

@@ -1,0 +1,352 @@
+package exec
+
+// Columnar batches: the vectorized half of the execution engine. A
+// ColumnBatch holds a fixed run of rows as typed column vectors plus a
+// selection vector, so the scan pipeline can decode, filter and
+// aggregate without boxing every value into a Row. The Row API stays as
+// the compatibility shim — RowAt/AppendRow convert at the batch edge
+// for operators not yet vectorized.
+
+// BatchRows is the default number of rows per ColumnBatch. Small enough
+// that a batch of wide rows stays cache-resident, large enough to
+// amortize per-batch overhead across the scan pipeline.
+const BatchRows = 256
+
+// Vector is one typed column of a ColumnBatch. Exactly one of the data
+// slices is populated, chosen by Type; Nulls marks SQL NULLs. Values at
+// unselected row positions are undefined — late materialization fills
+// only the rows that survived earlier predicates.
+type Vector struct {
+	Type DataType
+	// Nulls[i] reports whether row i is NULL in this column. A nil
+	// Nulls slice means the column has not been materialized at all.
+	Nulls []bool
+
+	Ints   []int64   // TypeInt, TypeTime
+	Floats []float64 // TypeFloat
+	Strs   []string  // TypeString
+	Bools  []bool    // TypeBool
+	Any    []any     // TypeGeometry, TypeBytes, TypeSTSeries, TypeTSeries
+}
+
+// intBacked reports whether the vector stores into Ints.
+func intBacked(t DataType) bool { return t == TypeInt || t == TypeTime }
+
+// alloc materializes the vector's storage for n rows, all NULL.
+func (v *Vector) alloc(n int) {
+	v.Nulls = make([]bool, n)
+	for i := range v.Nulls {
+		v.Nulls[i] = true
+	}
+	switch {
+	case intBacked(v.Type):
+		v.Ints = make([]int64, n)
+	case v.Type == TypeFloat:
+		v.Floats = make([]float64, n)
+	case v.Type == TypeString:
+		v.Strs = make([]string, n)
+	case v.Type == TypeBool:
+		v.Bools = make([]bool, n)
+	default:
+		v.Any = make([]any, n)
+	}
+}
+
+// Value boxes the value at row i (nil for NULL or unmaterialized).
+func (v *Vector) Value(i int) any {
+	if v.Nulls == nil || v.Nulls[i] {
+		return nil
+	}
+	switch {
+	case intBacked(v.Type):
+		return v.Ints[i]
+	case v.Type == TypeFloat:
+		return v.Floats[i]
+	case v.Type == TypeString:
+		return v.Strs[i]
+	case v.Type == TypeBool:
+		return v.Bools[i]
+	default:
+		return v.Any[i]
+	}
+}
+
+// Set stores a boxed value at row i. The value must match the vector
+// type (the natives produced by the codec and Row values).
+func (v *Vector) Set(i int, val any) {
+	if val == nil {
+		v.Nulls[i] = true
+		return
+	}
+	v.Nulls[i] = false
+	switch {
+	case intBacked(v.Type):
+		v.Ints[i] = val.(int64)
+	case v.Type == TypeFloat:
+		v.Floats[i] = val.(float64)
+	case v.Type == TypeString:
+		v.Strs[i] = val.(string)
+	case v.Type == TypeBool:
+		v.Bools[i] = val.(bool)
+	default:
+		v.Any[i] = val
+	}
+}
+
+// memSize estimates the vector's heap footprint over n rows.
+func (v *Vector) memSize(n int) int64 {
+	if v.Nulls == nil {
+		return 0
+	}
+	total := int64(n) // Nulls
+	switch {
+	case intBacked(v.Type):
+		total += int64(n) * 8
+	case v.Type == TypeFloat:
+		total += int64(n) * 8
+	case v.Type == TypeBool:
+		total += int64(n)
+	case v.Type == TypeString:
+		for i := 0; i < n; i++ {
+			total += 16
+			if !v.Nulls[i] {
+				total += int64(len(v.Strs[i]))
+			}
+		}
+	default:
+		for i := 0; i < n; i++ {
+			if !v.Nulls[i] {
+				total += SizeOf(v.Any[i])
+			} else {
+				total += 8
+			}
+		}
+	}
+	return total
+}
+
+// ColumnBatch is a run of rows in columnar form. Columns materialize
+// lazily: a scan decodes filter columns first, narrows Sel, then
+// decodes the remaining projected columns only for surviving rows.
+type ColumnBatch struct {
+	Schema *Schema
+	// Sel is the selection vector: physical row indices, in order, that
+	// are live. nil means all n rows are live.
+	Sel  []int32
+	cols []Vector
+	n    int
+	cap  int
+}
+
+// NewColumnBatch returns an empty batch for schema with row capacity c.
+func NewColumnBatch(schema *Schema, c int) *ColumnBatch {
+	b := &ColumnBatch{Schema: schema, cols: make([]Vector, schema.Len()), cap: c}
+	for i := range b.cols {
+		b.cols[i].Type = schema.Fields[i].Type
+	}
+	return b
+}
+
+// Cap returns the batch's row capacity.
+func (b *ColumnBatch) Cap() int { return b.cap }
+
+// Rows returns the physical row count (before selection).
+func (b *ColumnBatch) Rows() int { return b.n }
+
+// Len returns the live row count (after selection).
+func (b *ColumnBatch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.n
+}
+
+// Grow appends one physical row (initially NULL in every materialized
+// column) and returns its index.
+func (b *ColumnBatch) Grow() int {
+	i := b.n
+	b.n++
+	return i
+}
+
+// Ungrow drops the most recently grown physical row, re-NULLing it in
+// every materialized column so the next Grow can reuse the slot — the
+// scan path decodes a row's filter columns, rejects it, and recycles
+// the slot for the next candidate.
+func (b *ColumnBatch) Ungrow() {
+	b.n--
+	for c := range b.cols {
+		if b.cols[c].Nulls != nil {
+			b.cols[c].Nulls[b.n] = true
+		}
+	}
+}
+
+// Col returns the vector for column c, materializing it on first use.
+func (b *ColumnBatch) Col(c int) *Vector {
+	v := &b.cols[c]
+	if v.Nulls == nil {
+		v.alloc(b.cap)
+	}
+	return v
+}
+
+// Filled reports whether column c has been materialized.
+func (b *ColumnBatch) Filled(c int) bool { return b.cols[c].Nulls != nil }
+
+// HasNulls reports whether column c is NULL in any live row. An
+// unmaterialized column is all-NULL.
+func (b *ColumnBatch) HasNulls(c int) bool {
+	v := &b.cols[c]
+	if v.Nulls == nil {
+		return b.Len() > 0
+	}
+	for i, n := 0, b.Len(); i < n; i++ {
+		if v.Nulls[b.live(i)] {
+			return true
+		}
+	}
+	return false
+}
+
+// live returns the i'th live physical row index.
+func (b *ColumnBatch) live(i int) int {
+	if b.Sel != nil {
+		return int(b.Sel[i])
+	}
+	return i
+}
+
+// RowAt boxes the i'th *live* row into a Row. Columns never
+// materialized come back nil, matching the projected row decode.
+func (b *ColumnBatch) RowAt(i int) Row {
+	p := b.live(i)
+	row := make(Row, len(b.cols))
+	for c := range b.cols {
+		if b.cols[c].Nulls != nil {
+			row[c] = b.cols[c].Value(p)
+		}
+	}
+	return row
+}
+
+// AppendRow adds a row, materializing every column it sets.
+func (b *ColumnBatch) AppendRow(row Row) {
+	i := b.Grow()
+	for c := range b.cols {
+		if c < len(row) {
+			b.Col(c).Set(i, row[c])
+		} else {
+			b.Col(c).Set(i, nil)
+		}
+	}
+	if b.Sel != nil {
+		b.Sel = append(b.Sel, int32(i))
+	}
+}
+
+// FromRows converts rows into a single batch over schema.
+func FromRows(schema *Schema, rows []Row) *ColumnBatch {
+	b := NewColumnBatch(schema, len(rows))
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	return b
+}
+
+// ToRows materializes every live row.
+func (b *ColumnBatch) ToRows() []Row {
+	out := make([]Row, b.Len())
+	for i := range out {
+		out[i] = b.RowAt(i)
+	}
+	return out
+}
+
+// MemSize estimates the batch's heap footprint, the unit the per-query
+// memory budget is charged in.
+func (b *ColumnBatch) MemSize() int64 {
+	total := int64(64) + int64(len(b.Sel))*4
+	for c := range b.cols {
+		total += b.cols[c].memSize(b.n)
+	}
+	return total
+}
+
+// FilterInt narrows the selection to live rows where column c is
+// non-NULL and keep(value) holds. Vectorized: one pass over the int
+// vector, no boxing.
+func (b *ColumnBatch) FilterInt(c int, keep func(int64) bool) {
+	v := b.Col(c)
+	b.filter(func(p int) bool { return !v.Nulls[p] && keep(v.Ints[p]) })
+}
+
+// FilterFloat narrows the selection on a float column.
+func (b *ColumnBatch) FilterFloat(c int, keep func(float64) bool) {
+	v := b.Col(c)
+	b.filter(func(p int) bool { return !v.Nulls[p] && keep(v.Floats[p]) })
+}
+
+// FilterStr narrows the selection on a string column.
+func (b *ColumnBatch) FilterStr(c int, keep func(string) bool) {
+	v := b.Col(c)
+	b.filter(func(p int) bool { return !v.Nulls[p] && keep(v.Strs[p]) })
+}
+
+// FilterAny narrows the selection on an any-backed column (geometry,
+// series); NULL rows are dropped, as in SQL predicate semantics.
+func (b *ColumnBatch) FilterAny(c int, keep func(any) bool) {
+	v := b.Col(c)
+	b.filter(func(p int) bool { return !v.Nulls[p] && keep(v.Any[p]) })
+}
+
+// filter applies pred over live physical indices, building/refining Sel
+// in place.
+func (b *ColumnBatch) filter(pred func(p int) bool) {
+	if b.Sel == nil {
+		b.Sel = make([]int32, 0, b.n)
+		for p := 0; p < b.n; p++ {
+			if pred(p) {
+				b.Sel = append(b.Sel, int32(p))
+			}
+		}
+		return
+	}
+	out := b.Sel[:0]
+	for _, p := range b.Sel {
+		if pred(int(p)) {
+			out = append(out, p)
+		}
+	}
+	b.Sel = out
+}
+
+// Project returns a batch exposing only columns idx. Vectors are shared
+// with the receiver (zero copy); the selection vector is shared too.
+func (b *ColumnBatch) Project(idx []int) *ColumnBatch {
+	out := &ColumnBatch{
+		Schema: b.Schema.Project(idx),
+		Sel:    b.Sel,
+		cols:   make([]Vector, len(idx)),
+		n:      b.n,
+		cap:    b.cap,
+	}
+	for i, j := range idx {
+		out.cols[i] = b.cols[j]
+	}
+	return out
+}
+
+// Reset clears the batch for reuse, keeping allocated vectors.
+func (b *ColumnBatch) Reset() {
+	b.n = 0
+	b.Sel = nil
+	for c := range b.cols {
+		b.cols[c].Nulls = nil
+		b.cols[c].Ints = nil
+		b.cols[c].Floats = nil
+		b.cols[c].Strs = nil
+		b.cols[c].Bools = nil
+		b.cols[c].Any = nil
+	}
+}

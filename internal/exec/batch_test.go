@@ -1,0 +1,235 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// randBatchRows builds a randomized dataset with NULLs across the
+// typed column kinds the vectorized operators specialize on.
+func randBatchRows(rng *rand.Rand, n int) (*Schema, []Row) {
+	schema := NewSchema(
+		Field{"id", TypeInt},
+		Field{"ts", TypeTime},
+		Field{"score", TypeFloat},
+		Field{"grp", TypeString},
+	)
+	rows := make([]Row, n)
+	for i := range rows {
+		r := Row{int64(rng.Intn(50)), int64(rng.Intn(1000)), float64(rng.Intn(100)) / 4, fmt.Sprintf("g%d", rng.Intn(7))}
+		for c := range r {
+			if rng.Intn(10) == 0 {
+				r[c] = nil
+			}
+		}
+		rows[i] = r
+	}
+	return schema, rows
+}
+
+// toBatches splits rows into several batches, exercising cross-batch
+// operator behavior.
+func toBatches(schema *Schema, rows []Row, per int) []*ColumnBatch {
+	var out []*ColumnBatch
+	for len(rows) > 0 {
+		n := per
+		if n > len(rows) {
+			n = len(rows)
+		}
+		out = append(out, FromRows(schema, rows[:n]))
+		rows = rows[n:]
+	}
+	return out
+}
+
+func canonical(rows []Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%#v", r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestBatchFilterMatchesRowFilter: the typed selection-vector filters
+// must keep exactly the rows the boxed row filter keeps, including the
+// NULL-rejects-row convention, across chained filters.
+func TestBatchFilterMatchesRowFilter(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		schema, rows := randBatchRows(rng, 500)
+
+		keepInt := func(v int64) bool { return v%3 != 0 }
+		keepFloat := func(v float64) bool { return v < 20 }
+		keepStr := func(v string) bool { return v != "g3" }
+
+		var want []Row
+		for _, r := range rows {
+			if iv, ok := r[0].(int64); !ok || !keepInt(iv) {
+				continue
+			}
+			if fv, ok := r[2].(float64); !ok || !keepFloat(fv) {
+				continue
+			}
+			if sv, ok := r[3].(string); !ok || !keepStr(sv) {
+				continue
+			}
+			want = append(want, r)
+		}
+
+		var got []Row
+		for _, b := range toBatches(schema, rows, 64) {
+			b.FilterInt(0, keepInt)
+			b.FilterFloat(2, keepFloat)
+			b.FilterStr(3, keepStr)
+			got = append(got, b.ToRows()...)
+		}
+		if !reflect.DeepEqual(canonical(got), canonical(want)) {
+			t.Fatalf("seed %d: vectorized filter diverges from row filter: %d vs %d rows", seed, len(got), len(want))
+		}
+	}
+}
+
+// TestAggregateBatchesMatchesGroupBy: vectorized hash aggregation over
+// batches must produce exactly the groups and aggregate values the row
+// path produces, NULL keys and NULL inputs included.
+func TestAggregateBatchesMatchesGroupBy(t *testing.T) {
+	aggs := []Agg{
+		{Kind: AggCount, Col: "*", Name: "n"},
+		{Kind: AggSum, Col: "score", Name: "s"},
+		{Kind: AggMin, Col: "ts", Name: "lo"},
+		{Kind: AggMax, Col: "ts", Name: "hi"},
+		{Kind: AggAvg, Col: "score", Name: "m"},
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		schema, rows := randBatchRows(rng, 800)
+
+		df, err := NewDataFrame(NewContext(4, 0), schema, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowOut, err := df.GroupBy([]string{"grp", "id"}, aggs)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		keyIdx := []int{3, 0}
+		aggIdx := []int{-1, 2, 1, 1, 2}
+		batchSchema, batchRows, err := AggregateBatches(schema, toBatches(schema, rows, 100), keyIdx, aggs, aggIdx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if got, want := batchSchema.Names(), rowOut.Schema().Names(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: result schema %v, want %v", seed, got, want)
+		}
+		if !reflect.DeepEqual(canonical(batchRows), canonical(rowOut.Collect())) {
+			t.Fatalf("seed %d: vectorized aggregation diverges from GroupBy", seed)
+		}
+	}
+}
+
+// TestAggregateBatchesGlobalEmpty: a global aggregate over zero rows
+// must match the row path's single-row result (COUNT 0, others NULL).
+func TestAggregateBatchesGlobalEmpty(t *testing.T) {
+	schema := NewSchema(Field{"x", TypeInt})
+	aggs := []Agg{{Kind: AggCount, Col: "*", Name: "n"}, {Kind: AggSum, Col: "x", Name: "s"}}
+	df, err := NewDataFrame(NewContext(2, 0), schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowOut, err := df.GroupBy(nil, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, batchRows, err := AggregateBatches(schema, nil, nil, aggs, []int{-1, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canonical(batchRows), canonical(rowOut.Collect())) {
+		t.Fatalf("empty global aggregate: got %v, want %v", batchRows, rowOut.Collect())
+	}
+}
+
+// TestSortBatchesMatchesRowSort: on NULL-free key columns the
+// vectorized sort must order rows exactly as a stable row sort with the
+// generic comparator (the executor only takes the vectorized path when
+// the key column has no NULLs).
+func TestSortBatchesMatchesRowSort(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		schema, rows := randBatchRows(rng, 400)
+		for _, r := range rows { // NULL-free sort keys
+			if r[1] == nil {
+				r[1] = int64(0)
+			}
+			if r[3] == nil {
+				r[3] = "g0"
+			}
+		}
+		for _, tc := range []struct {
+			col  int
+			desc bool
+		}{{1, false}, {1, true}, {3, false}, {2, false}} {
+			want := make([]Row, len(rows))
+			copy(want, rows)
+			// The float column keeps NULLs: the reference orders them
+			// first, matching the vectorized NULLs-first rule.
+			sort.SliceStable(want, func(i, j int) bool {
+				a, b := want[i][tc.col], want[j][tc.col]
+				if a == nil || b == nil {
+					if tc.desc {
+						return b == nil && a != nil
+					}
+					return a == nil && b != nil
+				}
+				c, _ := Compare(a, b)
+				if tc.desc {
+					return c > 0
+				}
+				return c < 0
+			})
+			got := SortBatches(toBatches(schema, rows, 64), tc.col, tc.desc)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d col %d desc=%v: vectorized sort diverges from row sort", seed, tc.col, tc.desc)
+			}
+		}
+	}
+}
+
+// TestUngrowClearsSlot: a slot surrendered by Ungrow must come back
+// all-NULL, because the batch decoder relies on unset fields staying
+// NULL.
+func TestUngrowClearsSlot(t *testing.T) {
+	schema := NewSchema(Field{"a", TypeInt}, Field{"b", TypeString})
+	b := NewColumnBatch(schema, 4)
+	i := b.Grow()
+	b.Col(0).Set(i, int64(7))
+	b.Col(1).Set(i, "x")
+	b.Ungrow()
+	j := b.Grow()
+	if j != i {
+		t.Fatalf("slot not reused: %d then %d", i, j)
+	}
+	row := b.RowAt(0)
+	if row[0] != nil || row[1] != nil {
+		t.Fatalf("reused slot kept stale values: %v", row)
+	}
+}
+
+// TestBatchRowsRoundTrip: FromRows/ToRows preserve rows exactly.
+func TestBatchRowsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	schema, rows := randBatchRows(rng, 300)
+	var got []Row
+	for _, b := range toBatches(schema, rows, 77) {
+		got = append(got, b.ToRows()...)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatal("FromRows/ToRows round trip mutated rows")
+	}
+}

@@ -1,0 +1,264 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vectorized operators over ColumnBatch streams: hash aggregation and
+// sort. Both produce exactly the rows the row-oriented operators
+// (DataFrame.GroupBy / SortBy) would, so the SQL layer can switch paths
+// without observable change; group and output order is unspecified in
+// both, as with the row path.
+
+// batchHashes computes one hash per live row over the key columns,
+// reading the typed vectors directly. The hash function differs from
+// rowHash (no fmt round-trip) but induces the same partition: rows
+// equal under valueEq collide here too.
+func batchHashes(b *ColumnBatch, keyIdx []int, out []uint64) []uint64 {
+	n := b.Len()
+	out = out[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, 14695981039346656037) // FNV-64a offset
+	}
+	mix := func(i int, x uint64) {
+		h := out[i]
+		for s := 0; s < 64; s += 8 {
+			h ^= (x >> s) & 0xff
+			h *= 1099511628211
+		}
+		out[i] = h
+	}
+	for _, c := range keyIdx {
+		v := b.Col(c)
+		for i := 0; i < n; i++ {
+			p := b.live(i)
+			if v.Nulls[p] {
+				mix(i, 0xa5a5a5a5)
+				continue
+			}
+			switch {
+			case intBacked(v.Type):
+				// Hash ints through their float form so int64(3) and
+				// float64(3) group together, as valueEq demands.
+				mix(i, math.Float64bits(float64(v.Ints[p])))
+			case v.Type == TypeFloat:
+				mix(i, math.Float64bits(v.Floats[p]))
+			case v.Type == TypeBool:
+				if v.Bools[p] {
+					mix(i, 1)
+				} else {
+					mix(i, 2)
+				}
+			case v.Type == TypeString:
+				h := out[i]
+				for _, ch := range []byte(v.Strs[p]) {
+					h ^= uint64(ch)
+					h *= 1099511628211
+				}
+				out[i] = h
+			default:
+				mix(i, uint64(len(fmt.Sprint(v.Any[p]))))
+			}
+		}
+	}
+	return out
+}
+
+// AggregateBatches hash-aggregates the live rows of batches by the key
+// columns (by schema position), exactly as DataFrame.GroupBy does by
+// name. sizeHint presizes the hash table from table statistics (pass 0
+// when unknown). It returns the result schema and rows.
+func AggregateBatches(schema *Schema, batches []*ColumnBatch, keyIdx []int, aggs []Agg, aggIdx []int, sizeHint int) (*Schema, []Row, error) {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	table := make(map[uint64][]*group, sizeHint)
+	var hashes []uint64
+	var groups []*group
+	for _, b := range batches {
+		n := b.Len()
+		if n == 0 {
+			continue
+		}
+		hashes = batchHashes(b, keyIdx, hashes)
+		// Resolve each live row to its group once, then accumulate
+		// column-at-a-time.
+		groups = groups[:0]
+		for i := 0; i < n; i++ {
+			h := hashes[i]
+			p := b.live(i)
+			var g *group
+			for _, cand := range table[h] {
+				if batchKeyEqual(cand.key, b, keyIdx, p) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				key := make(Row, len(keyIdx))
+				for k, c := range keyIdx {
+					key[k] = b.Col(c).Value(p)
+				}
+				g = &group{key: key, accs: make([]*accumulator, len(aggs))}
+				for k := range g.accs {
+					g.accs[k] = &accumulator{}
+				}
+				table[h] = append(table[h], g)
+			}
+			groups = append(groups, g)
+		}
+		for k, c := range aggIdx {
+			if c < 0 { // COUNT(*)
+				for _, g := range groups {
+					g.accs[k].addInt(1)
+				}
+				continue
+			}
+			v := b.Col(c)
+			switch {
+			case intBacked(v.Type):
+				for i, g := range groups {
+					p := b.live(i)
+					if v.Nulls[p] {
+						g.accs[k].addNull()
+					} else {
+						g.accs[k].addInt(v.Ints[p])
+					}
+				}
+			case v.Type == TypeFloat:
+				for i, g := range groups {
+					p := b.live(i)
+					if v.Nulls[p] {
+						g.accs[k].addNull()
+					} else {
+						g.accs[k].addFloat(v.Floats[p])
+					}
+				}
+			case v.Type == TypeString:
+				for i, g := range groups {
+					p := b.live(i)
+					if v.Nulls[p] {
+						g.accs[k].addNull()
+					} else {
+						g.accs[k].addStr(v.Strs[p])
+					}
+				}
+			default:
+				for i, g := range groups {
+					g.accs[k].add(v.Value(b.live(i)))
+				}
+			}
+		}
+	}
+
+	out := aggResultSchema(schema, keyIdx, aggs, aggIdx)
+	var rows []Row
+	for _, gs := range table {
+		for _, g := range gs {
+			row := make(Row, 0, out.Len())
+			row = append(row, g.key...)
+			for k, a := range aggs {
+				v, err := g.accs[k].result(a.Kind)
+				if err != nil {
+					return nil, nil, err
+				}
+				row = append(row, v)
+			}
+			rows = append(rows, row)
+		}
+	}
+	if len(keyIdx) == 0 && len(rows) == 0 {
+		row := make(Row, len(aggs))
+		for i, a := range aggs {
+			if a.Kind == AggCount {
+				row[i] = int64(0)
+			}
+		}
+		rows = []Row{row}
+	}
+	return out, rows, nil
+}
+
+func batchKeyEqual(key Row, b *ColumnBatch, keyIdx []int, p int) bool {
+	for k, c := range keyIdx {
+		if !valueEq(key[k], b.Col(c).Value(p)) {
+			return false
+		}
+	}
+	return true
+}
+
+type batchRef struct {
+	b *ColumnBatch
+	p int32
+}
+
+// SortBatches stable-sorts the live rows of batches by column col
+// (NULLs first, descending reverses) and materializes them only after
+// the sort — the comparator reads the typed vectors, so unboxed keys
+// and untouched payload columns never round-trip through Row until the
+// final output.
+func SortBatches(batches []*ColumnBatch, col int, desc bool) []Row {
+	total := 0
+	for _, b := range batches {
+		total += b.Len()
+	}
+	refs := make([]batchRef, 0, total)
+	for _, b := range batches {
+		for i, n := 0, b.Len(); i < n; i++ {
+			refs = append(refs, batchRef{b, int32(b.live(i))})
+		}
+	}
+	cmp := func(a, br batchRef) int {
+		va, vb := a.b.Col(col), br.b.Col(col)
+		na, nb := va.Nulls[a.p], vb.Nulls[br.p]
+		if na || nb {
+			switch {
+			case na && nb:
+				return 0
+			case na:
+				return -1
+			default:
+				return 1
+			}
+		}
+		switch {
+		case intBacked(va.Type) && intBacked(vb.Type):
+			return cmpInt(va.Ints[a.p], vb.Ints[br.p])
+		case va.Type == TypeFloat && vb.Type == TypeFloat:
+			return cmpFloat(va.Floats[a.p], vb.Floats[br.p])
+		case va.Type == TypeString && vb.Type == TypeString:
+			x, y := va.Strs[a.p], vb.Strs[br.p]
+			switch {
+			case x < y:
+				return -1
+			case x > y:
+				return 1
+			}
+			return 0
+		default:
+			c, _ := Compare(va.Value(int(a.p)), vb.Value(int(br.p)))
+			return c
+		}
+	}
+	sort.SliceStable(refs, func(i, j int) bool {
+		c := cmp(refs[i], refs[j])
+		if desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	rows := make([]Row, len(refs))
+	for i, r := range refs {
+		row := make(Row, r.b.Schema.Len())
+		for c := range row {
+			if r.b.Filled(c) {
+				row[c] = r.b.cols[c].Value(int(r.p))
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}

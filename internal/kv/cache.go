@@ -46,6 +46,10 @@ func (c *blockCache) get(table uint64, block int) ([]byte, bool) {
 	return nil, false
 }
 
+// put inserts a block. data must be the decompressed buffer (loadBlock
+// inflates before caching), so used tracks resident memory, not the
+// smaller on-disk size — capacity would otherwise overcommit by the
+// compression ratio.
 func (c *blockCache) put(table uint64, block int, data []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

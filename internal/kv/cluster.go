@@ -63,6 +63,12 @@ type Cluster struct {
 	nextID  int
 	closed  bool
 
+	// Zone-extractor registry: the table layer registers one extractor
+	// per key prefix (table × index); flushes and compactions dispatch
+	// through zoneFor to stamp per-block zone maps into SSTable indexes.
+	zoneMu   sync.RWMutex
+	zoneExts []zoneEntry
+
 	// Integrity subsystem state (see scrub.go). repairWG tracks every
 	// scheduled repair so Scrub and Close can wait for quiescence.
 	repairWG        sync.WaitGroup
@@ -141,6 +147,10 @@ func OpenCluster(dir string, opts ClusterOptions) (*Cluster, error) {
 		}
 	}
 	c := &Cluster{dir: dir, opts: opts, cache: newBlockCache(opts.BlockCacheBytes)}
+	// Every region writes SSTables through the cluster's prefix
+	// dispatcher, so extractors registered after open still cover data
+	// flushed later (zone maps are stamped at flush/compaction time).
+	c.opts.Options.ZoneExtractor = c.zoneFor
 	for i := 0; i < opts.Servers; i++ {
 		c.servers = append(c.servers, &regionServer{
 			id:    i,
@@ -173,6 +183,50 @@ func OpenCluster(dir string, opts ClusterOptions) (*Cluster, error) {
 		go c.scrubLoop(opts.ScrubInterval)
 	}
 	return c, nil
+}
+
+// zoneEntry binds a key prefix to the zone extractor for its table/index.
+type zoneEntry struct {
+	prefix []byte
+	fn     ZoneExtractor
+}
+
+// RegisterZoneExtractor installs fn as the zone extractor for keys
+// starting with prefix, replacing any extractor previously registered
+// under the same prefix. SSTables written afterwards (flush or
+// compaction) carry per-block zone maps for those keys; existing
+// tables are upgraded as compaction rewrites them. Passing a nil fn
+// unregisters the prefix.
+func (c *Cluster) RegisterZoneExtractor(prefix []byte, fn ZoneExtractor) {
+	c.zoneMu.Lock()
+	defer c.zoneMu.Unlock()
+	for i := range c.zoneExts {
+		if bytes.Equal(c.zoneExts[i].prefix, prefix) {
+			if fn == nil {
+				c.zoneExts = append(c.zoneExts[:i], c.zoneExts[i+1:]...)
+			} else {
+				c.zoneExts[i].fn = fn
+			}
+			return
+		}
+	}
+	if fn == nil {
+		return
+	}
+	c.zoneExts = append(c.zoneExts, zoneEntry{append([]byte(nil), prefix...), fn})
+}
+
+// zoneFor dispatches zone extraction by key prefix; keys under no
+// registered prefix get no zone (their blocks are never skipped).
+func (c *Cluster) zoneFor(key, value []byte) (int64, int64, bool) {
+	c.zoneMu.RLock()
+	defer c.zoneMu.RUnlock()
+	for _, e := range c.zoneExts {
+		if bytes.HasPrefix(key, e.prefix) {
+			return e.fn(key, value)
+		}
+	}
+	return 0, 0, false
 }
 
 // regionFor locates the handle owning key (regions are sorted by range).
@@ -707,6 +761,213 @@ func ScanRangesFunc[T any](ctx context.Context, c *Cluster, ranges []KeyRange, p
 	return err
 }
 
+// TaskCollector accumulates the pairs of one scan task into batches.
+// ScanCollect builds one per task, so a collector can keep mutable
+// per-task state (column vectors being filled) without synchronization.
+type TaskCollector[B any] struct {
+	// Add consumes one pair (slices valid only during the call; copy
+	// anything retained) and returns a completed batch when one fills.
+	Add func(key, value []byte) (B, bool, error)
+	// Finish flushes the final partial batch, if any. Called once after
+	// the task's last pair; not called if the task failed or was
+	// cancelled mid-stream.
+	Finish func() (B, bool, error)
+}
+
+// ScanCollect is the columnar counterpart of ScanRangesFunc: instead of
+// a stateless per-pair process stage, each (region × range) task owns a
+// TaskCollector that folds pairs into batches inside the scan worker —
+// decode and filter work parallelizes across region-server slots, and
+// whole batches (not pairs) cross the worker → consumer boundary.
+// Batches are delivered to emit serially, in arbitrary inter-task
+// order; emit returning false cancels outstanding tasks. Every batch
+// delivered increments the BatchesDecoded metric.
+//
+// Cancellation, corruption failover and error reporting follow
+// ScanRangesFunc: ctx cancellation aborts promptly, a corrupt block
+// resumes just past the last processed key on a healthy copy (batches
+// already collected stay collected), and the first collector or
+// iterator error wins.
+func ScanCollect[B any](ctx context.Context, c *Cluster, ranges []KeyRange, newTask func() TaskCollector[B], emit func(B) bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.RLock()
+	hs := append([]*regionHandle(nil), c.regions...)
+	c.mu.RUnlock()
+
+	type task struct {
+		h  *regionHandle
+		kr KeyRange
+	}
+	var tasks []task
+	for _, kr := range ranges {
+		for _, h := range hs {
+			if sub, ok := h.kr.Intersect(kr); ok {
+				tasks = append(tasks, task{h, sub})
+			}
+		}
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+	atomic.AddInt64(&c.met.ScanTasks, int64(len(tasks)))
+
+	if len(tasks) <= maxSerialScanTasks {
+		for _, t := range tasks {
+			col := newTask()
+			var scanned, delivered int64
+			stop := false
+			var stageErr error
+			err := c.scanOne(ctx, t.h, t.kr, func(k, v []byte) bool {
+				scanned++
+				if scanned&63 == 0 && ctx.Err() != nil {
+					stageErr = ctx.Err()
+					return false
+				}
+				b, full, perr := col.Add(k, v)
+				if perr != nil {
+					stageErr = perr
+					return false
+				}
+				if full {
+					delivered++
+					if !emit(b) {
+						stop = true
+						return false
+					}
+				}
+				return true
+			})
+			atomic.AddInt64(&c.met.ScanPairs, scanned)
+			if stageErr == nil && err == nil && !stop {
+				if b, ok, ferr := col.Finish(); ferr != nil {
+					stageErr = ferr
+				} else if ok {
+					delivered++
+					if !emit(b) {
+						stop = true
+					}
+				}
+			}
+			atomic.AddInt64(&c.met.BatchesDecoded, delivered)
+			if stageErr != nil {
+				return stageErr
+			}
+			if err != nil || stop {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		cancelled atomic.Bool
+		errMu     sync.Mutex
+		firstErr  error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancelled.Store(true)
+	}
+	stopWatch := context.AfterFunc(ctx, func() { fail(ctx.Err()) })
+	defer stopWatch()
+	batches := make(chan B, len(c.servers)*2)
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		wg.Add(1)
+		go func(t task) {
+			defer wg.Done()
+			col := newTask()
+			var scanned int64
+			defer func() { atomic.AddInt64(&c.met.ScanPairs, scanned) }()
+			var resume []byte
+			sub := t.kr
+			for attempt := 0; ; attempt++ {
+				n, err := t.h.readNode(c)
+				if err != nil {
+					fail(err)
+					return
+				}
+				var scanErr error
+				done := false
+				err = n.server.runCtx(ctx, func() {
+					if cancelled.Load() {
+						done = true
+						return
+					}
+					it := n.r.Scan(sub)
+					defer it.Close()
+					for it.Next() {
+						if cancelled.Load() {
+							done = true
+							return
+						}
+						scanned++
+						resume = append(resume[:0], it.Key()...)
+						b, full, err := col.Add(it.Key(), it.Value())
+						if err != nil {
+							fail(err)
+							done = true
+							return
+						}
+						if full {
+							batches <- b
+						}
+					}
+					scanErr = it.Err()
+				})
+				if err != nil {
+					fail(err)
+					return
+				}
+				if done {
+					return
+				}
+				if scanErr != nil && c.reportCorruption(t.h, n.r, scanErr) && attempt < maxCorruptRetries {
+					if len(resume) > 0 {
+						sub.Start = append(append([]byte(nil), resume...), 0)
+					}
+					continue
+				}
+				if scanErr != nil {
+					fail(scanErr)
+					return
+				}
+				break
+			}
+			if b, ok, err := col.Finish(); err != nil {
+				fail(err)
+			} else if ok {
+				batches <- b
+			}
+		}(t)
+	}
+	go func() {
+		wg.Wait()
+		close(batches)
+	}()
+	var delivered int64
+	for b := range batches {
+		delivered++
+		if !cancelled.Load() && !emit(b) {
+			cancelled.Store(true)
+		}
+	}
+	atomic.AddInt64(&c.met.BatchesDecoded, delivered)
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	return err
+}
+
 // scanOne runs one region-range scan on the serving node with
 // corruption failover: a scan that trips on a corrupt block reports the
 // damage, re-picks a healthy node and resumes just past the last key it
@@ -899,6 +1160,8 @@ func (c *Cluster) Metrics() Metrics {
 		ScanPairs:          atomic.LoadInt64(&c.met.ScanPairs),
 		ScanKept:           atomic.LoadInt64(&c.met.ScanKept),
 		ScanBatches:        atomic.LoadInt64(&c.met.ScanBatches),
+		BlocksSkipped:      atomic.LoadInt64(&c.met.BlocksSkipped),
+		BatchesDecoded:     atomic.LoadInt64(&c.met.BatchesDecoded),
 		GroupCommits:       atomic.LoadInt64(&c.met.GroupCommits),
 		GroupCommitRecords: atomic.LoadInt64(&c.met.GroupCommitRecords),
 		WALSyncs:           atomic.LoadInt64(&c.met.WALSyncs),

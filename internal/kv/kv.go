@@ -51,8 +51,19 @@ type Pair struct {
 
 // KeyRange is a half-open scan interval [Start, End). A nil Start means
 // the beginning of the key space; a nil End means the end.
+//
+// A range may additionally carry a zone interval: when Zoned is set,
+// the scan only needs pairs whose zone attribute (record time, as
+// written into SSTable zone maps by the registered ZoneExtractor)
+// intersects [ZMin, ZMax]. The zone is a pruning hint, not a filter:
+// scans may still return pairs outside it (blocks without zone maps,
+// memtable entries), and the consumer re-filters — but blocks provably
+// outside it are skipped before disk read and decompression.
 type KeyRange struct {
 	Start, End []byte
+
+	Zoned      bool
+	ZMin, ZMax int64
 }
 
 // Contains reports whether key k falls inside r.
@@ -88,6 +99,20 @@ func (r KeyRange) Intersect(o KeyRange) (KeyRange, bool) {
 	}
 	if o.End != nil && (out.End == nil || bytes.Compare(o.End, out.End) < 0) {
 		out.End = o.End
+	}
+	// Zone hints intersect too: a pair is needed only if it is inside
+	// both zones, so the clipped range carries the tighter interval.
+	if o.Zoned {
+		if !out.Zoned {
+			out.Zoned, out.ZMin, out.ZMax = true, o.ZMin, o.ZMax
+		} else {
+			if o.ZMin > out.ZMin {
+				out.ZMin = o.ZMin
+			}
+			if o.ZMax < out.ZMax {
+				out.ZMax = o.ZMax
+			}
+		}
 	}
 	return out, true
 }
@@ -129,6 +154,12 @@ type Metrics struct {
 	ScanPairs   int64
 	ScanKept    int64
 	ScanBatches int64
+
+	// Columnar scan counters: BlocksSkipped data blocks pruned by their
+	// SSTable zone map before disk read / decompression; BatchesDecoded
+	// column batches produced by the batched scan pipeline.
+	BlocksSkipped  int64
+	BatchesDecoded int64
 
 	// Write path counters (Cluster.Apply / the background flusher):
 	// GroupCommits region-level batch applies covering

@@ -189,7 +189,7 @@ func TestWALTornTail(t *testing.T) {
 
 func writeTestTable(t *testing.T, path string, n int, compress bool) *table {
 	t.Helper()
-	tw, err := newTableWriter(OSFS{}, path, compress)
+	tw, err := newTableWriter(OSFS{}, path, compress, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +284,7 @@ func TestSSTableScanFull(t *testing.T) {
 }
 
 func TestSSTableRejectsOutOfOrder(t *testing.T) {
-	tw, err := newTableWriter(OSFS{}, filepath.Join(t.TempDir(), "t.sst"), false)
+	tw, err := newTableWriter(OSFS{}, filepath.Join(t.TempDir(), "t.sst"), false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

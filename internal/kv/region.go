@@ -41,6 +41,12 @@ type Options struct {
 	// result) are observable on a laptop whose page cache would
 	// otherwise hide them.
 	DiskThroughputMBps int
+	// ZoneExtractor, when set, derives a [min, max] record-time zone
+	// from each stored pair at SSTable build time; blocks whose every
+	// entry yields a zone get a zone map in the block index, letting
+	// time-bounded scans prune them before disk read. The cluster layer
+	// installs its prefix-dispatching registry here.
+	ZoneExtractor ZoneExtractor
 	// FS is the filesystem the store runs on. nil means the real
 	// filesystem (or, when JUST_FAULT_READ_PROB is set, the real
 	// filesystem under a global transient-read fault injector); tests
@@ -694,7 +700,7 @@ func (r *region) flushImm(im *immMem) error {
 	r.mu.Unlock()
 
 	entries := im.mem.entries(KeyRange{})
-	tw, err := newTableWriter(r.fs, filepath.Join(r.dir, name), r.opts.Compress)
+	tw, err := newTableWriter(r.fs, filepath.Join(r.dir, name), r.opts.Compress, r.opts.ZoneExtractor)
 	if err != nil {
 		return err
 	}
@@ -754,7 +760,7 @@ func (r *region) compact() error {
 	r.mu.Unlock()
 
 	it := newMergeIter(nil, tables, KeyRange{}, true)
-	tw, err := newTableWriter(r.fs, filepath.Join(r.dir, name), r.opts.Compress)
+	tw, err := newTableWriter(r.fs, filepath.Join(r.dir, name), r.opts.Compress, r.opts.ZoneExtractor)
 	if err != nil {
 		return err
 	}
@@ -1003,7 +1009,34 @@ func newMergeIter(mems [][]memEntry, tables []*table, kr KeyRange, raw bool) *me
 		if fk := t.firstKey(); fk != nil && kr.End != nil && bytes.Compare(fk, kr.End) >= 0 {
 			continue
 		}
-		s := &tableSrc{it: t.iter(kr), prio: i} // later tables are newer
+		ti := t.iter(kr)
+		if kr.Zoned {
+			// Skipping a block never emits anything — it only removes
+			// candidate versions from the merge. That is safe when the
+			// skipped versions are shadowed by a newer source (the newer
+			// version wins either way) or absent elsewhere (the zone says
+			// they miss the window). The one hazard is an OLDER table
+			// holding a stale version of a key whose newest put lives in
+			// the skipped block: pruning the newest put would let the
+			// stale value win the merge and possibly land inside the
+			// window. So a block in table i may only be skipped when no
+			// older table (tables[:i]) overlaps its key span. Memtables
+			// and later tables are always newer and never need a veto.
+			older := tables[:i]
+			ti.canSkip = func(lo, hi []byte) bool {
+				for _, ot := range older {
+					if len(ot.index) == 0 {
+						continue
+					}
+					if bytes.Compare(ot.lastKey, lo) < 0 || bytes.Compare(ot.firstKey(), hi) > 0 {
+						continue
+					}
+					return false
+				}
+				return true
+			}
+		}
+		s := &tableSrc{it: ti, prio: i} // later tables are newer
 		if s.next() {
 			m.h = append(m.h, s)
 		} else if s.err() != nil {

@@ -23,7 +23,13 @@ import (
 // the storage half of the paper's compression mechanism lives at the
 // value layer, but block compression keeps the substrate honest about IO
 // volume. The index records each block's first key, so a scan seeks
-// directly to its first candidate block.
+// directly to its first candidate block; each index entry may also carry
+// a zone map (min/max record time over the block's values, extracted at
+// build time by a registered ZoneExtractor) letting a time-bounded scan
+// skip whole blocks before they are read or decompressed. The index
+// entry's trailing byte is a flags byte — bit 0 compression, bit 1
+// zone-map present — so pre-zone-map files (plain 0/1 byte) still
+// decode.
 //
 // Integrity: every byte of the file is covered by a CRC32C. Each index
 // entry carries the checksum of its block's on-disk bytes, verified on
@@ -81,7 +87,20 @@ type blockHandle struct {
 	rawLen     uint32
 	crc        uint32 // CRC32C of the block's on-disk (possibly compressed) bytes
 	compressed bool
+
+	// Zone map: min/max of the value-level zone attribute (record time,
+	// in ms) over every entry in the block. hasZone is false when any
+	// entry lacked a zone (tombstones, foreign key prefixes, no
+	// extractor registered at build time) — such a block is never
+	// skipped, which is what makes pruning free of false negatives.
+	hasZone    bool
+	zmin, zmax int64
 }
+
+// ZoneExtractor derives the zone attribute (a [min, max] time interval
+// in ms) from one stored pair at SSTable build time. ok = false means
+// the pair has no zone, poisoning its block's zone map.
+type ZoneExtractor func(key, value []byte) (zmin, zmax int64, ok bool)
 
 type tableWriter struct {
 	fs       VFS
@@ -89,6 +108,7 @@ type tableWriter struct {
 	f        File
 	path     string // final path; bytes are written to path+".tmp"
 	compress bool
+	zoneFn   ZoneExtractor
 
 	block     bytes.Buffer
 	blockKey  []byte // first key of the current block
@@ -97,16 +117,20 @@ type tableWriter struct {
 	offset    uint64
 	count     uint64
 	lastKey   []byte
+
+	// Zone accumulator for the block being built.
+	zoneOK     bool
+	zmin, zmax int64
 }
 
 func tmpPath(path string) string { return path + ".tmp" }
 
-func newTableWriter(fs VFS, path string, compress bool) (*tableWriter, error) {
+func newTableWriter(fs VFS, path string, compress bool, zoneFn ZoneExtractor) (*tableWriter, error) {
 	f, err := fs.Create(tmpPath(path))
 	if err != nil {
 		return nil, fmt.Errorf("kv: create sstable: %w", err)
 	}
-	return &tableWriter{fs: fs, f: f, w: bufio.NewWriterSize(f, 256<<10), path: path, compress: compress}, nil
+	return &tableWriter{fs: fs, f: f, w: bufio.NewWriterSize(f, 256<<10), path: path, compress: compress, zoneFn: zoneFn}, nil
 }
 
 // add appends an entry; keys must arrive in strictly ascending order.
@@ -116,6 +140,28 @@ func (t *tableWriter) add(key, value []byte, k kind) error {
 	}
 	if t.block.Len() == 0 {
 		t.blockKey = append([]byte(nil), key...)
+		t.zoneOK = t.zoneFn != nil
+	}
+	if t.zoneOK {
+		// Tombstones have no zone and must shadow older versions in any
+		// scan, so their block can never be pruned.
+		zmin, zmax, ok := int64(0), int64(0), false
+		if k == kindPut {
+			zmin, zmax, ok = t.zoneFn(key, value)
+		}
+		switch {
+		case !ok:
+			t.zoneOK = false
+		case t.block.Len() == 0:
+			t.zmin, t.zmax = zmin, zmax
+		default:
+			if zmin < t.zmin {
+				t.zmin = zmin
+			}
+			if zmax > t.zmax {
+				t.zmax = zmax
+			}
+		}
 	}
 	var hdr [1 + 2*binary.MaxVarintLen32]byte
 	hdr[0] = byte(k)
@@ -161,6 +207,9 @@ func (t *tableWriter) flushBlock() error {
 		rawLen:     uint32(len(raw)),
 		crc:        crc32.Checksum(out, castagnoli),
 		compressed: compressed,
+		hasZone:    t.zoneOK,
+		zmin:       t.zmin,
+		zmax:       t.zmax,
 	})
 	t.offset += uint64(len(out))
 	t.block.Reset()
@@ -200,10 +249,22 @@ func (t *tableWriter) finish() (int64, error) {
 		writeUvarint(uint64(h.length))
 		writeUvarint(uint64(h.rawLen))
 		writeUvarint(uint64(h.crc))
+		// The former 0/1 compressed byte is a flags byte: bit 0 =
+		// compressed, bit 1 = zone map follows. Files written before
+		// zone maps decode unchanged (flags 0/1, no zone).
+		var flags byte
 		if h.compressed {
-			idx.WriteByte(1)
-		} else {
-			idx.WriteByte(0)
+			flags |= 1
+		}
+		if h.hasZone {
+			flags |= 2
+		}
+		idx.WriteByte(flags)
+		if h.hasZone {
+			n := binary.PutVarint(scratch[:], h.zmin)
+			idx.Write(scratch[:n])
+			n = binary.PutVarint(scratch[:], h.zmax)
+			idx.Write(scratch[:n])
 		}
 	}
 	writeUvarint(uint64(len(t.lastKey)))
@@ -437,18 +498,28 @@ func decodeIndex(b []byte) ([]blockHandle, []byte, error) {
 			}
 			vals[j] = v
 		}
-		cflag, err := r.ReadByte()
+		flags, err := r.ReadByte()
 		if err != nil {
 			return nil, nil, ErrCorrupt
 		}
-		index = append(index, blockHandle{
+		h := blockHandle{
 			firstKey:   firstKey,
 			offset:     vals[0],
 			length:     uint32(vals[1]),
 			rawLen:     uint32(vals[2]),
 			crc:        uint32(vals[3]),
-			compressed: cflag == 1,
-		})
+			compressed: flags&1 != 0,
+			hasZone:    flags&2 != 0,
+		}
+		if h.hasZone {
+			if h.zmin, err = binary.ReadVarint(r); err != nil {
+				return nil, nil, ErrCorrupt
+			}
+			if h.zmax, err = binary.ReadVarint(r); err != nil {
+				return nil, nil, ErrCorrupt
+			}
+		}
+		index = append(index, h)
 	}
 	lastKey, err := readBytes()
 	if err != nil {
@@ -664,7 +735,9 @@ func (b *blockIter) next() bool {
 	return true
 }
 
-// tableIter iterates a key range of one table.
+// tableIter iterates a key range of one table, skipping blocks whose
+// zone map proves they hold nothing in the range's zone interval — the
+// block is pruned before it is read from disk or decompressed.
 type tableIter struct {
 	t     *table
 	r     KeyRange
@@ -672,6 +745,14 @@ type tableIter struct {
 	block blockIter
 	done  bool
 	err   error
+
+	// canSkip (optional) must confirm a zone-prunable block may really
+	// be skipped: in an LSM merge, pruning a block removes what may be
+	// the newest version of its keys, and an *older* table overlapping
+	// the block's key span could then surface a stale version. The merge
+	// layer vetoes the skip in that case. lo/hi bound the block's keys
+	// (hi inclusive, conservatively).
+	canSkip func(lo, hi []byte) bool
 }
 
 func (t *table) iter(r KeyRange) *tableIter {
@@ -688,6 +769,28 @@ func (t *table) iter(r KeyRange) *tableIter {
 		it.bi = bi - 1
 	}
 	return it
+}
+
+// skippable reports whether block bi is proven irrelevant by its zone
+// map for the iterator's zone interval.
+func (it *tableIter) skippable(bi int) bool {
+	if !it.r.Zoned {
+		return false
+	}
+	h := &it.t.index[bi]
+	if !h.hasZone || (h.zmin <= it.r.ZMax && h.zmax >= it.r.ZMin) {
+		return false
+	}
+	if it.canSkip != nil {
+		hi := it.t.lastKey
+		if bi+1 < len(it.t.index) {
+			hi = it.t.index[bi+1].firstKey
+		}
+		if !it.canSkip(h.firstKey, hi) {
+			return false
+		}
+	}
+	return true
 }
 
 func (it *tableIter) Next() bool {
@@ -710,12 +813,21 @@ func (it *tableIter) Next() bool {
 			return false
 		}
 		it.bi++
-		if it.bi >= len(it.t.index) {
-			it.done = true
-			return false
+		for it.bi < len(it.t.index) {
+			// Stop early if the next block starts past the range end.
+			if it.r.End != nil && bytes.Compare(it.t.index[it.bi].firstKey, it.r.End) >= 0 {
+				it.done = true
+				return false
+			}
+			if !it.skippable(it.bi) {
+				break
+			}
+			if it.t.metrics != nil {
+				atomic.AddInt64(&it.t.metrics.BlocksSkipped, 1)
+			}
+			it.bi++
 		}
-		// Stop early if the next block starts past the range end.
-		if it.r.End != nil && bytes.Compare(it.t.index[it.bi].firstKey, it.r.End) >= 0 {
+		if it.bi >= len(it.t.index) {
 			it.done = true
 			return false
 		}

@@ -186,6 +186,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/admin/servers", s.handleServers)
 	mux.HandleFunc("/api/v1/admin/scrub", s.handleScrub)
 	mux.HandleFunc("/api/v1/admin/scrub/run", s.handleScrubRun)
+	mux.HandleFunc("/api/v1/admin/stats/refresh", s.handleStatsRefresh)
 	return mux
 }
 
@@ -466,6 +467,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"scan_pairs":                m.ScanPairs,
 		"scan_kept":                 m.ScanKept,
 		"scan_batches":              m.ScanBatches,
+		"blocks_skipped":            m.BlocksSkipped,
+		"batches_decoded":           m.BatchesDecoded,
+		"stats_refreshes":           s.engine.StatsRefreshes(),
 		"group_commits":             m.GroupCommits,
 		"group_commit_records":      m.GroupCommitRecords,
 		"wal_syncs":                 m.WALSyncs,
@@ -544,6 +548,49 @@ func (s *Server) handleScrubRun(w http.ResponseWriter, r *http.Request) {
 	}
 	resp["scrub"] = s.engine.Cluster().ScrubState()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsRefreshRequest is the body of POST /api/v1/admin/stats/refresh.
+type statsRefreshRequest struct {
+	User  string `json:"user"`
+	Table string `json:"table"`
+}
+
+// handleStatsRefresh recollects planner statistics for a table (the
+// ANALYZE entry point): POST /api/v1/admin/stats/refresh with
+// {"user": ..., "table": ...}. The response summarizes the fresh
+// snapshot; subsequent scans of the table plan cost-based from it.
+func (s *Server) handleStatsRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req statsRefreshRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body", http.StatusBadRequest)
+		return
+	}
+	if req.User == "" {
+		req.User = r.Header.Get("X-JUST-User")
+	}
+	st, err := s.engine.RefreshStats(r.Context(), req.User, req.Table)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	indexes := map[string]any{}
+	for id, is := range st.Indexes {
+		indexes[strconv.Itoa(int(id))] = map[string]any{
+			"keys":        is.Keys,
+			"sample_size": len(is.Sample),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table":           req.Table,
+		"row_count":       st.RowCount,
+		"collected_at_ms": st.CollectedAtMS,
+		"indexes":         indexes,
+	})
 }
 
 // serverActionRequest is the body of POST /api/v1/admin/servers: a

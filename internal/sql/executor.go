@@ -481,16 +481,26 @@ func (ex *executor) run(p Plan) (*exec.DataFrame, error) {
 		}
 		return ex.track(out), nil
 	case *AggregatePlan:
+		if df, ok, err := ex.columnarAgg(v); err != nil {
+			return nil, err
+		} else if ok {
+			return df, nil
+		}
 		child, err := ex.run(v.Child)
 		if err != nil {
 			return nil, err
 		}
-		out, err := child.GroupBy(v.Keys, v.Aggs)
+		out, err := child.GroupBySized(v.Keys, v.Aggs, aggSizeHint(v.Child))
 		if err != nil {
 			return nil, err
 		}
 		return ex.track(out), nil
 	case *SortPlan:
+		if df, ok, err := ex.columnarSort(v); err != nil {
+			return nil, err
+		} else if ok {
+			return df, nil
+		}
 		child, err := ex.run(v.Child)
 		if err != nil {
 			return nil, err
@@ -560,6 +570,210 @@ func (ex *executor) run(p Plan) (*exec.DataFrame, error) {
 	default:
 		return nil, fmt.Errorf("sql: cannot execute %T", p)
 	}
+}
+
+// aggSizeHint estimates an aggregation input's cardinality from table
+// statistics, so the hash-aggregation tables are sized up front instead
+// of rehashing as groups accumulate. 0 (no hint) when the aggregate is
+// not fed by a scan of a table with collected statistics.
+func aggSizeHint(p Plan) int {
+	const maxHint = 1 << 20 // cap what a stale RowCount can preallocate
+	switch v := p.(type) {
+	case *ScanPlan:
+		if st := v.Table.Stats(); st != nil {
+			n := st.RowCount
+			if n > maxHint {
+				n = maxHint
+			}
+			return int(n)
+		}
+	case *FilterPlan:
+		return aggSizeHint(v.Child)
+	case *ProjectPlan:
+		return aggSizeHint(v.Child)
+	case *LimitPlan:
+		return aggSizeHint(v.Child)
+	}
+	return 0
+}
+
+// columnarScannable reports whether a scan can feed the vectorized
+// operators directly: a plain range scan with no point lookup, no k-NN,
+// no residual predicates and no pushed limit. Window and time bounds
+// are fine — the batch scan applies them with the same semantics as the
+// row path.
+func columnarScannable(v *ScanPlan) bool {
+	return v.FIDEq == nil && v.KNN == nil && len(v.Residual) == 0 && v.Limit <= 0
+}
+
+func scanIndexQuery(v *ScanPlan) index.Query {
+	q := index.Query{Window: geom.WorldMBR}
+	if v.Window != nil {
+		q.Window = *v.Window
+	}
+	if v.TMin != nil || v.TMax != nil {
+		q.HasTime = true
+		q.TMin, q.TMax = timeBounds(v.TMin, v.TMax)
+	}
+	return q
+}
+
+// collectBatches runs the columnar scan and retains every batch,
+// charging each to the query's memory budget. The returned release
+// frees the charge; callers defer it past result materialization.
+func (ex *executor) collectBatches(t *table.Table, v *ScanPlan, needed []bool) ([]*exec.ColumnBatch, func(), error) {
+	var batches []*exec.ColumnBatch
+	var reserved int64
+	ectx := ex.ectx
+	release := func() { ectx.Release(reserved) }
+	var budgetErr error
+	err := t.ScanBatches(ex.ctx, scanIndexQuery(v), needed, func(b *exec.ColumnBatch) bool {
+		n := b.MemSize()
+		if err := ectx.Reserve(n); err != nil {
+			budgetErr = err
+			return false
+		}
+		reserved += n
+		batches = append(batches, b)
+		return true
+	})
+	if budgetErr != nil {
+		err = budgetErr
+	}
+	if err != nil {
+		return nil, release, err
+	}
+	return batches, release, nil
+}
+
+// columnarAgg runs aggregate-over-scan on the vectorized path: the scan
+// emits column batches and hash aggregation reads the typed vectors
+// directly, so rows are never boxed between storage and the hash table.
+// ok=false falls back to the row operators.
+func (ex *executor) columnarAgg(v *AggregatePlan) (*exec.DataFrame, bool, error) {
+	scan, isScan := v.Child.(*ScanPlan)
+	if !isScan || !columnarScannable(scan) {
+		return nil, false, nil
+	}
+	t, err := ex.session.engine.OpenTable(scan.Table.Desc.User, scan.Table.Desc.Name)
+	if err != nil {
+		return nil, false, err
+	}
+	full := t.Schema()
+	needed := make([]bool, full.Len())
+	keyIdx := make([]int, len(v.Keys))
+	for i, k := range v.Keys {
+		j := full.Index(k)
+		if j < 0 {
+			return nil, false, nil // row path reports the unknown column
+		}
+		keyIdx[i] = j
+		needed[j] = true
+	}
+	aggIdx := make([]int, len(v.Aggs))
+	for i, a := range v.Aggs {
+		if a.Col == "*" || a.Col == "" {
+			aggIdx[i] = -1
+			continue
+		}
+		j := full.Index(a.Col)
+		if j < 0 {
+			return nil, false, nil
+		}
+		aggIdx[i] = j
+		needed[j] = true
+	}
+	batches, release, err := ex.collectBatches(t, scan, needed)
+	defer release()
+	if err != nil {
+		return nil, false, err
+	}
+	schema, rows, err := exec.AggregateBatches(full, batches, keyIdx, v.Aggs, aggIdx, aggSizeHint(v.Child))
+	if err != nil {
+		return nil, false, err
+	}
+	df, err := exec.NewDataFrame(ex.ectx, schema, rows)
+	if err != nil {
+		return nil, false, err
+	}
+	return ex.track(df), true, nil
+}
+
+// columnarSort runs sort-over-scan on the vectorized path: batches are
+// sorted via the key's typed vector and rows materialize only after the
+// sort. ok=false falls back when the key is not a bare column of the
+// scan, the scan is not batch-eligible, or the key column holds NULLs
+// (the row comparator treats NULL as tying with everything, the vector
+// sort orders NULLs first — the rare NULL-key sort keeps the historic
+// order).
+func (ex *executor) columnarSort(v *SortPlan) (*exec.DataFrame, bool, error) {
+	if len(v.Keys) != 1 {
+		return nil, false, nil
+	}
+	ident, isIdent := v.Keys[0].Expr.(*Ident)
+	if !isIdent {
+		return nil, false, nil
+	}
+	scan, isScan := v.Child.(*ScanPlan)
+	if !isScan || !columnarScannable(scan) {
+		return nil, false, nil
+	}
+	outSchema := scan.Schema()
+	if outSchema.Index(ident.Name) < 0 {
+		return nil, false, nil
+	}
+	t, err := ex.session.engine.OpenTable(scan.Table.Desc.User, scan.Table.Desc.Name)
+	if err != nil {
+		return nil, false, err
+	}
+	full := t.Schema()
+	col := full.Index(ident.Name)
+	if col < 0 {
+		return nil, false, nil
+	}
+	needed := make([]bool, full.Len())
+	needed[col] = true
+	var colIdx []int
+	if scan.Cols != nil {
+		colIdx = make([]int, len(scan.Cols))
+		for i, c := range scan.Cols {
+			j := full.Index(c)
+			if j < 0 {
+				return nil, false, nil
+			}
+			colIdx[i] = j
+			needed[j] = true
+		}
+	} else {
+		for i := range needed {
+			needed[i] = true
+		}
+	}
+	batches, release, err := ex.collectBatches(t, scan, needed)
+	defer release()
+	if err != nil {
+		return nil, false, err
+	}
+	for _, b := range batches {
+		if b.HasNulls(col) {
+			return nil, false, nil
+		}
+	}
+	rows := exec.SortBatches(batches, col, v.Keys[0].Desc)
+	if colIdx != nil {
+		for i, r := range rows {
+			nr := make(exec.Row, len(colIdx))
+			for k, j := range colIdx {
+				nr[k] = r[j]
+			}
+			rows[i] = nr
+		}
+	}
+	df, err := exec.NewDataFrame(ex.ectx, outSchema, rows)
+	if err != nil {
+		return nil, false, err
+	}
+	return ex.track(df), true, nil
 }
 
 func (ex *executor) runScan(v *ScanPlan) (*exec.DataFrame, error) {
@@ -678,14 +892,7 @@ func (ex *executor) runScan(v *ScanPlan) (*exec.DataFrame, error) {
 		return ex.track(df), nil
 	}
 
-	q := index.Query{Window: geom.WorldMBR}
-	if v.Window != nil {
-		q.Window = *v.Window
-	}
-	if v.TMin != nil || v.TMax != nil {
-		q.HasTime = true
-		q.TMin, q.TMax = timeBounds(v.TMin, v.TMax)
-	}
+	q := scanIndexQuery(v)
 	// Push the projection into the scan so untouched columns are never
 	// decoded (or decompressed). Residual predicates evaluate against
 	// the full schema, so every column they reference must be decoded

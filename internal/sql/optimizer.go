@@ -1,6 +1,8 @@
 package sql
 
 import (
+	"sort"
+
 	"just/internal/exec"
 	"just/internal/geom"
 )
@@ -8,13 +10,82 @@ import (
 // Optimize applies the paper's rule-based rewrites (Section VI, SQL
 // Optimize): constant folding, predicate pushdown, and projection
 // pushdown, transforming the analyzed plan into the executed one
-// (Fig. 8a → Fig. 8b).
+// (Fig. 8a → Fig. 8b), then orders each scan's residual predicates by
+// estimated selectivity and cost.
 func Optimize(p Plan) Plan {
 	p = foldPlanConstants(p)
 	p = pushDownFilters(p)
 	p = pruneColumns(p)
 	p = pushDownLimit(p)
+	p = orderResiduals(p)
 	return p
+}
+
+// --- Rule 5: order residual predicates ---
+
+// orderResiduals sorts every scan's residual conjuncts so the cheapest
+// and most selective evaluate first: equality comparisons (most
+// selective, O(1) to check) before range comparisons, with predicates
+// invoking functions — spatial relations, series operators — last, so
+// a row a cheap predicate rejects never pays for an expensive one. The
+// sort is stable, preserving the query's written order within a rank.
+func orderResiduals(p Plan) Plan {
+	switch v := p.(type) {
+	case *ScanPlan:
+		sort.SliceStable(v.Residual, func(i, j int) bool {
+			return residualRank(v.Residual[i]) < residualRank(v.Residual[j])
+		})
+	case *FilterPlan:
+		v.Child = orderResiduals(v.Child)
+	case *ProjectPlan:
+		v.Child = orderResiduals(v.Child)
+	case *AggregatePlan:
+		v.Child = orderResiduals(v.Child)
+	case *SortPlan:
+		v.Child = orderResiduals(v.Child)
+	case *LimitPlan:
+		v.Child = orderResiduals(v.Child)
+	case *JoinPlan:
+		v.Left = orderResiduals(v.Left)
+		v.Right = orderResiduals(v.Right)
+	}
+	return p
+}
+
+// residualRank scores a predicate: 0 = equality, 1 = range/BETWEEN,
+// 2 = other scalar forms, 3 = anything calling a function.
+func residualRank(e Expr) int {
+	if containsFuncCall(e) {
+		return 3
+	}
+	switch v := e.(type) {
+	case *BinaryExpr:
+		switch v.Op {
+		case "=":
+			return 0
+		case "<", "<=", ">", ">=", "!=", "<>":
+			return 1
+		}
+	case *BetweenExpr:
+		return 1
+	}
+	return 2
+}
+
+func containsFuncCall(e Expr) bool {
+	switch v := e.(type) {
+	case *FuncCall:
+		return true
+	case *InExpr:
+		return true
+	case *BinaryExpr:
+		return containsFuncCall(v.L) || containsFuncCall(v.R)
+	case *UnaryExpr:
+		return containsFuncCall(v.X)
+	case *BetweenExpr:
+		return containsFuncCall(v.X) || containsFuncCall(v.Lo) || containsFuncCall(v.Hi)
+	}
+	return false
 }
 
 // --- Rule 4: push LIMIT into the scan ---

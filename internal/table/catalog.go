@@ -91,6 +91,12 @@ type Desc struct {
 	RecordCount int64 `json:"record_count"`
 	MinTimeMS   int64 `json:"min_time_ms"`
 	MaxTimeMS   int64 `json:"max_time_ms"`
+
+	// Stats is the planner statistics snapshot from the last explicit
+	// collection (Table.CollectStats); nil until then. Unlike the
+	// ingest counters above it is refreshed only on demand, so it can
+	// go stale — the optimizer treats it as advisory.
+	Stats *TableStats `json:"stats,omitempty"`
 }
 
 // Schema converts the column list to an exec schema.
@@ -254,6 +260,18 @@ func (c *Catalog) List(user string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// SetStats persists a planner statistics snapshot for the table.
+func (c *Catalog) SetStats(user, name string, st *TableStats) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.tables[QualifiedName(user, name)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	d.Stats = st
+	return c.persistLocked()
 }
 
 // UpdateStats folds ingest statistics into the descriptor.

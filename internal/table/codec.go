@@ -146,6 +146,143 @@ func (c *Codec) decodeInto(row exec.Row, data []byte, needed []bool) error {
 	return nil
 }
 
+// DecodeIntoBatch decodes the needed columns of one encoded row into
+// the batch's column vectors at physical row ri (allocated beforehand
+// with b.Grow). Scalar columns land in the typed vectors without
+// boxing; unneeded fields are skipped by their length prefix, exactly
+// as in DecodeProjected. Calling it again on the same row with a
+// disjoint needed mask fills further columns — the late-materialization
+// second pass for rows that survived the filter.
+func (c *Codec) DecodeIntoBatch(b *exec.ColumnBatch, ri int, data []byte, needed []bool) error {
+	nb := (len(c.cols) + 7) / 8
+	if len(data) < nb {
+		return ErrBadRow
+	}
+	bitmap := data[:nb]
+	rest := data[nb:]
+	for i, col := range c.cols {
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			continue // null: vectors default to NULL at every row
+		}
+		l, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < l {
+			return ErrBadRow
+		}
+		field := rest[n : n+int(l)]
+		rest = rest[n+int(l):]
+		if needed != nil && !needed[i] {
+			continue
+		}
+		v := b.Col(i)
+		if col.Compress != "" {
+			buf := fieldBufPool.Get().(*bytes.Buffer)
+			buf.Reset()
+			if err := decompressInto(buf, col.Compress, field); err != nil {
+				fieldBufPool.Put(buf)
+				return err
+			}
+			err := decodeFieldInto(v, ri, col, buf.Bytes())
+			fieldBufPool.Put(buf)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if err := decodeFieldInto(v, ri, col, field); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeFieldInto decodes one field into vector v at row ri, unboxed
+// for the scalar types.
+func decodeFieldInto(v *exec.Vector, ri int, col Column, field []byte) error {
+	switch col.Type {
+	case exec.TypeInt, exec.TypeTime:
+		x, n := binary.Varint(field)
+		if n <= 0 {
+			return ErrBadRow
+		}
+		v.Nulls[ri] = false
+		v.Ints[ri] = x
+	case exec.TypeFloat:
+		if len(field) != 8 {
+			return ErrBadRow
+		}
+		v.Nulls[ri] = false
+		v.Floats[ri] = math.Float64frombits(binary.LittleEndian.Uint64(field))
+	case exec.TypeString:
+		v.Nulls[ri] = false
+		v.Strs[ri] = string(field)
+	case exec.TypeBool:
+		if len(field) != 1 {
+			return ErrBadRow
+		}
+		v.Nulls[ri] = false
+		v.Bools[ri] = field[0] == 1
+	default:
+		val, err := decodeValue(col.Type, field)
+		if err != nil {
+			return fmt.Errorf("table: column %q: %w", col.Name, err)
+		}
+		v.Set(ri, val)
+	}
+	return nil
+}
+
+// DecodeTimeBounds extracts the record's [start, end] time from an
+// encoded row without decoding anything else — the SSTable writer's
+// zone-map extractor. endIdx may be -1 for point records (end = start).
+// ok is false when the row has no usable time (NULL, corrupt), which
+// the caller must treat as "block unprunable".
+func (c *Codec) DecodeTimeBounds(data []byte, timeIdx, endIdx int) (tmin, tmax int64, ok bool) {
+	nb := (len(c.cols) + 7) / 8
+	if timeIdx < 0 || len(data) < nb {
+		return 0, 0, false
+	}
+	bitmap := data[:nb]
+	rest := data[nb:]
+	var haveMin, haveMax bool
+	for i, col := range c.cols {
+		if i > timeIdx && i > endIdx {
+			break
+		}
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			if i == timeIdx || i == endIdx {
+				return 0, 0, false
+			}
+			continue
+		}
+		l, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < l {
+			return 0, 0, false
+		}
+		field := rest[n : n+int(l)]
+		rest = rest[n+int(l):]
+		if i != timeIdx && i != endIdx {
+			continue
+		}
+		if col.Compress != "" {
+			return 0, 0, false // compressed time column: not worth inflating
+		}
+		x, vn := binary.Varint(field)
+		if vn <= 0 {
+			return 0, 0, false
+		}
+		if i == timeIdx {
+			tmin, haveMin = x, true
+			if endIdx < 0 {
+				tmax, haveMax = x, true
+			}
+		}
+		if i == endIdx {
+			tmax, haveMax = x, true
+		}
+	}
+	return tmin, tmax, haveMin && haveMax
+}
+
 // Pools for the hot scan/insert paths: gzip and zlib streams are
 // expensive to construct (the gzip writer alone allocates >1 MB of
 // window state), and every compressed field read needs a scratch buffer

@@ -1,0 +1,252 @@
+package table
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"just/internal/exec"
+	"just/internal/index"
+	"just/internal/kv"
+)
+
+// statsSampleSize is the per-index key sample kept by CollectStats. The
+// sorted sample is an equi-depth histogram over the index's key space:
+// with k sample points, consecutive points bracket Keys/k entries, so
+// range selectivity resolves to about 1/k granularity.
+const statsSampleSize = 1024
+
+// rangeSeekCost charges each planned key range a fixed overhead, in
+// key-read equivalents, for the per-range scan task setup and block
+// seeks. It keeps the planner from preferring a thousand near-empty
+// ranges over one slightly larger contiguous scan.
+const rangeSeekCost = 8.0
+
+// TableStats is the optimizer's view of a table's physical key
+// distribution, collected by CollectStats and persisted in the catalog
+// descriptor. Plans fall back to fixed heuristics when it is absent;
+// it is advisory only and never affects result correctness.
+type TableStats struct {
+	CollectedAtMS int64 `json:"collected_at_ms"`
+	// RowCount is the live row count (attribute-index entries) at
+	// collection time.
+	RowCount int64                 `json:"row_count"`
+	Indexes  map[uint8]*IndexStats `json:"indexes"`
+}
+
+// IndexStats summarizes one index's key population.
+type IndexStats struct {
+	// Keys is the number of live entries under the index prefix.
+	Keys int64 `json:"keys"`
+	// Sample is a sorted uniform sample of strategy-local keys (the
+	// 5-byte table/index prefix stripped). Because temporal strategies
+	// embed the time period and all SFC strategies embed the curve
+	// address in the key, the sample doubles as a selectivity histogram
+	// over both period occupancy and curve-space occupancy.
+	Sample [][]byte `json:"sample"`
+}
+
+// estimateKeys returns the expected number of index entries inside the
+// strategy-local key range [start, end).
+func (s *IndexStats) estimateKeys(start, end []byte) float64 {
+	if s.Keys == 0 || len(s.Sample) == 0 {
+		return 0
+	}
+	lo := 0
+	if start != nil {
+		lo = sort.Search(len(s.Sample), func(i int) bool {
+			return bytes.Compare(s.Sample[i], start) >= 0
+		})
+	}
+	hi := len(s.Sample)
+	if end != nil {
+		hi = sort.Search(len(s.Sample), func(i int) bool {
+			return bytes.Compare(s.Sample[i], end) >= 0
+		})
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return float64(hi-lo) / float64(len(s.Sample)) * float64(s.Keys)
+}
+
+// CollectStats scans every index's key range (keys only — values are
+// never decoded) and builds fresh statistics: exact entry counts plus a
+// reservoir key sample per index. The reservoir is seeded
+// deterministically so repeated collections over unchanged data agree.
+func (t *Table) CollectStats(ctx context.Context) (*TableStats, error) {
+	st := &TableStats{
+		CollectedAtMS: time.Now().UnixMilli(),
+		Indexes:       make(map[uint8]*IndexStats, len(t.Desc.Indexes)),
+	}
+	for _, id := range t.Desc.Indexes {
+		prefix := t.keyPrefix(id.ID)
+		is := &IndexStats{}
+		rng := rand.New(rand.NewSource(1))
+		var sample [][]byte
+		err := kv.ScanRangesFunc(ctx, t.cluster,
+			[]kv.KeyRange{{Start: prefix, End: nextKeyPrefix(prefix)}},
+			func(k, _ []byte) ([]byte, bool, error) {
+				return append([]byte(nil), k[len(prefix):]...), true, nil
+			},
+			func(k []byte) bool {
+				is.Keys++
+				if len(sample) < statsSampleSize {
+					sample = append(sample, k)
+				} else if j := rng.Int63n(is.Keys); j < statsSampleSize {
+					sample[j] = k
+				}
+				return true
+			})
+		if err != nil {
+			return nil, exec.MapCtxErr(err)
+		}
+		sort.Slice(sample, func(i, j int) bool { return bytes.Compare(sample[i], sample[j]) < 0 })
+		is.Sample = sample
+		st.Indexes[id.ID] = is
+		if id.ID == t.attrID {
+			st.RowCount = is.Keys
+		}
+	}
+	return st, nil
+}
+
+// SetStats installs statistics for the planner (atomically; concurrent
+// scans keep using the snapshot they started with).
+func (t *Table) SetStats(st *TableStats) { t.stats.Store(st) }
+
+// Stats returns the installed statistics, or nil before any collection.
+func (t *Table) Stats() *TableStats { return t.stats.Load() }
+
+// RefreshStats recollects statistics and installs them on the table.
+// The caller (the engine) persists the returned snapshot in the
+// catalog so it survives restarts.
+func (t *Table) RefreshStats(ctx context.Context) (*TableStats, error) {
+	st, err := t.CollectStats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	t.SetStats(st)
+	return st, nil
+}
+
+// AccessPath is a planned physical access: the chosen index, its
+// prefixed key ranges, and the statistics estimate that picked it.
+type AccessPath struct {
+	// Strategy is the index strategy name ("z2t", "xz2", ...), or
+	// "attr" for the attribute-index full scan.
+	Strategy string
+	IndexID  uint8
+	Ranges   []kv.KeyRange
+	// EstKeys is the estimated number of index entries the plan reads;
+	// -1 when the path was chosen heuristically (no statistics).
+	EstKeys float64
+}
+
+// PlanAccess chooses the access path for q. With statistics installed
+// the choice is cost-based: every index strategy that can serve the
+// query — plus the attribute-index full scan — is planned, each plan
+// is costed as estimated entries read plus a per-range seek charge,
+// and the cheapest wins. Without statistics it falls back to the fixed
+// heuristic (temporal index when the query has time bounds, else
+// spatial), which is also the safety net when statistics exist but no
+// candidate plans cleanly.
+func (t *Table) PlanAccess(q index.Query) (AccessPath, error) {
+	if st := t.Stats(); st != nil {
+		if p, ok := t.planWithStats(st, q); ok {
+			return p, nil
+		}
+	}
+	return t.planHeuristic(q)
+}
+
+func (t *Table) planWithStats(st *TableStats, q index.Query) (AccessPath, bool) {
+	var best AccessPath
+	bestCost := math.Inf(1)
+	found := false
+	// The attribute full scan is always a candidate: for a window
+	// covering most of the data it beats thousands of curve ranges.
+	if as, ok := st.Indexes[t.attrID]; ok {
+		prefix := t.keyPrefix(t.attrID)
+		best = AccessPath{
+			Strategy: "attr",
+			IndexID:  t.attrID,
+			Ranges:   []kv.KeyRange{{Start: prefix, End: nextKeyPrefix(prefix)}},
+			EstKeys:  float64(as.Keys),
+		}
+		bestCost = float64(as.Keys) + rangeSeekCost
+		found = true
+	}
+	for i, s := range t.strategies {
+		id := t.Desc.Indexes[indexSlot(t.Desc, i)].ID
+		is, ok := st.Indexes[id]
+		if !ok {
+			continue
+		}
+		planQ := q
+		if s.Temporal() && !q.HasTime {
+			planQ.HasTime = true
+			planQ.TMin = t.Desc.MinTimeMS
+			planQ.TMax = t.Desc.MaxTimeMS
+		}
+		ranges, err := s.Plan(planQ)
+		if err != nil {
+			continue // this strategy cannot serve this query shape
+		}
+		var est float64
+		for _, r := range ranges {
+			est += is.estimateKeys(r.Start, r.End)
+		}
+		cost := est + float64(len(ranges))*rangeSeekCost
+		if cost < bestCost {
+			prefix := t.keyPrefix(id)
+			full := make([]kv.KeyRange, len(ranges))
+			for j, r := range ranges {
+				full[j] = prefixRange(prefix, r)
+			}
+			best = AccessPath{Strategy: s.Name(), IndexID: id, Ranges: full, EstKeys: est}
+			bestCost = cost
+			found = true
+		}
+	}
+	return best, found
+}
+
+// planHeuristic is the statistics-free path: the pre-statistics fixed
+// choice, kept as the fallback.
+func (t *Table) planHeuristic(q index.Query) (AccessPath, error) {
+	s, indexID, ok := t.chooseStrategy(q)
+	if !ok {
+		prefix := t.keyPrefix(t.attrID)
+		return AccessPath{
+			Strategy: "attr",
+			IndexID:  t.attrID,
+			Ranges:   []kv.KeyRange{{Start: prefix, End: nextKeyPrefix(prefix)}},
+			EstKeys:  -1,
+		}, nil
+	}
+	planQ := q
+	if s.Temporal() && !q.HasTime {
+		planQ.HasTime = true
+		planQ.TMin = t.Desc.MinTimeMS
+		planQ.TMax = t.Desc.MaxTimeMS
+	}
+	ranges, err := s.Plan(planQ)
+	if err != nil {
+		return AccessPath{}, err
+	}
+	prefix := t.keyPrefix(indexID)
+	full := make([]kv.KeyRange, len(ranges))
+	for i, r := range ranges {
+		full[i] = prefixRange(prefix, r)
+	}
+	return AccessPath{Strategy: s.Name(), IndexID: indexID, Ranges: full, EstKeys: -1}, nil
+}
+
+// statsPtr is the lock-free holder Table embeds (kept tiny so table.go
+// stays focused on the data path).
+type statsPtr = atomic.Pointer[TableStats]

@@ -32,6 +32,10 @@ type Table struct {
 	geomIdx int // -1 when the table has no geometry
 	timeIdx int // -1 when the table has no time column
 	endIdx  int
+
+	// stats holds the planner statistics snapshot (see stats.go); nil
+	// until the first collection, when PlanAccess goes cost-based.
+	stats statsPtr
 }
 
 // IndexConfig carries strategy tunables shared by a table's indexes.
@@ -79,6 +83,22 @@ func Open(d *Desc, cluster *kv.Cluster, cfg IndexConfig) (*Table, error) {
 	}
 	if t.attr == nil {
 		return nil, fmt.Errorf("%w: table %s missing attr index", ErrBadSchema, d.Name)
+	}
+	if d.Stats != nil {
+		t.stats.Store(d.Stats)
+	}
+	// Every index copy stores the same encoded row, so one extractor
+	// serves all of the table's key prefixes: SSTables flushed or
+	// compacted from here on carry per-block [min,max] record-time zone
+	// maps, which time-windowed scans use to skip blocks before disk
+	// read and decompression.
+	if t.timeIdx >= 0 {
+		zfn := func(_, value []byte) (int64, int64, bool) {
+			return t.codec.DecodeTimeBounds(value, t.timeIdx, t.endIdx)
+		}
+		for _, id := range d.Indexes {
+			cluster.RegisterZoneExtractor(t.keyPrefix(id.ID), zfn)
+		}
 	}
 	return t, nil
 }
@@ -487,38 +507,151 @@ func (t *Table) ScanQuery(ctx context.Context, q index.Query, emit func(exec.Row
 }
 
 // ScanProjected is ScanQuery with projection pushdown: needed marks the
-// columns the caller will read (nil = all). Decode, decompression and
-// the MBR/time post-filter all run inside the per-region scan tasks
-// (kv.ScanRangesFunc), in two phases — the filter columns are decoded
-// first so rows rejected by the window never pay the decompression cost
-// of their remaining fields (for trajectories, the gzip'd GPS list).
-// Columns outside needed are left nil in emitted rows.
+// columns the caller will read (nil = all). It is a row-compatibility
+// shim over ScanBatches — rows are boxed out of the column batches at
+// the emit edge. Columns outside needed (and outside the window filter
+// set, which is always decoded) are left nil in emitted rows.
 func (t *Table) ScanProjected(ctx context.Context, q index.Query, needed []bool, emit func(exec.Row) bool) error {
-	s, indexID, ok := t.chooseStrategy(q)
-	if !ok {
-		// No index can narrow the scan: pipeline over the attribute
-		// index's whole key range instead.
-		prefix := t.keyPrefix(t.attrID)
-		full := []kv.KeyRange{{Start: prefix, End: nextKeyPrefix(prefix)}}
-		return t.pipelineScan(ctx, full, q, needed, emit)
-	}
-	planQ := q
-	if s.Temporal() && !q.HasTime {
-		// Fall back to the table's known time span from the meta table.
-		planQ.HasTime = true
-		planQ.TMin = t.Desc.MinTimeMS
-		planQ.TMax = t.Desc.MaxTimeMS
-	}
-	ranges, err := s.Plan(planQ)
+	return t.ScanBatches(ctx, q, needed, func(b *exec.ColumnBatch) bool {
+		for i := 0; i < b.Len(); i++ {
+			if !emit(b.RowAt(i)) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// ScanBatches is the columnar scan pipeline: key ranges are planned on
+// the cheapest index (PlanAccess), zone hints narrow which SSTable
+// blocks are read at all, and each scan task decodes survivors straight
+// into ColumnBatch vectors (kv.ScanCollect) — no per-row boxing on the
+// hot path. Filtering is staged by cost: record time is pre-checked
+// from the encoded bytes (Codec.DecodeTimeBounds, no allocation), the
+// filter columns of time-survivors are decoded and checked against the
+// window, and only rows passing both materialize their remaining
+// needed columns — a trajectory rejected by the time window never
+// inflates its gzip'd GPS list.
+//
+// Batches handed to emit are valid only during the call and are
+// charged against the per-query memory budget (exec.QueryFromContext)
+// while in flight.
+func (t *Table) ScanBatches(ctx context.Context, q index.Query, needed []bool, emit func(*exec.ColumnBatch) bool) error {
+	path, err := t.PlanAccess(q)
 	if err != nil {
 		return err
 	}
-	prefix := t.keyPrefix(indexID)
-	full := make([]kv.KeyRange, len(ranges))
-	for i, r := range ranges {
-		full[i] = prefixRange(prefix, r)
+	ranges := path.Ranges
+	if q.HasTime && t.timeIdx >= 0 {
+		for i := range ranges {
+			ranges[i].Zoned, ranges[i].ZMin, ranges[i].ZMax = true, q.TMin, q.TMax
+		}
 	}
-	return t.pipelineScan(ctx, full, q, needed, emit)
+	schema := t.Schema()
+	filter := t.filterCols()
+	// rest = needed ∪ filter, minus what the filter pass already decoded.
+	rest := make([]bool, len(t.Desc.Columns))
+	for i := range rest {
+		rest[i] = (needed == nil || needed[i]) && (filter == nil || !filter[i])
+	}
+	qry := exec.QueryFromContext(ctx)
+	newTask := func() kv.TaskCollector[*exec.ColumnBatch] {
+		// Batch capacity ramps up (32 → BatchRows): a LIMIT-style query
+		// that stops after a few rows, or one running under a tight
+		// memory budget, only ever pays for a small first batch, while a
+		// long scan reaches full-size batches within three flushes.
+		c := exec.BatchRows / 8
+		b := exec.NewColumnBatch(schema, c)
+		add := func(_, v []byte) (*exec.ColumnBatch, bool, error) {
+			if filter != nil && q.HasTime && t.timeIdx >= 0 {
+				if tmin, tmax, ok := t.codec.DecodeTimeBounds(v, t.timeIdx, t.endIdx); ok && (tmin > q.TMax || tmax < q.TMin) {
+					return nil, false, nil
+				}
+			}
+			ri := b.Grow()
+			if filter != nil {
+				if err := t.codec.DecodeIntoBatch(b, ri, v, filter); err != nil {
+					return nil, false, err
+				}
+				if !t.matchesAt(b, ri, q) {
+					b.Ungrow()
+					return nil, false, nil
+				}
+			}
+			if err := t.codec.DecodeIntoBatch(b, ri, v, rest); err != nil {
+				return nil, false, err
+			}
+			if b.Rows() < b.Cap() {
+				return nil, false, nil
+			}
+			out := b
+			if c < exec.BatchRows {
+				c *= 2
+			}
+			b = exec.NewColumnBatch(schema, c)
+			return out, true, nil
+		}
+		finish := func() (*exec.ColumnBatch, bool, error) {
+			if b.Rows() == 0 {
+				return nil, false, nil
+			}
+			return b, true, nil
+		}
+		return kv.TaskCollector[*exec.ColumnBatch]{Add: add, Finish: finish}
+	}
+	var budgetErr error
+	err = kv.ScanCollect(ctx, t.cluster, ranges, newTask, func(b *exec.ColumnBatch) bool {
+		sz := b.MemSize()
+		if err := qry.Reserve(sz); err != nil {
+			budgetErr = err
+			return false
+		}
+		keep := emit(b)
+		qry.Release(sz)
+		return keep
+	})
+	if budgetErr != nil {
+		return budgetErr
+	}
+	return exec.MapCtxErr(err)
+}
+
+// matchesAt is matches over a batch row: same predicate, no boxing for
+// the time columns.
+func (t *Table) matchesAt(b *exec.ColumnBatch, ri int, q index.Query) bool {
+	if t.geomIdx >= 0 {
+		g, _ := b.Col(t.geomIdx).Value(ri).(geom.Geometry)
+		if g == nil || !g.MBR().Intersects(q.Window) {
+			return false
+		}
+	}
+	if q.HasTime && t.timeIdx >= 0 {
+		var start int64
+		if tv := b.Col(t.timeIdx); !tv.Nulls[ri] {
+			start = tv.Ints[ri]
+		}
+		end := start
+		if t.endIdx >= 0 {
+			if ev := b.Col(t.endIdx); !ev.Nulls[ri] {
+				end = ev.Ints[ri]
+			}
+		}
+		if start > q.TMax || end < q.TMin {
+			return false
+		}
+	}
+	return true
+}
+
+// scanRowsLegacy is the pre-columnar row pipeline, kept as the
+// reference implementation the property tests compare ScanBatches
+// against (and as a fallback path for debugging).
+func (t *Table) scanRowsLegacy(ctx context.Context, q index.Query, needed []bool, emit func(exec.Row) bool) error {
+	path, err := t.planHeuristic(q)
+	if err != nil {
+		return err
+	}
+	return t.pipelineScan(ctx, path.Ranges, q, needed, emit)
 }
 
 // filterCols returns the bitmap of columns matches() reads, or nil when
