@@ -31,6 +31,7 @@ func main() {
 	servers := flag.Int("servers", 0, "simulated region servers (0 = default 5)")
 	replication := flag.Int("replication", 0, "replicas per region on distinct servers (0 = off)")
 	scrubInterval := flag.Duration("scrub-interval", 0, "background SSTable integrity scrub period (0 = off)")
+	codec := flag.String("codec", "", "SSTable block / WAL envelope codec: none, gzip or lz4 (\"\" = none)")
 	queryTimeout := flag.Duration("query-timeout", 0, "default per-query deadline (0 = none; X-JUST-Timeout may tighten it)")
 	maxConcurrent := flag.Int("max-concurrent-queries", 0, "queries executing at once (0 = unlimited)")
 	maxQueued := flag.Int("max-queued-queries", 0, "admission wait-queue depth (0 = 2x max-concurrent-queries)")
@@ -45,6 +46,7 @@ func main() {
 		Workers: *workers,
 		ViewTTL: *viewTTL,
 		Cluster: kv.ClusterOptions{
+			Options:       kv.Options{Codec: *codec},
 			Servers:       *servers,
 			Replication:   *replication,
 			ScrubInterval: *scrubInterval,

@@ -109,6 +109,7 @@ func Experiments() []string {
 
 var registry = map[string]func(*Runner) error{
 	"table2": (*Runner).RunTable2,
+	"codecs": (*Runner).RunCodecs,
 	"fig10a": (*Runner).RunFig10a,
 	"fig10b": (*Runner).RunFig10b,
 	"fig10c": (*Runner).RunFig10c,

@@ -23,7 +23,7 @@ func tinyRunner(t *testing.T, out *bytes.Buffer) *Runner {
 
 func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
-		"table2",
+		"table2", "codecs",
 		"fig10a", "fig10b", "fig10c", "fig10d",
 		"fig11a", "fig11b", "fig11c", "fig11d",
 		"fig12a", "fig12b", "fig12c", "fig12d",

@@ -1,0 +1,143 @@
+package compress
+
+import (
+	"bytes"
+	"compress/gzip"
+	"compress/zlib"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Pooled DEFLATE codecs. A gzip writer alone carries >1 MB of window
+// state, so per-call construction is the dominant cost at 4 KiB block
+// granularity; these pools are shared by the SSTable block path and the
+// table field path. Pool discipline: streams are Reset before every
+// reuse and are NOT returned to the pool after an error — a failed
+// stream's internal state is unknown.
+var (
+	gzipWriterPool sync.Pool // *gzip.Writer (BestSpeed)
+	gzipReaderPool sync.Pool // *gzip.Reader
+	zlibWriterPool sync.Pool // *zlib.Writer (BestSpeed)
+	zlibReaderPool sync.Pool // io.ReadCloser implementing zlib.Resetter
+)
+
+// CompressGzip appends the gzip encoding of src to dst.
+func CompressGzip(dst *bytes.Buffer, src []byte) error {
+	start := timeNow()
+	before := dst.Len()
+	w, _ := gzipWriterPool.Get().(*gzip.Writer)
+	if w == nil {
+		w, _ = gzip.NewWriterLevel(dst, gzip.BestSpeed)
+	} else {
+		w.Reset(dst)
+	}
+	if _, err := w.Write(src); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	gzipWriterPool.Put(w)
+	gzipCounters.addCompress(len(src), dst.Len()-before, timeNow().Sub(start))
+	return nil
+}
+
+// DecompressGzipLen inflates src into dst, which must be sized to the
+// exact raw length — the SSTable block path, where the index records
+// rawLen. A stream yielding a different length is an error.
+func DecompressGzipLen(dst, src []byte) error {
+	start := timeNow()
+	r, _ := gzipReaderPool.Get().(*gzip.Reader)
+	if r == nil {
+		var err error
+		if r, err = gzip.NewReader(bytes.NewReader(src)); err != nil {
+			return err
+		}
+	} else if err := r.Reset(bytes.NewReader(src)); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r, dst); err != nil {
+		return err
+	}
+	// The stream must end exactly at rawLen; trailing data means the
+	// recorded length and the block disagree.
+	if n, _ := r.Read(make([]byte, 1)); n != 0 {
+		return fmt.Errorf("compress: gzip block longer than recorded raw length")
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	gzipReaderPool.Put(r)
+	gzipCounters.addDecompress(len(src), len(dst), timeNow().Sub(start))
+	return nil
+}
+
+// DecompressGzipTo inflates src (raw length unknown) appending to dst.
+func DecompressGzipTo(dst *bytes.Buffer, src []byte) error {
+	start := timeNow()
+	before := dst.Len()
+	r, _ := gzipReaderPool.Get().(*gzip.Reader)
+	if r == nil {
+		var err error
+		if r, err = gzip.NewReader(bytes.NewReader(src)); err != nil {
+			return err
+		}
+	} else if err := r.Reset(bytes.NewReader(src)); err != nil {
+		return err
+	}
+	if _, err := dst.ReadFrom(r); err != nil {
+		return err
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	gzipReaderPool.Put(r)
+	gzipCounters.addDecompress(len(src), dst.Len()-before, timeNow().Sub(start))
+	return nil
+}
+
+// CompressZlib appends the zlib encoding of src to dst.
+func CompressZlib(dst *bytes.Buffer, src []byte) error {
+	start := timeNow()
+	before := dst.Len()
+	w, _ := zlibWriterPool.Get().(*zlib.Writer)
+	if w == nil {
+		w, _ = zlib.NewWriterLevel(dst, zlib.BestSpeed)
+	} else {
+		w.Reset(dst)
+	}
+	if _, err := w.Write(src); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	zlibWriterPool.Put(w)
+	zlibCounters.addCompress(len(src), dst.Len()-before, timeNow().Sub(start))
+	return nil
+}
+
+// DecompressZlibTo inflates src (raw length unknown) appending to dst.
+func DecompressZlibTo(dst *bytes.Buffer, src []byte) error {
+	start := timeNow()
+	before := dst.Len()
+	r, _ := zlibReaderPool.Get().(io.ReadCloser)
+	if r == nil {
+		var err error
+		if r, err = zlib.NewReader(bytes.NewReader(src)); err != nil {
+			return err
+		}
+	} else if err := r.(zlib.Resetter).Reset(bytes.NewReader(src), nil); err != nil {
+		return err
+	}
+	if _, err := dst.ReadFrom(r); err != nil {
+		return err
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	zlibReaderPool.Put(r)
+	zlibCounters.addDecompress(len(src), dst.Len()-before, timeNow().Sub(start))
+	return nil
+}

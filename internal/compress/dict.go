@@ -1,0 +1,105 @@
+package compress
+
+import "encoding/binary"
+
+// Dictionary encoding for low-cardinality strings (rider ids, order
+// states): a column run stores each distinct string once plus a varint
+// code per row. The same structure doubles as an in-memory interner —
+// the columnar scan path uses Intern so a batch holds one string header
+// per *distinct* value instead of one allocation per row. Whether a
+// column is worth dictionary treatment is decided from the sampled
+// cardinality in the table statistics, not hardcoded per schema.
+
+// Dict interns byte strings: Intern returns a canonical string for b,
+// allocating only the first time each distinct value is seen.
+type Dict struct {
+	m map[string]string
+}
+
+// Intern returns the canonical string equal to b. The map lookup on a
+// []byte key compiles without an allocation; only novel values pay one.
+func (d *Dict) Intern(b []byte) string {
+	if s, ok := d.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if d.m == nil {
+		d.m = make(map[string]string, 16)
+	}
+	d.m[s] = s
+	return s
+}
+
+// Len reports the number of distinct values interned so far.
+func (d *Dict) Len() int { return len(d.m) }
+
+// EncodeStrings appends a dictionary-coded block of vals to dst:
+//
+//	[count uvarint][distinct uvarint]([len uvarint][bytes])*[code uvarint]*
+//
+// Codes index the distinct table in first-appearance order, so encoding
+// is deterministic. Worth it only when distinct << count — the caller
+// consults sampled cardinality before choosing this encoding.
+func EncodeStrings(dst []byte, vals []string) []byte {
+	codes := make([]uint64, len(vals))
+	order := make([]string, 0, 16)
+	idx := make(map[string]uint64, 16)
+	for i, v := range vals {
+		c, ok := idx[v]
+		if !ok {
+			c = uint64(len(order))
+			idx[v] = c
+			order = append(order, v)
+		}
+		codes[i] = c
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	dst = binary.AppendUvarint(dst, uint64(len(order)))
+	for _, s := range order {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	for _, c := range codes {
+		dst = binary.AppendUvarint(dst, c)
+	}
+	return dst
+}
+
+// DecodeStrings is the inverse of EncodeStrings, returning the values
+// and the unread remainder of b. Safe on arbitrary input.
+func DecodeStrings(b []byte) ([]string, []byte, error) {
+	count, sz := binary.Uvarint(b)
+	// Every code takes at least one byte, so count bounded by the input
+	// length also bounds the allocations below.
+	if sz <= 0 || count > uint64(len(b)-sz) {
+		return nil, nil, ErrCorruptBlock
+	}
+	b = b[sz:]
+	distinct, sz := binary.Uvarint(b)
+	if sz <= 0 || distinct > count {
+		return nil, nil, ErrCorruptBlock
+	}
+	b = b[sz:]
+	if count == 0 {
+		return []string{}, b, nil
+	}
+	table := make([]string, distinct)
+	for i := range table {
+		l, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < l {
+			return nil, nil, ErrCorruptBlock
+		}
+		table[i] = string(b[sz : sz+int(l)])
+		b = b[sz+int(l):]
+	}
+	out := make([]string, count)
+	for i := range out {
+		c, sz := binary.Uvarint(b)
+		if sz <= 0 || c >= distinct {
+			return nil, nil, ErrCorruptBlock
+		}
+		b = b[sz:]
+		out[i] = table[c]
+	}
+	return out, b, nil
+}

@@ -1,0 +1,105 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Frame: the self-describing envelope for lz4-coded values whose raw
+// length is not recorded anywhere else (large table fields, WAL
+// payloads). Layout:
+//
+//	[0x4C 0x5A]            magic "LZ"
+//	[method u8]            1 = lz4 block
+//	[rawLen uvarint]       decompressed length
+//	[crc32c(raw) u32le]    checksum of the RAW bytes
+//	[payload]              lz4 block
+//
+// The checksum covers the bytes the decoder reconstructs — the inverse
+// of the SSTable story, where the per-block CRC covers the on-disk
+// (compressed) bytes. Together they bracket the codec: disk CRCs catch
+// storage faults before decompression, the frame CRC catches codec
+// faults after it.
+//
+// The magic's first byte (0x4C) is disjoint from the gzip (0x1F) and
+// zlib (0x78) stream magics, so a field decoder can dispatch on the
+// leading byte and read values written under any of the three codecs.
+const (
+	frameMagic0    = 0x4C // 'L'
+	frameMagic1    = 0x5A // 'Z'
+	frameMethodLZ4 = 1
+)
+
+// ErrCorruptFrame reports a malformed or checksum-failed codec frame.
+var ErrCorruptFrame = errors.New("compress: corrupt codec frame")
+
+var frameCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// CompressLZ4Frame appends a framed lz4 encoding of raw to dst.
+func CompressLZ4Frame(dst, raw []byte) []byte {
+	dst = append(dst, frameMagic0, frameMagic1, frameMethodLZ4)
+	dst = binary.AppendUvarint(dst, uint64(len(raw)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(raw, frameCRC))
+	return CompressLZ4(dst, raw)
+}
+
+// IsLZ4Frame reports whether b begins with the codec frame magic.
+func IsLZ4Frame(b []byte) bool {
+	return len(b) >= 3 && b[0] == frameMagic0 && b[1] == frameMagic1 && b[2] == frameMethodLZ4
+}
+
+// frameHeader parses the frame envelope, returning the raw length, the
+// expected raw checksum and the compressed payload.
+func frameHeader(frame []byte) (rawLen int, crc uint32, payload []byte, err error) {
+	if !IsLZ4Frame(frame) {
+		return 0, 0, nil, ErrCorruptFrame
+	}
+	rest := frame[3:]
+	n, sz := binary.Uvarint(rest)
+	if sz <= 0 || n > maxBlockLen {
+		return 0, 0, nil, ErrCorruptFrame
+	}
+	rest = rest[sz:]
+	if len(rest) < 4 {
+		return 0, 0, nil, ErrCorruptFrame
+	}
+	crc = binary.LittleEndian.Uint32(rest)
+	return int(n), crc, rest[4:], nil
+}
+
+// DecompressLZ4FrameTo decodes a framed lz4 value into dst (appending),
+// verifying the raw-byte checksum. Safe on arbitrary input.
+func DecompressLZ4FrameTo(dst *bytes.Buffer, frame []byte) error {
+	rawLen, crc, payload, err := frameHeader(frame)
+	if err != nil {
+		return err
+	}
+	dst.Grow(rawLen)
+	raw := dst.AvailableBuffer()[:rawLen]
+	if err := DecompressLZ4(raw, payload); err != nil {
+		return err
+	}
+	if crc32.Checksum(raw, frameCRC) != crc {
+		return ErrCorruptFrame
+	}
+	dst.Write(raw)
+	return nil
+}
+
+// DecompressLZ4Frame decodes a framed lz4 value into a fresh slice.
+func DecompressLZ4Frame(frame []byte) ([]byte, error) {
+	rawLen, crc, payload, err := frameHeader(frame)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, rawLen)
+	if err := DecompressLZ4(raw, payload); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(raw, frameCRC) != crc {
+		return nil, ErrCorruptFrame
+	}
+	return raw, nil
+}

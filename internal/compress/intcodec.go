@@ -1,0 +1,94 @@
+package compress
+
+import "encoding/binary"
+
+// Typed integer encodings for columnar timestamp data. Urban telemetry
+// timestamps arrive at a near-fixed cadence, so first differences are
+// small and nearly constant and second differences (delta-of-delta)
+// cluster around zero — zigzag varints then store most samples in one
+// byte. These are the lightweight encodings that sit *under* the
+// general-purpose codec: the typed pass removes the structure, the
+// byte-oriented pass mops up what is left.
+
+// AppendDelta appends vals as zigzag-varint first differences.
+func AppendDelta(dst []byte, vals []int64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	var prev int64
+	for _, v := range vals {
+		dst = binary.AppendVarint(dst, v-prev)
+		prev = v
+	}
+	return dst
+}
+
+// DecodeDelta is the inverse of AppendDelta, returning the values and
+// the unread remainder of b.
+func DecodeDelta(b []byte) ([]int64, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	// Each value takes at least one byte, so n bounded by the input
+	// length also bounds the allocation.
+	if sz <= 0 || n > uint64(len(b)-sz) {
+		return nil, nil, ErrCorruptBlock
+	}
+	b = b[sz:]
+	out := make([]int64, n)
+	var prev int64
+	for i := range out {
+		d, vn := binary.Varint(b)
+		if vn <= 0 {
+			return nil, nil, ErrCorruptBlock
+		}
+		b = b[vn:]
+		prev += d
+		out[i] = prev
+	}
+	return out, b, nil
+}
+
+// AppendDeltaOfDelta appends vals as zigzag-varint second differences:
+// the first value raw, the second as a delta, the rest as the change in
+// delta. Fixed-cadence timestamps encode to a run of zeros.
+func AppendDeltaOfDelta(dst []byte, vals []int64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	var prev, prevDelta int64
+	for i, v := range vals {
+		switch i {
+		case 0:
+			dst = binary.AppendVarint(dst, v)
+			prev = v
+		default:
+			d := v - prev
+			dst = binary.AppendVarint(dst, d-prevDelta)
+			prev, prevDelta = v, d
+		}
+	}
+	return dst
+}
+
+// DecodeDeltaOfDelta is the inverse of AppendDeltaOfDelta, returning
+// the values and the unread remainder of b.
+func DecodeDeltaOfDelta(b []byte) ([]int64, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(len(b)-sz) {
+		return nil, nil, ErrCorruptBlock
+	}
+	b = b[sz:]
+	out := make([]int64, n)
+	var prev, prevDelta int64
+	for i := range out {
+		x, vn := binary.Varint(b)
+		if vn <= 0 {
+			return nil, nil, ErrCorruptBlock
+		}
+		b = b[vn:]
+		switch i {
+		case 0:
+			prev = x
+		default:
+			prevDelta += x
+			prev += prevDelta
+		}
+		out[i] = prev
+	}
+	return out, b, nil
+}

@@ -1,0 +1,77 @@
+package compress
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// CodecStats is a snapshot of one codec's lifetime counters. BytesIn /
+// BytesOut are raw → coded on the compress side and coded → raw on the
+// decompress side; Nanos is CPU time spent inside the codec.
+type CodecStats struct {
+	CompressOps        int64 `json:"compress_ops"`
+	CompressBytesIn    int64 `json:"compress_bytes_in"`
+	CompressBytesOut   int64 `json:"compress_bytes_out"`
+	CompressNanos      int64 `json:"compress_nanos"`
+	DecompressOps      int64 `json:"decompress_ops"`
+	DecompressBytesIn  int64 `json:"decompress_bytes_in"`
+	DecompressBytesOut int64 `json:"decompress_bytes_out"`
+	DecompressNanos    int64 `json:"decompress_nanos"`
+	// Ratio is coded bytes / raw bytes over everything compressed so
+	// far (1.0 = incompressible, smaller is better).
+	Ratio float64 `json:"ratio"`
+}
+
+type counters struct {
+	compressOps, compressIn, compressOut, compressNanos         atomic.Int64
+	decompressOps, decompressIn, decompressOut, decompressNanos atomic.Int64
+}
+
+func (c *counters) addCompress(in, out int, d time.Duration) {
+	c.compressOps.Add(1)
+	c.compressIn.Add(int64(in))
+	c.compressOut.Add(int64(out))
+	c.compressNanos.Add(int64(d))
+}
+
+func (c *counters) addDecompress(in, out int, d time.Duration) {
+	c.decompressOps.Add(1)
+	c.decompressIn.Add(int64(in))
+	c.decompressOut.Add(int64(out))
+	c.decompressNanos.Add(int64(d))
+}
+
+func (c *counters) snapshot() CodecStats {
+	s := CodecStats{
+		CompressOps:        c.compressOps.Load(),
+		CompressBytesIn:    c.compressIn.Load(),
+		CompressBytesOut:   c.compressOut.Load(),
+		CompressNanos:      c.compressNanos.Load(),
+		DecompressOps:      c.decompressOps.Load(),
+		DecompressBytesIn:  c.decompressIn.Load(),
+		DecompressBytesOut: c.decompressOut.Load(),
+		DecompressNanos:    c.decompressNanos.Load(),
+	}
+	if s.CompressBytesIn > 0 {
+		s.Ratio = float64(s.CompressBytesOut) / float64(s.CompressBytesIn)
+	}
+	return s
+}
+
+var (
+	lz4Counters  counters
+	gzipCounters counters
+	zlibCounters counters
+)
+
+var timeNow = time.Now
+
+// Stats snapshots every codec's counters, keyed by codec name — the
+// object the metrics endpoint serves under "codecs".
+func Stats() map[string]CodecStats {
+	return map[string]CodecStats{
+		"lz4":  lz4Counters.snapshot(),
+		"gzip": gzipCounters.snapshot(),
+		"zlib": zlibCounters.snapshot(),
+	}
+}

@@ -539,7 +539,7 @@ func TestReplayWALReusedBufferLargeLog(t *testing.T) {
 	// payload buffer must not corrupt earlier records' contents.
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wal-000000.log")
-	l, err := openWAL(OSFS{}, path)
+	l, err := openWAL(OSFS{}, path, false)
 	if err != nil {
 		t.Fatal(err)
 	}

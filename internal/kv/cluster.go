@@ -127,6 +127,9 @@ func (s *regionServer) runCtx(ctx context.Context, task func()) error {
 
 // OpenCluster opens (or creates) a cluster rooted at dir.
 func OpenCluster(dir string, opts ClusterOptions) (*Cluster, error) {
+	if !ValidCodec(opts.Options.Codec) {
+		return nil, fmt.Errorf("kv: unknown block codec %q (want none, gzip or lz4)", opts.Options.Codec)
+	}
 	opts.Options = opts.Options.withDefaults()
 	if opts.Servers <= 0 {
 		opts.Servers = 5

@@ -112,7 +112,7 @@ func TestBloomRoundTrip(t *testing.T) {
 
 func TestWALRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, err := openWAL(OSFS{}, path)
+	w, err := openWAL(OSFS{}, path, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,11 +159,11 @@ func TestWALRoundTrip(t *testing.T) {
 func TestWALTornTail(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wal.log")
-	w, _ := openWAL(OSFS{}, path)
+	w, _ := openWAL(OSFS{}, path, false)
 	w.append(kindPut, []byte("good"), []byte("1"))
 	w.close()
 	// Append garbage simulating a torn write.
-	f, _ := openWAL(OSFS{}, path)
+	f, _ := openWAL(OSFS{}, path, false)
 	f.w.Write([]byte{9, 0, 0, 0, 1, 2})
 	f.close()
 	n := 0
@@ -187,9 +187,9 @@ func TestWALTornTail(t *testing.T) {
 	}
 }
 
-func writeTestTable(t *testing.T, path string, n int, compress bool) *table {
+func writeTestTable(t *testing.T, path string, n int, codec uint8) *table {
 	t.Helper()
-	tw, err := newTableWriter(OSFS{}, path, compress, nil)
+	tw, err := newTableWriter(OSFS{}, path, codec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,9 +215,9 @@ func writeTestTable(t *testing.T, path string, n int, compress bool) *table {
 }
 
 func TestSSTableGet(t *testing.T) {
-	for _, compress := range []bool{false, true} {
-		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
-			tbl := writeTestTable(t, filepath.Join(t.TempDir(), "t.sst"), 5000, compress)
+	for _, codec := range []uint8{blockCodecNone, blockCodecGzip, blockCodecLZ4} {
+		t.Run(fmt.Sprintf("codec=%d", codec), func(t *testing.T) {
+			tbl := writeTestTable(t, filepath.Join(t.TempDir(), "t.sst"), 5000, codec)
 			defer tbl.close()
 			for _, i := range []int{0, 1, 999, 2500, 4999} {
 				k := []byte(fmt.Sprintf("key-%06d", i))
@@ -250,7 +250,7 @@ func TestSSTableGet(t *testing.T) {
 }
 
 func TestSSTableScan(t *testing.T) {
-	tbl := writeTestTable(t, filepath.Join(t.TempDir(), "t.sst"), 5000, true)
+	tbl := writeTestTable(t, filepath.Join(t.TempDir(), "t.sst"), 5000, blockCodecGzip)
 	defer tbl.close()
 	it := tbl.iter(KeyRange{Start: []byte("key-001000"), End: []byte("key-001010")})
 	var keys []string
@@ -266,7 +266,7 @@ func TestSSTableScan(t *testing.T) {
 }
 
 func TestSSTableScanFull(t *testing.T) {
-	tbl := writeTestTable(t, filepath.Join(t.TempDir(), "t.sst"), 2000, false)
+	tbl := writeTestTable(t, filepath.Join(t.TempDir(), "t.sst"), 2000, blockCodecNone)
 	defer tbl.close()
 	it := tbl.iter(KeyRange{})
 	n := 0
@@ -284,7 +284,7 @@ func TestSSTableScanFull(t *testing.T) {
 }
 
 func TestSSTableRejectsOutOfOrder(t *testing.T) {
-	tw, err := newTableWriter(OSFS{}, filepath.Join(t.TempDir(), "t.sst"), false, nil)
+	tw, err := newTableWriter(OSFS{}, filepath.Join(t.TempDir(), "t.sst"), blockCodecNone, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

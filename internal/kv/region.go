@@ -28,8 +28,17 @@ type Options struct {
 	// BlockCacheBytes sizes the shared LRU block cache; 0 means the
 	// default 32 MiB, a negative value disables the cache entirely.
 	BlockCacheBytes int64
-	// Compress enables per-block gzip compression of SSTables.
+	// Compress enables per-block compression of SSTables under the
+	// default codec (gzip). Kept for compatibility; Codec supersedes it.
 	Compress bool
+	// Codec selects the block/WAL compression codec: "none", "gzip" or
+	// "lz4". Empty defers to the legacy Compress flag ("gzip" when set,
+	// "none" otherwise). The codec applies to SSTable blocks written
+	// from now on — flushes and compactions — and to WAL batch
+	// envelopes; existing tables keep their per-block codec and remain
+	// readable, so a store can change codec between restarts and
+	// converge through compaction.
+	Codec string
 	// DisableWAL skips write-ahead logging (bulk loads that can be
 	// replayed from source, as in the paper's batch ingestion).
 	DisableWAL bool
@@ -52,6 +61,34 @@ type Options struct {
 	// filesystem under a global transient-read fault injector); tests
 	// install a FaultFS to make disk failures reproducible.
 	FS VFS
+}
+
+// blockCodec resolves the Options codec selection to a blockCodec* id.
+// Unknown names are rejected by OpenCluster; here they degrade to
+// uncompressed rather than poisoning writes.
+func (o Options) blockCodec() uint8 {
+	switch o.Codec {
+	case "gzip":
+		return blockCodecGzip
+	case "lz4":
+		return blockCodecLZ4
+	case "", "none":
+		if o.Codec == "" && o.Compress {
+			return blockCodecGzip
+		}
+		return blockCodecNone
+	default:
+		return blockCodecNone
+	}
+}
+
+// ValidCodec reports whether name is a recognized block codec selection.
+func ValidCodec(name string) bool {
+	switch name {
+	case "", "none", "gzip", "lz4":
+		return true
+	}
+	return false
 }
 
 func (o Options) withDefaults() Options {
@@ -207,7 +244,7 @@ func openRegion(id int, dir string, opts Options, cache *blockCache, met *Metric
 				}
 			}
 		}
-		if r.log, err = openWAL(fs, r.walPath()); err != nil {
+		if r.log, err = openWAL(fs, r.walPath(), r.opts.blockCodec() == blockCodecLZ4); err != nil {
 			return nil, err
 		}
 		r.memWALs = walFiles
@@ -510,7 +547,7 @@ func (r *region) freezeLocked() error {
 		}
 		r.walSeq++
 		var err error
-		if r.log, err = openWAL(r.fs, r.walPath()); err != nil {
+		if r.log, err = openWAL(r.fs, r.walPath(), r.opts.blockCodec() == blockCodecLZ4); err != nil {
 			return err
 		}
 		r.memWALs = []string{r.walPath()}
@@ -700,7 +737,7 @@ func (r *region) flushImm(im *immMem) error {
 	r.mu.Unlock()
 
 	entries := im.mem.entries(KeyRange{})
-	tw, err := newTableWriter(r.fs, filepath.Join(r.dir, name), r.opts.Compress, r.opts.ZoneExtractor)
+	tw, err := newTableWriter(r.fs, filepath.Join(r.dir, name), r.opts.blockCodec(), r.opts.ZoneExtractor)
 	if err != nil {
 		return err
 	}
@@ -760,7 +797,7 @@ func (r *region) compact() error {
 	r.mu.Unlock()
 
 	it := newMergeIter(nil, tables, KeyRange{}, true)
-	tw, err := newTableWriter(r.fs, filepath.Join(r.dir, name), r.opts.Compress, r.opts.ZoneExtractor)
+	tw, err := newTableWriter(r.fs, filepath.Join(r.dir, name), r.opts.blockCodec(), r.opts.ZoneExtractor)
 	if err != nil {
 		return err
 	}

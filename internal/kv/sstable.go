@@ -3,7 +3,6 @@ package kv
 import (
 	"bufio"
 	"bytes"
-	"compress/gzip"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -12,6 +11,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"just/internal/compress"
 )
 
 // SSTable layout (format 2, magic "JUSTSST2"):
@@ -19,17 +20,22 @@ import (
 //	[data block]* [bloom filter] [block index] [footer]
 //
 // Data blocks hold sorted entries `[kind u8][klen uvarint][vlen uvarint]
-// [key][value]` and are individually (and optionally) gzip-compressed —
-// the storage half of the paper's compression mechanism lives at the
-// value layer, but block compression keeps the substrate honest about IO
-// volume. The index records each block's first key, so a scan seeks
-// directly to its first candidate block; each index entry may also carry
-// a zone map (min/max record time over the block's values, extracted at
-// build time by a registered ZoneExtractor) letting a time-bounded scan
-// skip whole blocks before they are read or decompressed. The index
-// entry's trailing byte is a flags byte — bit 0 compression, bit 1
-// zone-map present — so pre-zone-map files (plain 0/1 byte) still
-// decode.
+// [key][value]` and are individually (and optionally) compressed under a
+// per-block codec (gzip or lz4) — the storage half of the paper's
+// compression mechanism lives at the value layer, but block compression
+// keeps the substrate honest about IO volume. The index records each
+// block's first key, so a scan seeks directly to its first candidate
+// block; each index entry may also carry a zone map (min/max record time
+// over the block's values, extracted at build time by a registered
+// ZoneExtractor) letting a time-bounded scan skip whole blocks before
+// they are read or decompressed. The index entry's trailing byte is a
+// flags byte — bit 0 compressed, bit 1 zone-map present, bit 2 a codec
+// byte follows the zone varints — so pre-zone-map files (plain 0/1 byte)
+// and gzip-era files (bit 0 only, no codec byte) still decode, while
+// newer codecs are named explicitly per block. Codecs may be mixed
+// freely across the tables of one region (old gzip tables next to new
+// lz4 ones); compaction rewrites every surviving block in the region's
+// configured codec.
 //
 // Integrity: every byte of the file is covered by a CRC32C. Each index
 // entry carries the checksum of its block's on-disk bytes, verified on
@@ -80,13 +86,24 @@ func (e *ErrCorruptBlock) Error() string {
 
 func (e *ErrCorruptBlock) Unwrap() error { return ErrCorrupt }
 
+// Per-block codec ids, stored in the index entry's codec byte for any
+// codec beyond the legacy gzip flag. blockCodecGzip is never written as
+// an explicit byte (gzip blocks keep the PR 4-era flags-bit-0-only
+// encoding for compatibility) but exists so handles carry one uniform
+// codec field.
+const (
+	blockCodecNone = 0
+	blockCodecGzip = 1
+	blockCodecLZ4  = 2
+)
+
 type blockHandle struct {
-	firstKey   []byte
-	offset     uint64
-	length     uint32
-	rawLen     uint32
-	crc        uint32 // CRC32C of the block's on-disk (possibly compressed) bytes
-	compressed bool
+	firstKey []byte
+	offset   uint64
+	length   uint32
+	rawLen   uint32
+	crc      uint32 // CRC32C of the block's on-disk (possibly compressed) bytes
+	codec    uint8  // blockCodec*; what the stored bytes are coded with
 
 	// Zone map: min/max of the value-level zone attribute (record time,
 	// in ms) over every entry in the block. hasZone is false when any
@@ -103,12 +120,12 @@ type blockHandle struct {
 type ZoneExtractor func(key, value []byte) (zmin, zmax int64, ok bool)
 
 type tableWriter struct {
-	fs       VFS
-	w        *bufio.Writer
-	f        File
-	path     string // final path; bytes are written to path+".tmp"
-	compress bool
-	zoneFn   ZoneExtractor
+	fs     VFS
+	w      *bufio.Writer
+	f      File
+	path   string // final path; bytes are written to path+".tmp"
+	codec  uint8  // blockCodec*; the codec new blocks are written with
+	zoneFn ZoneExtractor
 
 	block     bytes.Buffer
 	blockKey  []byte // first key of the current block
@@ -125,12 +142,12 @@ type tableWriter struct {
 
 func tmpPath(path string) string { return path + ".tmp" }
 
-func newTableWriter(fs VFS, path string, compress bool, zoneFn ZoneExtractor) (*tableWriter, error) {
+func newTableWriter(fs VFS, path string, codec uint8, zoneFn ZoneExtractor) (*tableWriter, error) {
 	f, err := fs.Create(tmpPath(path))
 	if err != nil {
 		return nil, fmt.Errorf("kv: create sstable: %w", err)
 	}
-	return &tableWriter{fs: fs, f: f, w: bufio.NewWriterSize(f, 256<<10), path: path, compress: compress, zoneFn: zoneFn}, nil
+	return &tableWriter{fs: fs, f: f, w: bufio.NewWriterSize(f, 256<<10), path: path, codec: codec, zoneFn: zoneFn}, nil
 }
 
 // add appends an entry; keys must arrive in strictly ascending order.
@@ -186,30 +203,39 @@ func (t *tableWriter) flushBlock() error {
 	}
 	raw := t.block.Bytes()
 	out := raw
-	compressed := false
-	if t.compress {
+	codec := uint8(blockCodecNone)
+	// Compression is a win, not a requirement: a block that does not
+	// shrink under its codec is stored raw.
+	switch t.codec {
+	case blockCodecGzip:
 		var cb bytes.Buffer
-		zw, _ := gzip.NewWriterLevel(&cb, gzip.BestSpeed)
-		zw.Write(raw)
-		zw.Close()
+		if err := compress.CompressGzip(&cb, raw); err != nil {
+			return err
+		}
 		if cb.Len() < len(raw) {
 			out = cb.Bytes()
-			compressed = true
+			codec = blockCodecGzip
+		}
+	case blockCodecLZ4:
+		cb := compress.CompressLZ4(nil, raw)
+		if len(cb) < len(raw) {
+			out = cb
+			codec = blockCodecLZ4
 		}
 	}
 	if _, err := t.w.Write(out); err != nil {
 		return err
 	}
 	t.index = append(t.index, blockHandle{
-		firstKey:   t.blockKey,
-		offset:     t.offset,
-		length:     uint32(len(out)),
-		rawLen:     uint32(len(raw)),
-		crc:        crc32.Checksum(out, castagnoli),
-		compressed: compressed,
-		hasZone:    t.zoneOK,
-		zmin:       t.zmin,
-		zmax:       t.zmax,
+		firstKey: t.blockKey,
+		offset:   t.offset,
+		length:   uint32(len(out)),
+		rawLen:   uint32(len(raw)),
+		crc:      crc32.Checksum(out, castagnoli),
+		codec:    codec,
+		hasZone:  t.zoneOK,
+		zmin:     t.zmin,
+		zmax:     t.zmax,
 	})
 	t.offset += uint64(len(out))
 	t.block.Reset()
@@ -250,14 +276,21 @@ func (t *tableWriter) finish() (int64, error) {
 		writeUvarint(uint64(h.rawLen))
 		writeUvarint(uint64(h.crc))
 		// The former 0/1 compressed byte is a flags byte: bit 0 =
-		// compressed, bit 1 = zone map follows. Files written before
-		// zone maps decode unchanged (flags 0/1, no zone).
+		// compressed, bit 1 = zone map follows, bit 2 = a codec byte
+		// follows the zone varints. Files written before zone maps
+		// decode unchanged (flags 0/1, no zone); gzip blocks keep the
+		// bit-0-only encoding so gzip-era readers and files stay
+		// byte-compatible, and only non-gzip codecs spend the extra
+		// byte.
 		var flags byte
-		if h.compressed {
+		if h.codec != blockCodecNone {
 			flags |= 1
 		}
 		if h.hasZone {
 			flags |= 2
+		}
+		if h.codec > blockCodecGzip {
+			flags |= 4
 		}
 		idx.WriteByte(flags)
 		if h.hasZone {
@@ -265,6 +298,9 @@ func (t *tableWriter) finish() (int64, error) {
 			idx.Write(scratch[:n])
 			n = binary.PutVarint(scratch[:], h.zmax)
 			idx.Write(scratch[:n])
+		}
+		if flags&4 != 0 {
+			idx.WriteByte(h.codec)
 		}
 	}
 	writeUvarint(uint64(len(t.lastKey)))
@@ -503,13 +539,17 @@ func decodeIndex(b []byte) ([]blockHandle, []byte, error) {
 			return nil, nil, ErrCorrupt
 		}
 		h := blockHandle{
-			firstKey:   firstKey,
-			offset:     vals[0],
-			length:     uint32(vals[1]),
-			rawLen:     uint32(vals[2]),
-			crc:        uint32(vals[3]),
-			compressed: flags&1 != 0,
-			hasZone:    flags&2 != 0,
+			firstKey: firstKey,
+			offset:   vals[0],
+			length:   uint32(vals[1]),
+			rawLen:   uint32(vals[2]),
+			crc:      uint32(vals[3]),
+			hasZone:  flags&2 != 0,
+		}
+		if flags&1 != 0 {
+			// Compressed without an explicit codec byte = the legacy
+			// gzip encoding.
+			h.codec = blockCodecGzip
 		}
 		if h.hasZone {
 			if h.zmin, err = binary.ReadVarint(r); err != nil {
@@ -518,6 +558,13 @@ func decodeIndex(b []byte) ([]blockHandle, []byte, error) {
 			if h.zmax, err = binary.ReadVarint(r); err != nil {
 				return nil, nil, ErrCorrupt
 			}
+		}
+		if flags&4 != 0 {
+			c, err := r.ReadByte()
+			if err != nil {
+				return nil, nil, ErrCorrupt
+			}
+			h.codec = c
 		}
 		index = append(index, h)
 	}
@@ -605,17 +652,24 @@ func (t *table) loadBlock(i int) ([]byte, error) {
 		atomic.AddInt64(&t.metrics.BytesRead, int64(h.length))
 		atomic.AddInt64(&t.metrics.BlocksRead, 1)
 	}
-	if h.compressed {
-		zr, err := gzip.NewReader(bytes.NewReader(buf))
-		if err != nil {
-			return nil, t.corruptBlock(i)
-		}
+	switch h.codec {
+	case blockCodecNone:
+	case blockCodecGzip:
 		raw := make([]byte, h.rawLen)
-		if _, err := io.ReadFull(zr, raw); err != nil {
+		if err := compress.DecompressGzipLen(raw, buf); err != nil {
 			return nil, t.corruptBlock(i)
 		}
-		zr.Close()
 		buf = raw
+	case blockCodecLZ4:
+		raw := make([]byte, h.rawLen)
+		if err := compress.DecompressLZ4(raw, buf); err != nil {
+			return nil, t.corruptBlock(i)
+		}
+		buf = raw
+	default:
+		// A codec id this build does not know: surface it as corruption
+		// rather than serving compressed bytes as data.
+		return nil, t.corruptBlock(i)
 	}
 	if t.cache != nil {
 		t.cache.put(t.id, i, buf)

@@ -8,6 +8,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"just/internal/compress"
 )
 
 // wal is a write-ahead log. Every mutation is appended before it reaches
@@ -30,26 +32,51 @@ import (
 // the end of the last valid record so the caller can truncate the
 // garbage tail before appending again.
 type wal struct {
-	f   File
-	w   *bufio.Writer
-	buf []byte
-	n   int64 // bytes appended
+	f    File
+	w    *bufio.Writer
+	buf  []byte
+	zbuf []byte // scratch for compressed-envelope records
+	n    int64  // bytes appended
+	// lz4 enables compressed record envelopes: payloads past a size
+	// threshold are wrapped as [walCompressedTag][codec frame] when the
+	// wrap is smaller. The record CRC covers the compressed bytes; the
+	// frame's own checksum covers the raw payload after inflation.
+	lz4 bool
 }
 
 // walBatchTag marks a batch-envelope payload. It must stay disjoint from
 // the kind values (kindPut, kindDelete) that open a single-entry payload.
 const walBatchTag = 0xB0
 
-func openWAL(fs VFS, path string) (*wal, error) {
+// walCompressedTag marks an lz4-frame-compressed payload; the inflated
+// bytes are a regular payload (entry or batch envelope). Disjoint from
+// the kinds and walBatchTag so old logs replay unchanged.
+const walCompressedTag = 0xC1
+
+// walCompressMin is the payload size below which compression is not
+// attempted: small records are mostly headers and unique keys, and the
+// frame overhead would eat any win.
+const walCompressMin = 512
+
+func openWAL(fs VFS, path string, lz4 bool) (*wal, error) {
 	f, err := fs.OpenAppend(path)
 	if err != nil {
 		return nil, fmt.Errorf("kv: open wal: %w", err)
 	}
-	return &wal{f: f, w: bufio.NewWriterSize(f, 64<<10)}, nil
+	return &wal{f: f, w: bufio.NewWriterSize(f, 64<<10), lz4: lz4}, nil
 }
 
-// appendRecord frames p as one CRC-checked record.
+// appendRecord frames p as one CRC-checked record, wrapping large
+// payloads in a compressed envelope when the store's codec is lz4 and
+// the wrap actually shrinks them.
 func (l *wal) appendRecord(p []byte) error {
+	if l.lz4 && len(p) >= walCompressMin {
+		l.zbuf = append(l.zbuf[:0], walCompressedTag)
+		l.zbuf = compress.CompressLZ4Frame(l.zbuf, p)
+		if len(l.zbuf) < len(p) {
+			p = l.zbuf
+		}
+	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(p)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(p))
@@ -209,6 +236,19 @@ func replayWAL(fs VFS, path string, fn func(k kind, key, value []byte) error) (i
 func replayPayload(p []byte, fn func(k kind, key, value []byte) error) error {
 	if len(p) == 0 {
 		return ErrCorrupt
+	}
+	if p[0] == walCompressedTag {
+		raw, err := compress.DecompressLZ4Frame(p[1:])
+		if err != nil {
+			return fmt.Errorf("%w: wal envelope: %v", ErrCorrupt, err)
+		}
+		// The inflated bytes must be a plain payload: a nested
+		// compressed tag is structurally invalid (the writer never
+		// produces one) and recursing on it would be attacker-steered.
+		if len(raw) == 0 || raw[0] == walCompressedTag {
+			return ErrCorrupt
+		}
+		return replayPayload(raw, fn)
 	}
 	if p[0] != walBatchTag {
 		k, key, value, _, err := decodeWALEntry(p)

@@ -93,7 +93,10 @@ func TestQueryLifecycle(t *testing.T) {
 		MaxQueuedQueries:     1,
 		SlowQueryThreshold:   time.Minute,
 	})
-	loadPoints(t, s.engine, "u1", 150000)
+	// Big enough that a full scan takes several hundred ms: the
+	// admission subtests depend on the blocker holding its run slot far
+	// longer than request scheduling jitter under CPU saturation.
+	loadPoints(t, s.engine, "u1", 400000)
 
 	// Baseline: how long the slow query takes with no deadline.
 	t0 := time.Now()
@@ -402,8 +405,10 @@ func TestCursorJanitor(t *testing.T) {
 // while a region server is killed and revived underneath them: no
 // wedged requests, no goroutine leaks, and the server still answers.
 func TestChaosCancelDuringFailover(t *testing.T) {
+	// Enough rows that the residual-predicate scan can never finish
+	// inside the 5 ms deadline, even on an idle machine.
 	ts, s := newReplicatedServer(t, Options{})
-	loadPoints(t, s.engine, "u1", 20000)
+	loadPoints(t, s.engine, "u1", 100000)
 	base := runtime.NumGoroutine()
 	for round := 0; round < 6; round++ {
 		if round == 2 {

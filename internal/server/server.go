@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"just/internal/compress"
 	"just/internal/core"
 	"just/internal/exec"
 	"just/internal/geom"
@@ -506,6 +507,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"queries_active":            s.registry.count(),
 		"peak_query_bytes":          s.peakQueryBytes.Load(),
 		"slow_queries":              s.slowQueries.Load(),
+		"codecs":                    compress.Stats(),
 	})
 }
 

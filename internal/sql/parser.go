@@ -193,7 +193,7 @@ func (p *parser) parseColumnDef() (ColumnDef, error) {
 }
 
 // parseColumnMod parses one modifier after ':' — `primary key`,
-// `srid=4326`, `compress=gzip|zip` (alternatives allowed; the first is
+// `srid=4326`, `compress=gzip|zip|lz4` (alternatives allowed; the first is
 // used).
 func (p *parser) parseColumnMod() (string, error) {
 	word, err := p.l.expectIdent()
@@ -216,7 +216,7 @@ func (p *parser) parseColumnMod() (string, error) {
 		default:
 			return "", &SyntaxError{t.pos, "expected modifier value"}
 		}
-		// compress=gzip|zip offers alternatives; take the first.
+		// compress=gzip|zip|lz4 offers alternatives; take the first.
 		for p.l.matchOp("|") {
 			if _, err := p.l.expectIdent(); err != nil {
 				return "", err

@@ -53,7 +53,7 @@ type Column struct {
 	Subtype    string `json:"subtype,omitempty"`
 	PrimaryKey bool   `json:"primary_key,omitempty"`
 	SRID       int    `json:"srid,omitempty"`
-	Compress   string `json:"compress,omitempty"` // "", "gzip", "zip"
+	Compress   string `json:"compress,omitempty"` // "", "gzip", "zip", "lz4"
 }
 
 // IndexDesc names one index built for a table.
@@ -204,6 +204,11 @@ func (c *Catalog) Create(d *Desc) error {
 			return fmt.Errorf("%w: duplicate column %q", ErrBadSchema, col.Name)
 		}
 		seen[col.Name] = true
+		switch col.Compress {
+		case "", "gzip", "zip", "lz4":
+		default:
+			return fmt.Errorf("%w: column %q: unknown compression %q (want gzip, zip or lz4)", ErrBadSchema, col.Name, col.Compress)
+		}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

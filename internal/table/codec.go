@@ -2,15 +2,13 @@ package table
 
 import (
 	"bytes"
-	"compress/gzip"
-	"compress/zlib"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"math"
 	"sync"
 
+	"just/internal/compress"
 	"just/internal/exec"
 	"just/internal/geom"
 )
@@ -20,9 +18,11 @@ var ErrBadRow = errors.New("table: corrupt row encoding")
 
 // Codec serializes rows of one schema, applying the paper's per-field
 // compression mechanism (Section IV-D): columns flagged
-// `compress=gzip|zip` have their encoded bytes compressed before storage,
-// which shrinks big fields like a trajectory's GPS list and cuts the
-// disk IO a query pays to read them back.
+// `compress=gzip|zip|lz4` have their encoded bytes compressed before
+// storage, which shrinks big fields like a trajectory's GPS list and
+// cuts the disk IO a query pays to read them back. lz4 trades a little
+// ratio for an order of magnitude faster decompression — the right
+// default for hot scan columns.
 type Codec struct {
 	cols []Column
 }
@@ -153,7 +153,13 @@ func (c *Codec) decodeInto(row exec.Row, data []byte, needed []bool) error {
 // as in DecodeProjected. Calling it again on the same row with a
 // disjoint needed mask fills further columns — the late-materialization
 // second pass for rows that survived the filter.
-func (c *Codec) DecodeIntoBatch(b *exec.ColumnBatch, ri int, data []byte, needed []bool) error {
+//
+// interns, when non-nil, supplies a per-column string dictionary: a
+// string column with a dictionary set resolves each value to one
+// canonical string (one allocation per distinct value, not per row).
+// Dictionaries are not safe for concurrent use; callers give each scan
+// task its own.
+func (c *Codec) DecodeIntoBatch(b *exec.ColumnBatch, ri int, data []byte, needed []bool, interns []*compress.Dict) error {
 	nb := (len(c.cols) + 7) / 8
 	if len(data) < nb {
 		return ErrBadRow
@@ -174,6 +180,10 @@ func (c *Codec) DecodeIntoBatch(b *exec.ColumnBatch, ri int, data []byte, needed
 			continue
 		}
 		v := b.Col(i)
+		var itn *compress.Dict
+		if interns != nil {
+			itn = interns[i]
+		}
 		if col.Compress != "" {
 			buf := fieldBufPool.Get().(*bytes.Buffer)
 			buf.Reset()
@@ -181,14 +191,14 @@ func (c *Codec) DecodeIntoBatch(b *exec.ColumnBatch, ri int, data []byte, needed
 				fieldBufPool.Put(buf)
 				return err
 			}
-			err := decodeFieldInto(v, ri, col, buf.Bytes())
+			err := decodeFieldInto(v, ri, col, buf.Bytes(), itn)
 			fieldBufPool.Put(buf)
 			if err != nil {
 				return err
 			}
 			continue
 		}
-		if err := decodeFieldInto(v, ri, col, field); err != nil {
+		if err := decodeFieldInto(v, ri, col, field, itn); err != nil {
 			return err
 		}
 	}
@@ -196,8 +206,8 @@ func (c *Codec) DecodeIntoBatch(b *exec.ColumnBatch, ri int, data []byte, needed
 }
 
 // decodeFieldInto decodes one field into vector v at row ri, unboxed
-// for the scalar types.
-func decodeFieldInto(v *exec.Vector, ri int, col Column, field []byte) error {
+// for the scalar types. itn, when non-nil, interns string values.
+func decodeFieldInto(v *exec.Vector, ri int, col Column, field []byte, itn *compress.Dict) error {
 	switch col.Type {
 	case exec.TypeInt, exec.TypeTime:
 		x, n := binary.Varint(field)
@@ -214,7 +224,11 @@ func decodeFieldInto(v *exec.Vector, ri int, col Column, field []byte) error {
 		v.Floats[ri] = math.Float64frombits(binary.LittleEndian.Uint64(field))
 	case exec.TypeString:
 		v.Nulls[ri] = false
-		v.Strs[ri] = string(field)
+		if itn != nil {
+			v.Strs[ri] = itn.Intern(field)
+		} else {
+			v.Strs[ri] = string(field)
+		}
 	case exec.TypeBool:
 		if len(field) != 1 {
 			return ErrBadRow
@@ -283,95 +297,65 @@ func (c *Codec) DecodeTimeBounds(data []byte, timeIdx, endIdx int) (tmin, tmax i
 	return tmin, tmax, haveMin && haveMax
 }
 
-// Pools for the hot scan/insert paths: gzip and zlib streams are
-// expensive to construct (the gzip writer alone allocates >1 MB of
-// window state), and every compressed field read needs a scratch buffer
-// whose contents decodeValue copies out of before returning.
-var (
-	fieldBufPool   = sync.Pool{New: func() any { return new(bytes.Buffer) }}
-	gzipWriterPool sync.Pool
-	zlibWriterPool sync.Pool
-	gzipReaderPool sync.Pool
-	zlibReaderPool sync.Pool
-)
+// fieldBufPool provides the scratch buffer every compressed field read
+// inflates into; decodeValue copies out of it before it returns to the
+// pool. The gzip/zlib/lz4 stream state itself is pooled inside
+// internal/compress, shared with the SSTable block and WAL paths.
+var fieldBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 func compressField(method string, data []byte) ([]byte, error) {
-	var buf bytes.Buffer
 	switch method {
+	case "lz4":
+		// The frame's leading 0x4C magic is disjoint from the gzip
+		// (0x1f) and zlib (0x78) stream magics, so decompressInto can
+		// dispatch on the stored bytes alone.
+		return compress.CompressLZ4Frame(nil, data), nil
 	case "gzip":
-		w, _ := gzipWriterPool.Get().(*gzip.Writer)
-		if w == nil {
-			w, _ = gzip.NewWriterLevel(&buf, gzip.BestSpeed)
-		} else {
-			w.Reset(&buf)
-		}
-		if _, err := w.Write(data); err != nil {
+		var buf bytes.Buffer
+		if err := compress.CompressGzip(&buf, data); err != nil {
 			return nil, err
 		}
-		if err := w.Close(); err != nil {
-			return nil, err
-		}
-		gzipWriterPool.Put(w)
+		return buf.Bytes(), nil
 	case "zip":
-		w, _ := zlibWriterPool.Get().(*zlib.Writer)
-		if w == nil {
-			w, _ = zlib.NewWriterLevel(&buf, zlib.BestSpeed)
-		} else {
-			w.Reset(&buf)
-		}
-		if _, err := w.Write(data); err != nil {
+		var buf bytes.Buffer
+		if err := compress.CompressZlib(&buf, data); err != nil {
 			return nil, err
 		}
-		if err := w.Close(); err != nil {
-			return nil, err
-		}
-		zlibWriterPool.Put(w)
+		return buf.Bytes(), nil
 	default:
 		return nil, fmt.Errorf("table: unknown compression %q", method)
 	}
-	return buf.Bytes(), nil
 }
 
-// decompressInto inflates a compressed field into dst using pooled
-// decompressors.
+// decompressInto inflates a compressed field into dst using the pooled
+// decompressors in internal/compress. The stored bytes are
+// self-describing — gzip streams open with 0x1f, zlib with 0x78, lz4
+// frames with 0x4C 0x5A — so dispatch sniffs the data rather than
+// trusting the declared method: a column migrated from `compress=gzip`
+// to `compress=lz4` keeps its old rows readable with no rewrite.
 func decompressInto(dst *bytes.Buffer, method string, data []byte) error {
-	switch method {
-	case "gzip":
-		r, _ := gzipReaderPool.Get().(*gzip.Reader)
-		if r == nil {
-			var err error
-			if r, err = gzip.NewReader(bytes.NewReader(data)); err != nil {
-				return fmt.Errorf("%w: %v", ErrBadRow, err)
-			}
-		} else if err := r.Reset(bytes.NewReader(data)); err != nil {
-			return fmt.Errorf("%w: %v", ErrBadRow, err)
-		}
-		if _, err := dst.ReadFrom(r); err != nil {
-			return fmt.Errorf("%w: %v", ErrBadRow, err)
-		}
-		if err := r.Close(); err != nil {
-			return fmt.Errorf("%w: %v", ErrBadRow, err)
-		}
-		gzipReaderPool.Put(r)
-	case "zip":
-		r, _ := zlibReaderPool.Get().(io.ReadCloser)
-		if r == nil {
-			var err error
-			if r, err = zlib.NewReader(bytes.NewReader(data)); err != nil {
-				return fmt.Errorf("%w: %v", ErrBadRow, err)
-			}
-		} else if err := r.(zlib.Resetter).Reset(bytes.NewReader(data), nil); err != nil {
-			return fmt.Errorf("%w: %v", ErrBadRow, err)
-		}
-		if _, err := dst.ReadFrom(r); err != nil {
-			return fmt.Errorf("%w: %v", ErrBadRow, err)
-		}
-		if err := r.Close(); err != nil {
-			return fmt.Errorf("%w: %v", ErrBadRow, err)
-		}
-		zlibReaderPool.Put(r)
+	var err error
+	switch {
+	case len(data) >= 1 && data[0] == 0x1f:
+		err = compress.DecompressGzipTo(dst, data)
+	case len(data) >= 1 && data[0] == 0x78:
+		err = compress.DecompressZlibTo(dst, data)
+	case compress.IsLZ4Frame(data):
+		err = compress.DecompressLZ4FrameTo(dst, data)
 	default:
-		return fmt.Errorf("table: unknown compression %q", method)
+		switch method {
+		case "gzip":
+			err = compress.DecompressGzipTo(dst, data)
+		case "zip":
+			err = compress.DecompressZlibTo(dst, data)
+		case "lz4":
+			err = compress.DecompressLZ4FrameTo(dst, data)
+		default:
+			return fmt.Errorf("table: unknown compression %q", method)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRow, err)
 	}
 	return nil
 }
@@ -629,6 +613,12 @@ const stSeriesScale = 1e7
 const (
 	stSeriesFormatPlain = 0
 	stSeriesFormatDelta = 1
+	// Delta2 refines Delta: coordinates stay first-order deltas, but
+	// timestamps are delta-of-delta — GPS fixes arrive at a near-fixed
+	// sampling interval, so the second difference hovers at zero and
+	// each timestamp usually costs a single varint byte. New compressed
+	// writes use this format; Delta remains decodable for stored rows.
+	stSeriesFormatDelta2 = 2
 )
 
 // encodeSTSeries writes timestamped points. The delta format encodes all
@@ -652,10 +642,10 @@ func encodeSTSeries(buf *bytes.Buffer, pts []geom.TPoint, delta bool) {
 		}
 		return
 	}
-	buf.WriteByte(stSeriesFormatDelta)
+	buf.WriteByte(stSeriesFormatDelta2)
 	writeUvarint(buf, uint64(len(pts)))
 	var b [binary.MaxVarintLen64]byte
-	var prevLng, prevLat, prevT int64
+	var prevLng, prevLat, prevT, prevDT int64
 	for _, p := range pts {
 		lng := int64(math.Round(p.Lng * stSeriesScale))
 		lat := int64(math.Round(p.Lat * stSeriesScale))
@@ -663,9 +653,10 @@ func encodeSTSeries(buf *bytes.Buffer, pts []geom.TPoint, delta bool) {
 		buf.Write(b[:n])
 		n = binary.PutVarint(b[:], lat-prevLat)
 		buf.Write(b[:n])
-		n = binary.PutVarint(b[:], p.T-prevT)
+		dt := p.T - prevT
+		n = binary.PutVarint(b[:], dt-prevDT)
 		buf.Write(b[:n])
-		prevLng, prevLat, prevT = lng, lat, p.T
+		prevLng, prevLat, prevT, prevDT = lng, lat, p.T, dt
 	}
 }
 
@@ -701,8 +692,8 @@ func decodeSTSeries(data []byte) ([]geom.TPoint, error) {
 			pts[i].T = prevT
 		}
 		return pts, nil
-	case stSeriesFormatDelta:
-		var prevLng, prevLat, prevT int64
+	case stSeriesFormatDelta, stSeriesFormatDelta2:
+		var prevLng, prevLat, prevT, prevDT int64
 		for i := range pts {
 			var deltas [3]int64
 			for j := range deltas {
@@ -715,7 +706,12 @@ func decodeSTSeries(data []byte) ([]geom.TPoint, error) {
 			}
 			prevLng += deltas[0]
 			prevLat += deltas[1]
-			prevT += deltas[2]
+			if format == stSeriesFormatDelta2 {
+				prevDT += deltas[2]
+				prevT += prevDT
+			} else {
+				prevT += deltas[2]
+			}
 			pts[i] = geom.TPoint{
 				Point: geom.Point{
 					Lng: float64(prevLng) / stSeriesScale,

@@ -67,7 +67,7 @@ func init() {
 			{Name: TrajColEndPoint, Type: exec.TypeGeometry, SRID: 4326},
 			{Name: TrajColStartTime, Type: exec.TypeTime},
 			{Name: TrajColEndTime, Type: exec.TypeTime},
-			{Name: TrajColGPSList, Type: exec.TypeSTSeries, Compress: "gzip"},
+			{Name: TrajColGPSList, Type: exec.TypeSTSeries, Compress: "lz4"},
 		},
 		// Table III: XZ2 on MBR, XZ2T on MBR and start time.
 		Indexes: []IndexDesc{

@@ -36,6 +36,14 @@ type TableStats struct {
 	// collection time.
 	RowCount int64                 `json:"row_count"`
 	Indexes  map[uint8]*IndexStats `json:"indexes"`
+	// StringSampled is the number of rows whose string columns were
+	// sampled, and StringDistinct the per-column distinct value counts
+	// seen in that sample (keyed by column name). They drive the
+	// dictionary-interning decision: a column whose sampled cardinality
+	// is a small fraction of the sample is worth one canonical string
+	// per distinct value instead of one allocation per row.
+	StringSampled  int64            `json:"string_sampled,omitempty"`
+	StringDistinct map[string]int64 `json:"string_distinct,omitempty"`
 }
 
 // IndexStats summarizes one index's key population.
@@ -112,12 +120,103 @@ func (t *Table) CollectStats(ctx context.Context) (*TableStats, error) {
 			st.RowCount = is.Keys
 		}
 	}
+	if err := t.sampleStringCardinality(ctx, st); err != nil {
+		return nil, err
+	}
 	return st, nil
 }
 
+// sampleStringCardinality decodes the string columns of a bounded prefix
+// of the attribute index (values are decoded nowhere else in stats
+// collection) and records per-column distinct counts.
+func (t *Table) sampleStringCardinality(ctx context.Context, st *TableStats) error {
+	var strIdx []int
+	for i, col := range t.Desc.Columns {
+		if col.Type == exec.TypeString {
+			strIdx = append(strIdx, i)
+		}
+	}
+	if len(strIdx) == 0 {
+		return nil
+	}
+	mask := make([]bool, len(t.Desc.Columns))
+	for _, i := range strIdx {
+		mask[i] = true
+	}
+	distinct := make([]map[string]struct{}, len(strIdx))
+	for i := range distinct {
+		distinct[i] = make(map[string]struct{})
+	}
+	prefix := t.keyPrefix(t.attrID)
+	var sampled int64
+	err := kv.ScanRangesFunc(ctx, t.cluster,
+		[]kv.KeyRange{{Start: prefix, End: nextKeyPrefix(prefix)}},
+		func(_, v []byte) ([]byte, bool, error) {
+			return append([]byte(nil), v...), true, nil
+		},
+		func(v []byte) bool {
+			row, err := t.codec.DecodeProjected(v, mask)
+			if err != nil {
+				return true // skip undecodable rows; scrub owns them
+			}
+			for j, ci := range strIdx {
+				if s, ok := row[ci].(string); ok {
+					distinct[j][s] = struct{}{}
+				}
+			}
+			sampled++
+			return sampled < statsSampleSize
+		})
+	if err != nil {
+		return exec.MapCtxErr(err)
+	}
+	st.StringSampled = sampled
+	st.StringDistinct = make(map[string]int64, len(strIdx))
+	for j, ci := range strIdx {
+		st.StringDistinct[t.Desc.Columns[ci].Name] = int64(len(distinct[j]))
+	}
+	return nil
+}
+
+// internSampleMin is the smallest string sample the interning decision
+// trusts; internMaxFraction caps a dictionary-worthy column's sampled
+// cardinality at sampled/internMaxFraction.
+const (
+	internSampleMin   = 64
+	internMaxFraction = 8
+)
+
+// internDecision derives per-column interning flags from a statistics
+// snapshot; nil when no column qualifies.
+func internDecision(cols []Column, st *TableStats) *[]bool {
+	if st == nil || st.StringSampled < internSampleMin {
+		return nil
+	}
+	flags := make([]bool, len(cols))
+	any := false
+	for i, col := range cols {
+		if col.Type != exec.TypeString {
+			continue
+		}
+		d, ok := st.StringDistinct[col.Name]
+		if ok && d > 0 && d <= st.StringSampled/internMaxFraction {
+			flags[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return &flags
+}
+
 // SetStats installs statistics for the planner (atomically; concurrent
-// scans keep using the snapshot they started with).
-func (t *Table) SetStats(st *TableStats) { t.stats.Store(st) }
+// scans keep using the snapshot they started with) and re-derives the
+// dictionary-interning flags the columnar decode path consults.
+func (t *Table) SetStats(st *TableStats) {
+	t.stats.Store(st)
+	t.internCols.Store(internDecision(t.Desc.Columns, st))
+}
 
 // Stats returns the installed statistics, or nil before any collection.
 func (t *Table) Stats() *TableStats { return t.stats.Load() }

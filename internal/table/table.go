@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"just/internal/compress"
 	"just/internal/exec"
 	"just/internal/geom"
 	"just/internal/index"
@@ -36,6 +37,10 @@ type Table struct {
 	// stats holds the planner statistics snapshot (see stats.go); nil
 	// until the first collection, when PlanAccess goes cost-based.
 	stats statsPtr
+	// internCols flags string columns whose sampled cardinality is low
+	// enough that the columnar decode path interns their values through
+	// a per-scan-task dictionary (see SetStats); nil disables interning.
+	internCols atomic.Pointer[[]bool]
 }
 
 // IndexConfig carries strategy tunables shared by a table's indexes.
@@ -85,7 +90,9 @@ func Open(d *Desc, cluster *kv.Cluster, cfg IndexConfig) (*Table, error) {
 		return nil, fmt.Errorf("%w: table %s missing attr index", ErrBadSchema, d.Name)
 	}
 	if d.Stats != nil {
-		t.stats.Store(d.Stats)
+		// SetStats (not a bare store) so the persisted snapshot also
+		// re-derives the dictionary-interning flags on reopen.
+		t.SetStats(d.Stats)
 	}
 	// Every index copy stores the same encoded row, so one extractor
 	// serves all of the table's key prefixes: SSTables flushed or
@@ -562,6 +569,19 @@ func (t *Table) ScanBatches(ctx context.Context, q index.Query, needed []bool, e
 		// long scan reaches full-size batches within three flushes.
 		c := exec.BatchRows / 8
 		b := exec.NewColumnBatch(schema, c)
+		// Per-task string dictionaries for columns whose sampled
+		// cardinality marked them worth interning. A task decodes its
+		// rows sequentially, so an unshared Dict needs no locking, and
+		// its lifetime (one scan task) bounds the memory it can hold.
+		var interns []*compress.Dict
+		if ic := t.internCols.Load(); ic != nil {
+			interns = make([]*compress.Dict, len(t.Desc.Columns))
+			for i, on := range *ic {
+				if on && (rest[i] || (filter != nil && filter[i])) {
+					interns[i] = new(compress.Dict)
+				}
+			}
+		}
 		add := func(_, v []byte) (*exec.ColumnBatch, bool, error) {
 			if filter != nil && q.HasTime && t.timeIdx >= 0 {
 				if tmin, tmax, ok := t.codec.DecodeTimeBounds(v, t.timeIdx, t.endIdx); ok && (tmin > q.TMax || tmax < q.TMin) {
@@ -570,7 +590,7 @@ func (t *Table) ScanBatches(ctx context.Context, q index.Query, needed []bool, e
 			}
 			ri := b.Grow()
 			if filter != nil {
-				if err := t.codec.DecodeIntoBatch(b, ri, v, filter); err != nil {
+				if err := t.codec.DecodeIntoBatch(b, ri, v, filter, interns); err != nil {
 					return nil, false, err
 				}
 				if !t.matchesAt(b, ri, q) {
@@ -578,7 +598,7 @@ func (t *Table) ScanBatches(ctx context.Context, q index.Query, needed []bool, e
 					return nil, false, nil
 				}
 			}
-			if err := t.codec.DecodeIntoBatch(b, ri, v, rest); err != nil {
+			if err := t.codec.DecodeIntoBatch(b, ri, v, rest, interns); err != nil {
 				return nil, false, err
 			}
 			if b.Rows() < b.Cap() {

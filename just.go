@@ -89,8 +89,14 @@ type Config struct {
 	DisableFieldCompression bool
 	// RegionServers simulates an HBase cluster size (0 = 5, the paper's).
 	RegionServers int
-	// BlockCompression gzip-compresses SSTable blocks.
+	// BlockCompression gzip-compresses SSTable blocks (legacy switch;
+	// prefer Codec).
 	BlockCompression bool
+	// Codec picks the SSTable block and WAL envelope codec: "none",
+	// "gzip" or "lz4" ("" defers to BlockCompression). Existing tables
+	// keep their per-block codec; future flushes and compactions use
+	// this one.
+	Codec string
 }
 
 // Engine is an embedded JUST instance.
@@ -111,6 +117,7 @@ func Open(cfg Config) (*Engine, error) {
 			Options: kv.Options{
 				DisableWAL: cfg.DisableWAL,
 				Compress:   cfg.BlockCompression,
+				Codec:      cfg.Codec,
 			},
 			Servers: cfg.RegionServers,
 		},
