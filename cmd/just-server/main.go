@@ -2,9 +2,18 @@
 // HTTP service layer, multi-user namespaces, cursor-paged results
 // (Section VII of the paper).
 //
+// Three process roles compose a deployment:
+//
+//	standalone  (default) the in-process simulated cluster behind HTTP
+//	region      one networked region server: an rpc endpoint hosting
+//	            regions, shipping to replicas and splitting autonomously
+//	router      the HTTP front end routing storage to region servers
+//
 // Usage:
 //
 //	just-server -dir /var/lib/just -addr :8045
+//	just-server -role=region -dir /var/lib/just-r1 -rpc-addr :9045 -node-id 1
+//	just-server -role=router -addr :8045 -peers host1:9045,host2:9045
 package main
 
 import (
@@ -14,21 +23,24 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"just/internal/core"
 	"just/internal/kv"
+	"just/internal/rpc"
 	"just/internal/server"
 )
 
 func main() {
+	role := flag.String("role", "standalone", "process role: standalone, region or router")
 	dir := flag.String("dir", "./just-data", "storage directory")
-	addr := flag.String("addr", ":8045", "listen address")
+	addr := flag.String("addr", ":8045", "HTTP listen address (standalone/router)")
 	workers := flag.Int("workers", 0, "execution pool size (0 = NumCPU)")
 	pageSize := flag.Int("page-size", 1000, "rows per result transmission")
 	viewTTL := flag.Duration("view-ttl", 30*time.Minute, "idle view eviction")
-	servers := flag.Int("servers", 0, "simulated region servers (0 = default 5)")
+	servers := flag.Int("servers", 0, "simulated region servers (0 = default 5; standalone only)")
 	replication := flag.Int("replication", 0, "replicas per region on distinct servers (0 = off)")
 	scrubInterval := flag.Duration("scrub-interval", 0, "background SSTable integrity scrub period (0 = off)")
 	codec := flag.String("codec", "", "SSTable block / WAL envelope codec: none, gzip or lz4 (\"\" = none)")
@@ -39,9 +51,27 @@ func main() {
 	maxBodyBytes := flag.Int64("max-body-bytes", 0, "request body cap for /api/v1/sql (0 = 1 MiB)")
 	slowQuery := flag.Duration("slow-query", time.Second, "slow-query log threshold")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline")
+
+	// Networked-cluster topology flags.
+	rpcAddr := flag.String("rpc-addr", ":9045", "region server rpc listen address (region role)")
+	nodeID := flag.Int("node-id", 1, "region server node id, unique per cluster (region role)")
+	peers := flag.String("peers", "", "comma-separated region server addresses (router role)")
+	splitBytes := flag.Int64("split-bytes", 256<<20, "region size split threshold in bytes (region role; 0 = off)")
+	splitWriteBytes := flag.Int64("split-write-bytes", 0, "write-rate split threshold in bytes per 10s window (region role; 0 = off)")
+	rebalanceInterval := flag.Duration("rebalance-interval", 0, "router rebalance / cold-merge period (0 = off)")
+	mergeBytes := flag.Int64("merge-bytes", 0, "merge adjacent regions below this size (router role; 0 = off)")
 	flag.Parse()
 
-	eng, err := core.Open(core.Config{
+	switch *role {
+	case "region":
+		runRegion(*dir, *rpcAddr, *nodeID, *codec, *splitBytes, *splitWriteBytes)
+		return
+	case "standalone", "router":
+	default:
+		log.Fatalf("just-server: unknown -role=%s (want standalone, region or router)", *role)
+	}
+
+	cfg := core.Config{
 		Dir:     *dir,
 		Workers: *workers,
 		ViewTTL: *viewTTL,
@@ -51,7 +81,19 @@ func main() {
 			Replication:   *replication,
 			ScrubInterval: *scrubInterval,
 		},
-	})
+	}
+	if *role == "router" {
+		if *peers == "" {
+			log.Fatal("just-server: -role=router requires -peers")
+		}
+		cfg.Router = &kv.RouterOptions{
+			Peers:             strings.Split(*peers, ","),
+			Replicas:          *replication,
+			RebalanceInterval: *rebalanceInterval,
+			MergeBytes:        *mergeBytes,
+		}
+	}
+	eng, err := core.Open(cfg)
 	if err != nil {
 		log.Fatalf("just-server: open engine: %v", err)
 	}
@@ -76,7 +118,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("just-server: serving %s on %s", *dir, *addr)
+	log.Printf("just-server: %s serving %s on %s", *role, *dir, *addr)
 
 	select {
 	case err := <-errc:
@@ -98,6 +140,37 @@ func main() {
 	srv.Close()
 	if err := eng.Close(); err != nil {
 		log.Printf("just-server: close engine: %v", err)
+	}
+	log.Printf("just-server: shutdown complete")
+}
+
+// runRegion hosts one networked region server until SIGINT/SIGTERM.
+func runRegion(dir, rpcAddr string, nodeID int, codec string, splitBytes, splitWriteBytes int64) {
+	node, err := kv.OpenRegionNode(dir, kv.NodeOptions{
+		Options:         kv.Options{Codec: codec},
+		NodeID:          nodeID,
+		SplitBytes:      splitBytes,
+		SplitWriteBytes: splitWriteBytes,
+		Transport:       rpc.NewClient(rpc.ClientOptions{}),
+	})
+	if err != nil {
+		log.Fatalf("just-server: open region node: %v", err)
+	}
+	rpcSrv, err := rpc.Serve(rpcAddr, node.Handler(), rpc.ServerOptions{})
+	if err != nil {
+		node.Close()
+		log.Fatalf("just-server: rpc listen: %v", err)
+	}
+	log.Printf("just-server: region node %d serving %s on %s", nodeID, dir, rpcSrv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	log.Printf("just-server: region node shutting down")
+	rpcSrv.Close()
+	if err := node.Close(); err != nil {
+		log.Printf("just-server: close region node: %v", err)
 	}
 	log.Printf("just-server: shutdown complete")
 }

@@ -108,26 +108,27 @@ func Experiments() []string {
 }
 
 var registry = map[string]func(*Runner) error{
-	"table2": (*Runner).RunTable2,
-	"codecs": (*Runner).RunCodecs,
-	"fig10a": (*Runner).RunFig10a,
-	"fig10b": (*Runner).RunFig10b,
-	"fig10c": (*Runner).RunFig10c,
-	"fig10d": (*Runner).RunFig10d,
-	"fig11a": (*Runner).RunFig11a,
-	"fig11b": (*Runner).RunFig11b,
-	"fig11c": (*Runner).RunFig11c,
-	"fig11d": (*Runner).RunFig11d,
-	"fig12a": (*Runner).RunFig12a,
-	"fig12b": (*Runner).RunFig12b,
-	"fig12c": (*Runner).RunFig12c,
-	"fig12d": (*Runner).RunFig12d,
-	"fig13a": (*Runner).RunFig13a,
-	"fig13b": (*Runner).RunFig13b,
-	"fig13c": (*Runner).RunFig13c,
-	"fig13d": (*Runner).RunFig13d,
-	"fig14a": (*Runner).RunFig14a,
-	"fig14b": (*Runner).RunFig14b,
+	"table2":  (*Runner).RunTable2,
+	"codecs":  (*Runner).RunCodecs,
+	"cluster": (*Runner).RunCluster,
+	"fig10a":  (*Runner).RunFig10a,
+	"fig10b":  (*Runner).RunFig10b,
+	"fig10c":  (*Runner).RunFig10c,
+	"fig10d":  (*Runner).RunFig10d,
+	"fig11a":  (*Runner).RunFig11a,
+	"fig11b":  (*Runner).RunFig11b,
+	"fig11c":  (*Runner).RunFig11c,
+	"fig11d":  (*Runner).RunFig11d,
+	"fig12a":  (*Runner).RunFig12a,
+	"fig12b":  (*Runner).RunFig12b,
+	"fig12c":  (*Runner).RunFig12c,
+	"fig12d":  (*Runner).RunFig12d,
+	"fig13a":  (*Runner).RunFig13a,
+	"fig13b":  (*Runner).RunFig13b,
+	"fig13c":  (*Runner).RunFig13c,
+	"fig13d":  (*Runner).RunFig13d,
+	"fig14a":  (*Runner).RunFig14a,
+	"fig14b":  (*Runner).RunFig14b,
 }
 
 // Run executes one experiment by id.

@@ -23,7 +23,7 @@ func tinyRunner(t *testing.T, out *bytes.Buffer) *Runner {
 
 func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
-		"table2", "codecs",
+		"table2", "codecs", "cluster",
 		"fig10a", "fig10b", "fig10c", "fig10d",
 		"fig11a", "fig11b", "fig11c", "fig11d",
 		"fig12a", "fig12b", "fig12c", "fig12d",
@@ -55,6 +55,20 @@ func TestTable2(t *testing.T) {
 	for _, want := range []string{"Traj", "Order", "Synthetic", "# points", "# records"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("table2 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestClusterExperimentRuns(t *testing.T) {
+	var out bytes.Buffer
+	r := tinyRunner(t, &out)
+	if err := r.Run("cluster"); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"standalone", "loopback", "tcp"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("cluster output missing %q:\n%s", want, s)
 		}
 	}
 }

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"just/internal/core"
+	"just/internal/kv"
+	"just/internal/rpc"
+)
+
+// RunCluster reports the networked-deployment dimension: the same Order
+// workload served by the in-process simulated cluster (standalone), by
+// region servers behind the router over the in-process loopback
+// transport, and by region servers behind the router over real TCP
+// sockets. The loopback/TCP delta prices the wire protocol (framing,
+// CRC, kernel round trips); the standalone/loopback delta prices the
+// routing layer itself.
+func (r *Runner) RunCluster() error {
+	r.header("cluster", "Networked region servers (Order): standalone vs routed loopback vs routed TCP")
+	r.printf("%-12s %14s %14s %10s %14s\n",
+		"deployment", "ingest (ms)", "ST range (ms)", "regions", "rpc out (MiB)")
+	for _, mode := range []string{"standalone", "loopback", "tcp"} {
+		e, cleanup, err := r.openClusterMode(mode)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := loadOrders(e, variantJUST, r.Orders()); err != nil {
+			cleanup()
+			return err
+		}
+		ingest := time.Since(start)
+		wins := r.defaultWindows(53)
+		times := r.timeWindows(53, 24*3600*1000)
+		med, err := medianDuration(len(wins), func(i int) error {
+			_, err := stCount(e, "orders", wins[i], times[i][0], times[i][1])
+			return err
+		})
+		if err != nil {
+			cleanup()
+			return err
+		}
+		m := e.Store().Metrics()
+		regions := e.Store().Regions()
+		cleanup()
+		r.printf("%-12s %14s %14s %10d %14s\n",
+			mode, ms(ingest), ms(med), regions, mb(m.RPCBytesOut))
+	}
+	return nil
+}
+
+// openClusterMode opens an engine in the given deployment mode. The
+// returned cleanup closes the engine and, for routed modes, the region
+// servers behind it.
+func (r *Runner) openClusterMode(mode string) (*core.Engine, func(), error) {
+	dir, err := r.scratch("cluster-" + mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := kv.Options{
+		DisableWAL:         true,
+		DiskThroughputMBps: diskMBps,
+		BlockCacheBytes:    8 << 20,
+	}
+	if mode == "standalone" {
+		e, err := core.Open(core.Config{Dir: dir, Cluster: kv.ClusterOptions{Options: opts}})
+		if err != nil {
+			return nil, nil, err
+		}
+		return e, func() { e.Close() }, nil
+	}
+
+	const n = 3
+	peers := make([]string, n)
+	var tr kv.Transport
+	var closers []func()
+	cleanup := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	var lb *kv.Loopback
+	var cl *rpc.Client
+	if mode == "tcp" {
+		cl = rpc.NewClient(rpc.ClientOptions{})
+		tr = cl
+	} else {
+		lb = kv.NewLoopback()
+		tr = lb
+	}
+	for i := 0; i < n; i++ {
+		node, err := kv.OpenRegionNode(filepath.Join(dir, fmt.Sprintf("node%d", i+1)), kv.NodeOptions{
+			Options:   opts,
+			NodeID:    i + 1,
+			Transport: tr,
+		})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		closers = append(closers, func() { node.Close() })
+		if mode == "tcp" {
+			srv, err := rpc.Serve("127.0.0.1:0", node.Handler(), rpc.ServerOptions{})
+			if err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+			closers = append(closers, func() { srv.Close() })
+			peers[i] = srv.Addr()
+		} else {
+			peers[i] = fmt.Sprintf("s%d", i+1)
+			lb.Register(peers[i], node.Handler())
+		}
+	}
+	// Loopback routing shares the fabric; TCP routing lets the router
+	// build its own pooled client (as `just-server -role=router` does),
+	// which also feeds the rpc byte counters in its metrics.
+	var rtr kv.Transport
+	if mode != "tcp" {
+		rtr = tr
+	}
+	e, err := core.Open(core.Config{
+		Dir:    filepath.Join(dir, "router"),
+		Router: &kv.RouterOptions{Peers: peers, Transport: rtr},
+	})
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	closers = append(closers, func() { e.Close() })
+	return e, cleanup, nil
+}

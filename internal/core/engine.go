@@ -37,6 +37,10 @@ type Config struct {
 	ViewTTL time.Duration
 	// Cluster overrides the storage cluster options.
 	Cluster kv.ClusterOptions
+	// Router, when set, routes storage to networked region servers over
+	// rpc instead of opening the in-process cluster; Dir then holds only
+	// the catalog. Cluster options are ignored in router mode.
+	Router *kv.RouterOptions
 	// DisableFieldCompression turns the paper's compression mechanism
 	// off globally (the JUSTnc variant in the evaluation).
 	DisableFieldCompression bool
@@ -45,7 +49,7 @@ type Config struct {
 // Engine is the embedded JUST engine.
 type Engine struct {
 	cfg     Config
-	cluster *kv.Cluster
+	cluster kv.Store
 	catalog *table.Catalog
 	views   *table.Views
 	ctx     *exec.Context
@@ -61,11 +65,17 @@ func Open(cfg Config) (*Engine, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("core: Config.Dir is required")
 	}
-	copts := cfg.Cluster
-	if copts.SplitPoints == nil && copts.Servers == 0 {
-		copts.Servers = 5 // the paper's cluster size
+	var cluster kv.Store
+	var err error
+	if cfg.Router != nil {
+		cluster, err = kv.OpenRouter(*cfg.Router)
+	} else {
+		copts := cfg.Cluster
+		if copts.SplitPoints == nil && copts.Servers == 0 {
+			copts.Servers = 5 // the paper's cluster size
+		}
+		cluster, err = kv.OpenCluster(filepath.Join(cfg.Dir, "data"), copts)
 	}
-	cluster, err := kv.OpenCluster(filepath.Join(cfg.Dir, "data"), copts)
 	if err != nil {
 		return nil, err
 	}
@@ -97,8 +107,24 @@ func (e *Engine) Catalog() *table.Catalog { return e.catalog }
 // Views exposes the view registry.
 func (e *Engine) Views() *table.Views { return e.views }
 
-// Cluster exposes the storage fabric (for metrics and benchmarks).
-func (e *Engine) Cluster() *kv.Cluster { return e.cluster }
+// Store exposes the storage fabric (for metrics and benchmarks).
+func (e *Engine) Store() kv.Store { return e.cluster }
+
+// Cluster exposes the in-process cluster behind the storage fabric, or
+// nil when the engine routes to networked region servers (router mode).
+// Callers needing cluster-only surfaces (failure injection, scrub,
+// replication state) must handle the nil.
+func (e *Engine) Cluster() *kv.Cluster {
+	c, _ := e.cluster.(*kv.Cluster)
+	return c
+}
+
+// Router exposes the networked routing client behind the storage
+// fabric, or nil outside router mode.
+func (e *Engine) Router() *kv.Router {
+	r, _ := e.cluster.(*kv.Router)
+	return r
+}
 
 // indexConfig materializes the engine-wide strategy tunables.
 func (e *Engine) indexConfig() table.IndexConfig {

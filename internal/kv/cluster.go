@@ -486,16 +486,15 @@ func (c *Cluster) DeleteBatch(keys [][]byte) error {
 // ScanRange streams pairs of one range in key order; emit returning false
 // stops the scan early.
 func (c *Cluster) ScanRange(kr KeyRange, emit func(key, value []byte) bool) error {
-	c.mu.RLock()
-	hs := append([]*regionHandle(nil), c.regions...)
-	c.mu.RUnlock()
-	for _, h := range hs {
-		sub, ok := h.kr.Intersect(kr)
-		if !ok {
-			continue
-		}
+	return scanRangeOrdered(c, kr, emit)
+}
+
+// scanRangeOrdered is the shared serial ScanRange implementation:
+// tasks are visited in region (= key) order, so pairs stream sorted.
+func scanRangeOrdered(s Store, kr KeyRange, emit func(key, value []byte) bool) error {
+	for _, t := range s.scanTasks([]KeyRange{kr}) {
 		stop := false
-		err := c.scanOne(context.Background(), h, sub, func(k, v []byte) bool {
+		err := s.runScanTask(context.Background(), t, func(k, v []byte) bool {
 			if !emit(k, v) {
 				stop = true
 				return false
@@ -511,6 +510,32 @@ func (c *Cluster) ScanRange(kr KeyRange, emit func(key, value []byte) bool) erro
 	}
 	return nil
 }
+
+// scanTasks splits ranges into one task per (region × range).
+func (c *Cluster) scanTasks(ranges []KeyRange) []scanTask {
+	c.mu.RLock()
+	hs := append([]*regionHandle(nil), c.regions...)
+	c.mu.RUnlock()
+	var tasks []scanTask
+	for _, kr := range ranges {
+		for _, h := range hs {
+			if sub, ok := h.kr.Intersect(kr); ok {
+				tasks = append(tasks, scanTask{kr: sub, h: h})
+			}
+		}
+	}
+	return tasks
+}
+
+// runScanTask streams one task's pairs with node selection, server-slot
+// accounting and corruption failover (see scanOne).
+func (c *Cluster) runScanTask(ctx context.Context, t scanTask, emit func(key, value []byte) bool) error {
+	return c.scanOne(ctx, t.h, t.kr, emit)
+}
+
+func (c *Cluster) metrics() *Metrics { return &c.met }
+
+func (c *Cluster) scanWidth() int { return len(c.servers) }
 
 // ScanRanges runs one scan task per (region × range) in parallel across
 // region servers — the paper's "trigger SCAN operations over the
@@ -558,42 +583,28 @@ const maxSerialScanTasks = 4
 // scan promptly: every worker checks the cancel flag per pair, queued
 // tasks never take a server slot, and the raw context error is
 // returned (callers lift it into the typed lifecycle errors).
-func ScanRangesFunc[T any](ctx context.Context, c *Cluster, ranges []KeyRange, process func(key, value []byte) (T, bool, error), emit func(T) bool) error {
+func ScanRangesFunc[T any](ctx context.Context, s Store, ranges []KeyRange, process func(key, value []byte) (T, bool, error), emit func(T) bool) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	c.mu.RLock()
-	hs := append([]*regionHandle(nil), c.regions...)
-	c.mu.RUnlock()
-
-	type task struct {
-		h  *regionHandle
-		kr KeyRange
-	}
-	var tasks []task
-	for _, kr := range ranges {
-		for _, h := range hs {
-			if sub, ok := h.kr.Intersect(kr); ok {
-				tasks = append(tasks, task{h, sub})
-			}
-		}
-	}
+	tasks := s.scanTasks(ranges)
 	if len(tasks) == 0 {
 		return nil
 	}
-	atomic.AddInt64(&c.met.ScanTasks, int64(len(tasks)))
+	met := s.metrics()
+	atomic.AddInt64(&met.ScanTasks, int64(len(tasks)))
 
 	if len(tasks) <= maxSerialScanTasks {
-		// Small plans: run the pipeline stages inline, still one region
-		// server slot per task.
+		// Small plans: run the pipeline stages inline, still one scan
+		// slot per task.
 		for _, t := range tasks {
 			var scanned, kept int64
 			stop := false
 			var stageErr error
-			err := c.scanOne(ctx, t.h, t.kr, func(k, v []byte) bool {
+			err := s.runScanTask(ctx, t, func(k, v []byte) bool {
 				scanned++
 				if scanned&63 == 0 && ctx.Err() != nil {
 					stageErr = ctx.Err()
@@ -614,8 +625,8 @@ func ScanRangesFunc[T any](ctx context.Context, c *Cluster, ranges []KeyRange, p
 				}
 				return true
 			})
-			atomic.AddInt64(&c.met.ScanPairs, scanned)
-			atomic.AddInt64(&c.met.ScanKept, kept)
+			atomic.AddInt64(&met.ScanPairs, scanned)
+			atomic.AddInt64(&met.ScanKept, kept)
 			if stageErr != nil {
 				return stageErr
 			}
@@ -650,85 +661,50 @@ func ScanRangesFunc[T any](ctx context.Context, c *Cluster, ranges []KeyRange, p
 		s := make([]T, 0, scanBatchSize)
 		return &s
 	}}
-	batches := make(chan []T, len(c.servers)*2)
+	batches := make(chan []T, s.scanWidth()*2)
 	var wg sync.WaitGroup
 	for _, t := range tasks {
 		wg.Add(1)
-		go func(t task) {
+		go func(t scanTask) {
 			defer wg.Done()
 			var scanned, kept int64
 			defer func() {
-				atomic.AddInt64(&c.met.ScanPairs, scanned)
-				atomic.AddInt64(&c.met.ScanKept, kept)
+				atomic.AddInt64(&met.ScanPairs, scanned)
+				atomic.AddInt64(&met.ScanKept, kept)
 			}()
 			batch := *pool.Get().(*[]T)
-			var resume []byte // last key processed, reused across pairs
-			sub := t.kr
-			for attempt := 0; ; attempt++ {
-				// The serving node is picked when the task (or a corruption
-				// retry) launches: a server killed mid-scan fails tasks over
-				// to replicas from the next task onward (tasks already
-				// running on it finish — the simulated failure boundary is
-				// task granularity).
-				n, err := t.h.readNode(c)
-				if err != nil {
-					fail(err)
-					return
+			var stageErr error
+			err := s.runScanTask(ctx, t, func(k, v []byte) bool {
+				// Node selection, slot accounting, corruption failover and
+				// resume all live inside runScanTask; the pipeline stage
+				// only processes and batches.
+				if cancelled.Load() {
+					return false
 				}
-				var scanErr error
-				done := false
-				err = n.server.runCtx(ctx, func() {
-					if cancelled.Load() {
-						done = true
-						return
-					}
-					it := n.r.Scan(sub)
-					defer it.Close()
-					for it.Next() {
-						if cancelled.Load() {
-							done = true
-							return
-						}
-						scanned++
-						resume = append(resume[:0], it.Key()...)
-						out, keep, err := process(it.Key(), it.Value())
-						if err != nil {
-							fail(err)
-							done = true
-							return
-						}
-						if !keep {
-							continue
-						}
-						kept++
-						batch = append(batch, out)
-						if len(batch) == scanBatchSize {
-							batches <- batch
-							batch = *pool.Get().(*[]T)
-						}
-					}
-					scanErr = it.Err()
-				})
-				if err != nil {
-					fail(err)
-					return
+				scanned++
+				out, keep, perr := process(k, v)
+				if perr != nil {
+					stageErr = perr
+					return false
 				}
-				if done {
-					return
+				if !keep {
+					return true
 				}
-				if scanErr != nil && c.reportCorruption(t.h, n.r, scanErr) && attempt < maxCorruptRetries {
-					// Resume just past the last processed key on a healthy
-					// copy; everything already processed stays delivered.
-					if len(resume) > 0 {
-						sub.Start = append(append([]byte(nil), resume...), 0)
-					}
-					continue
+				kept++
+				batch = append(batch, out)
+				if len(batch) == scanBatchSize {
+					batches <- batch
+					batch = *pool.Get().(*[]T)
 				}
-				if scanErr != nil {
-					fail(scanErr)
-					return
-				}
-				break
+				return true
+			})
+			if stageErr != nil {
+				fail(stageErr)
+				return
+			}
+			if err != nil {
+				fail(err)
+				return
 			}
 			if len(batch) > 0 {
 				batches <- batch
@@ -754,7 +730,7 @@ func ScanRangesFunc[T any](ctx context.Context, c *Cluster, ranges []KeyRange, p
 		batch = batch[:0]
 		pool.Put(&batch)
 	}
-	atomic.AddInt64(&c.met.ScanBatches, delivered)
+	atomic.AddInt64(&met.ScanBatches, delivered)
 	// The batches channel is closed only after every worker finished, so
 	// all fail() calls happened-before this point: the first worker error
 	// is reported deterministically, even when emit cancelled the scan.
@@ -791,33 +767,19 @@ type TaskCollector[B any] struct {
 // resumes just past the last processed key on a healthy copy (batches
 // already collected stay collected), and the first collector or
 // iterator error wins.
-func ScanCollect[B any](ctx context.Context, c *Cluster, ranges []KeyRange, newTask func() TaskCollector[B], emit func(B) bool) error {
+func ScanCollect[B any](ctx context.Context, s Store, ranges []KeyRange, newTask func() TaskCollector[B], emit func(B) bool) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	c.mu.RLock()
-	hs := append([]*regionHandle(nil), c.regions...)
-	c.mu.RUnlock()
-
-	type task struct {
-		h  *regionHandle
-		kr KeyRange
-	}
-	var tasks []task
-	for _, kr := range ranges {
-		for _, h := range hs {
-			if sub, ok := h.kr.Intersect(kr); ok {
-				tasks = append(tasks, task{h, sub})
-			}
-		}
-	}
+	tasks := s.scanTasks(ranges)
 	if len(tasks) == 0 {
 		return nil
 	}
-	atomic.AddInt64(&c.met.ScanTasks, int64(len(tasks)))
+	met := s.metrics()
+	atomic.AddInt64(&met.ScanTasks, int64(len(tasks)))
 
 	if len(tasks) <= maxSerialScanTasks {
 		for _, t := range tasks {
@@ -825,7 +787,7 @@ func ScanCollect[B any](ctx context.Context, c *Cluster, ranges []KeyRange, newT
 			var scanned, delivered int64
 			stop := false
 			var stageErr error
-			err := c.scanOne(ctx, t.h, t.kr, func(k, v []byte) bool {
+			err := s.runScanTask(ctx, t, func(k, v []byte) bool {
 				scanned++
 				if scanned&63 == 0 && ctx.Err() != nil {
 					stageErr = ctx.Err()
@@ -845,7 +807,7 @@ func ScanCollect[B any](ctx context.Context, c *Cluster, ranges []KeyRange, newT
 				}
 				return true
 			})
-			atomic.AddInt64(&c.met.ScanPairs, scanned)
+			atomic.AddInt64(&met.ScanPairs, scanned)
 			if stageErr == nil && err == nil && !stop {
 				if b, ok, ferr := col.Finish(); ferr != nil {
 					stageErr = ferr
@@ -856,7 +818,7 @@ func ScanCollect[B any](ctx context.Context, c *Cluster, ranges []KeyRange, newT
 					}
 				}
 			}
-			atomic.AddInt64(&c.met.BatchesDecoded, delivered)
+			atomic.AddInt64(&met.BatchesDecoded, delivered)
 			if stageErr != nil {
 				return stageErr
 			}
@@ -882,69 +844,45 @@ func ScanCollect[B any](ctx context.Context, c *Cluster, ranges []KeyRange, newT
 	}
 	stopWatch := context.AfterFunc(ctx, func() { fail(ctx.Err()) })
 	defer stopWatch()
-	batches := make(chan B, len(c.servers)*2)
+	batches := make(chan B, s.scanWidth()*2)
 	var wg sync.WaitGroup
 	for _, t := range tasks {
 		wg.Add(1)
-		go func(t task) {
+		go func(t scanTask) {
 			defer wg.Done()
 			col := newTask()
 			var scanned int64
-			defer func() { atomic.AddInt64(&c.met.ScanPairs, scanned) }()
-			var resume []byte
-			sub := t.kr
-			for attempt := 0; ; attempt++ {
-				n, err := t.h.readNode(c)
-				if err != nil {
-					fail(err)
-					return
+			defer func() { atomic.AddInt64(&met.ScanPairs, scanned) }()
+			var stageErr error
+			aborted := false
+			err := s.runScanTask(ctx, t, func(k, v []byte) bool {
+				if cancelled.Load() {
+					aborted = true
+					return false
 				}
-				var scanErr error
-				done := false
-				err = n.server.runCtx(ctx, func() {
-					if cancelled.Load() {
-						done = true
-						return
-					}
-					it := n.r.Scan(sub)
-					defer it.Close()
-					for it.Next() {
-						if cancelled.Load() {
-							done = true
-							return
-						}
-						scanned++
-						resume = append(resume[:0], it.Key()...)
-						b, full, err := col.Add(it.Key(), it.Value())
-						if err != nil {
-							fail(err)
-							done = true
-							return
-						}
-						if full {
-							batches <- b
-						}
-					}
-					scanErr = it.Err()
-				})
-				if err != nil {
-					fail(err)
-					return
+				scanned++
+				b, full, perr := col.Add(k, v)
+				if perr != nil {
+					stageErr = perr
+					return false
 				}
-				if done {
-					return
+				if full {
+					batches <- b
 				}
-				if scanErr != nil && c.reportCorruption(t.h, n.r, scanErr) && attempt < maxCorruptRetries {
-					if len(resume) > 0 {
-						sub.Start = append(append([]byte(nil), resume...), 0)
-					}
-					continue
-				}
-				if scanErr != nil {
-					fail(scanErr)
-					return
-				}
-				break
+				return true
+			})
+			if stageErr != nil {
+				fail(stageErr)
+				return
+			}
+			if err != nil {
+				fail(err)
+				return
+			}
+			if aborted {
+				// Cancelled mid-stream: the collector's partial batch is
+				// dropped, matching the pre-networked pipeline.
+				return
 			}
 			if b, ok, err := col.Finish(); err != nil {
 				fail(err)
@@ -964,7 +902,7 @@ func ScanCollect[B any](ctx context.Context, c *Cluster, ranges []KeyRange, newT
 			cancelled.Store(true)
 		}
 	}
-	atomic.AddInt64(&c.met.BatchesDecoded, delivered)
+	atomic.AddInt64(&met.BatchesDecoded, delivered)
 	errMu.Lock()
 	err := firstErr
 	errMu.Unlock()
@@ -1080,6 +1018,7 @@ func (c *Cluster) maybeSplit(h *regionHandle) error {
 	lh := &regionHandle{kr: KeyRange{Start: h.kr.Start, End: mid}, nodes: []*node{{r: left, server: h.nodes[0].server}}}
 	rh := &regionHandle{kr: KeyRange{Start: mid, End: h.kr.End}, nodes: []*node{{r: right, server: c.leastLoadedServer()}}}
 	c.regions = append(c.regions[:idx], append([]*regionHandle{lh, rh}, c.regions[idx+1:]...)...)
+	atomic.AddInt64(&c.met.RegionSplits, 1)
 	return nil
 }
 
@@ -1180,6 +1119,14 @@ func (c *Cluster) Metrics() Metrics {
 		TablesQuarantined:   atomic.LoadInt64(&c.met.TablesQuarantined),
 		RepairsCompleted:    atomic.LoadInt64(&c.met.RepairsCompleted),
 		OrphansRemoved:      atomic.LoadInt64(&c.met.OrphansRemoved),
+
+		RegionSplits:      atomic.LoadInt64(&c.met.RegionSplits),
+		RegionMerges:      atomic.LoadInt64(&c.met.RegionMerges),
+		RegionMoves:       atomic.LoadInt64(&c.met.RegionMoves),
+		StaleMapRefreshes: atomic.LoadInt64(&c.met.StaleMapRefreshes),
+		RPCRetries:        atomic.LoadInt64(&c.met.RPCRetries),
+		RPCBytesIn:        atomic.LoadInt64(&c.met.RPCBytesIn),
+		RPCBytesOut:       atomic.LoadInt64(&c.met.RPCBytesOut),
 	}
 }
 

@@ -19,6 +19,8 @@ package kv
 import (
 	"bytes"
 	"errors"
+	"reflect"
+	"sync/atomic"
 )
 
 // Errors returned by the store.
@@ -33,6 +35,11 @@ var (
 	// requested region is down — with replication factor 0, any single
 	// server failure; with replication, only a failure of all hosts.
 	ErrUnavailable = errors.New("kv: region unavailable: all hosting servers down")
+	// ErrStaleRegion reports an operation routed with an outdated region
+	// map: the target node no longer serves the region at the expected
+	// epoch (it split, merged, moved or was retired). Callers refresh
+	// their region map and retry; the Router does so transparently.
+	ErrStaleRegion = errors.New("kv: stale region map")
 )
 
 // kind tags an entry as a live value or a deletion tombstone.
@@ -217,4 +224,45 @@ type Metrics struct {
 	TablesQuarantined   int64
 	RepairsCompleted    int64
 	OrphansRemoved      int64
+
+	// Topology counters (networked cluster; the in-process Cluster only
+	// counts RegionSplits): RegionSplits completed region splits (size or
+	// write-rate triggered), RegionMerges adjacent cold regions merged,
+	// RegionMoves region leaderships moved by the rebalancer
+	// (replicate → promote → retire); StaleMapRefreshes region-map
+	// refreshes forced by ErrStaleRegion responses; RPCRetries operations
+	// re-sent after a stale map or transport failure; RPCBytesIn /
+	// RPCBytesOut wire traffic through the rpc client and server.
+	RegionSplits      int64
+	RegionMerges      int64
+	RegionMoves       int64
+	StaleMapRefreshes int64
+	RPCRetries        int64
+	RPCBytesIn        int64
+	RPCBytesOut       int64
+}
+
+// snapshot copies m with atomic loads, field by field. Every Metrics
+// field is an int64 counter updated with atomic adds from many
+// goroutines, so a plain struct copy would race; walking the fields
+// with reflection keeps this (and add) correct as counters are added.
+func (m *Metrics) snapshot() Metrics {
+	var out Metrics
+	src := reflect.ValueOf(m).Elem()
+	dst := reflect.ValueOf(&out).Elem()
+	for i := 0; i < src.NumField(); i++ {
+		dst.Field(i).SetInt(atomic.LoadInt64(src.Field(i).Addr().Interface().(*int64)))
+	}
+	return out
+}
+
+// add accumulates o into m (plain adds; both sides are local
+// snapshots). Used to aggregate per-node metrics cluster-wide.
+func (m *Metrics) add(o Metrics) {
+	dst := reflect.ValueOf(m).Elem()
+	src := reflect.ValueOf(&o).Elem()
+	for i := 0; i < dst.NumField(); i++ {
+		f := dst.Field(i)
+		f.SetInt(f.Int() + src.Field(i).Int())
+	}
 }

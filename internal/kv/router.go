@@ -1,0 +1,952 @@
+package kv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"just/internal/rpc"
+)
+
+// RouterOptions configure a Router.
+type RouterOptions struct {
+	// Peers are the region-server rpc addresses the router fans out to.
+	Peers []string
+	// Transport carries the requests; nil builds a pooled TCP client.
+	Transport Transport
+	// Replicas is the number of replica copies per region (so RF =
+	// Replicas+1), applied when the router bootstraps the first region.
+	Replicas int
+	// RebalanceInterval runs the background rebalance / cold-merge loop;
+	// 0 disables it (moves and merges still happen when triggered
+	// explicitly via Rebalance).
+	RebalanceInterval time.Duration
+	// MergeBytes merges two adjacent regions on the same primary when
+	// both are below it; 0 disables cold merges.
+	MergeBytes int64
+}
+
+// routerMaxRetries bounds stale-map / failover retries per operation.
+const routerMaxRetries = 8
+
+// routerIDBase is the region-ID space the router mints merge targets
+// from — far above node split IDs (NodeID*splitIDSpace+counter) for any
+// realistic node count.
+const routerIDBase = uint64(1) << 32
+
+// routedRegion is one entry of the router's cached region map.
+type routedRegion struct {
+	id       uint64
+	epoch    uint64
+	kr       KeyRange
+	addr     string // primary's address
+	replicas []string
+	bytes    int64 // primary's on-disk size at last refresh
+}
+
+// Router is the networked deployment's Store: it keeps a cached region
+// map (refreshed from the region servers' OpRegionMap reports), routes
+// every operation to the primary serving the key, and retries through a
+// refresh when a server answers CodeStaleRegion — the map is a cache,
+// staleness is normal after splits, merges and moves. When a primary
+// stops answering, the router fails the region over: it promotes the
+// most caught-up replica at a bumped epoch and re-routes. A background
+// loop (RebalanceInterval) evens primary placement across peers and
+// merges adjacent cold regions.
+type Router struct {
+	opts RouterOptions
+	tr   Transport
+	own  *rpc.Client // set when the router built its own transport
+	met  Metrics
+
+	mu      sync.RWMutex
+	regions []routedRegion // sorted by range start
+	closed  bool
+
+	failMu sync.Mutex // serializes failovers and moves
+	idCtr  atomic.Uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// OpenRouter connects to the peers, refreshing the region map and
+// bootstrapping the first region (whole key space, epoch 1, primary on
+// the first peer) if no peer hosts anything yet.
+func OpenRouter(opts RouterOptions) (*Router, error) {
+	if len(opts.Peers) == 0 {
+		return nil, errors.New("kv: router needs at least one peer")
+	}
+	r := &Router{opts: opts, tr: opts.Transport, stop: make(chan struct{})}
+	if r.tr == nil {
+		r.own = rpc.NewClient(rpc.ClientOptions{})
+		r.tr = r.own
+	}
+	ctx := context.Background()
+	if err := r.refresh(ctx); err != nil {
+		r.Close()
+		return nil, err
+	}
+	if len(r.snapshot()) == 0 {
+		if err := r.bootstrap(ctx); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	if opts.RebalanceInterval > 0 {
+		r.wg.Add(1)
+		go r.loop()
+	}
+	return r, nil
+}
+
+// bootstrap creates region 1 covering (-inf, +inf) at epoch 1: primary
+// on the first peer, replicas on the next Replicas peers.
+func (r *Router) bootstrap(ctx context.Context) error {
+	primary := r.opts.Peers[0]
+	var replicas []string
+	for i := 1; i < len(r.opts.Peers) && len(replicas) < r.opts.Replicas; i++ {
+		replicas = append(replicas, r.opts.Peers[i])
+	}
+	req := rpc.CreateRegionReq{ID: 1, Epoch: 1, Role: rpc.RolePrimary, Replicas: replicas}
+	if _, err := r.tr.Do(ctx, primary, rpc.OpCreateRegion, rpc.MarshalAdmin(&req)); err != nil {
+		return fmt.Errorf("kv: bootstrap region on %s: %w", primary, err)
+	}
+	for _, addr := range replicas {
+		rep := rpc.CreateRegionReq{ID: 1, Epoch: 1, Role: rpc.RoleReplica}
+		if _, err := r.tr.Do(ctx, addr, rpc.OpCreateRegion, rpc.MarshalAdmin(&rep)); err != nil {
+			return fmt.Errorf("kv: bootstrap replica on %s: %w", addr, err)
+		}
+	}
+	return r.refresh(ctx)
+}
+
+// refresh rebuilds the cached region map from every reachable peer's
+// report, keeping the highest-epoch primary entry per region. A region
+// reported only in replica role has an unreachable primary: it is kept
+// (never dropped — dropping would strand its key range with no path to
+// failover, since route() fails before any RPC is made) and failed over
+// to a live replica immediately.
+func (r *Router) refresh(ctx context.Context) error {
+	atomic.AddInt64(&r.met.StaleMapRefreshes, 1)
+	best := map[uint64]routedRegion{}
+	orphans := map[uint64]routedRegion{}
+	reached := 0
+	for _, addr := range r.opts.Peers {
+		p, err := r.tr.Do(ctx, addr, rpc.OpRegionMap, nil)
+		if err != nil {
+			continue
+		}
+		reached++
+		var resp rpc.RegionMapResp
+		if err := rpc.UnmarshalAdmin(p, &resp); err != nil {
+			continue
+		}
+		for _, info := range resp.Regions {
+			if info.Role != rpc.RolePrimary {
+				o := orphans[info.ID]
+				if info.Epoch >= o.epoch {
+					o.id, o.epoch = info.ID, info.Epoch
+					o.kr = KeyRange{Start: info.Start, End: info.End}
+				}
+				o.replicas = append(o.replicas, addr)
+				orphans[info.ID] = o
+				continue
+			}
+			if cur, ok := best[info.ID]; ok && cur.epoch >= info.Epoch {
+				continue
+			}
+			best[info.ID] = routedRegion{
+				id: info.ID, epoch: info.Epoch,
+				kr:   KeyRange{Start: info.Start, End: info.End},
+				addr: addr, replicas: append([]string(nil), info.Replicas...),
+				bytes: info.Bytes,
+			}
+		}
+	}
+	if reached == 0 {
+		return ErrUnavailable
+	}
+	var down []routedRegion
+	for id, o := range orphans {
+		if _, ok := best[id]; ok {
+			continue
+		}
+		// Prefer the cached entry (it knows the dead primary's address,
+		// so in-flight requests still trip the transport-error failover
+		// path); fall back to the replica's own report when the router
+		// started after the primary went down.
+		reg := o
+		for _, cur := range r.snapshot() {
+			if cur.id == id {
+				reg = cur
+				break
+			}
+		}
+		for _, addr := range o.replicas {
+			if !containsAddr(reg.replicas, addr) {
+				reg.replicas = append(reg.replicas, addr)
+			}
+		}
+		best[id] = reg
+		down = append(down, reg)
+	}
+	regions := make([]routedRegion, 0, len(best))
+	for _, reg := range best {
+		regions = append(regions, reg)
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		a, b := regions[i], regions[j]
+		if a.kr.Start == nil {
+			return b.kr.Start != nil
+		}
+		if b.kr.Start == nil {
+			return false
+		}
+		return bytes.Compare(a.kr.Start, b.kr.Start) < 0
+	})
+	r.mu.Lock()
+	r.regions = regions
+	r.mu.Unlock()
+	// Promote replacements for downed primaries now rather than waiting
+	// for a request to trip over them; failover patches the map in place.
+	for _, reg := range down {
+		r.failover(ctx, reg)
+	}
+	return nil
+}
+
+func containsAddr(addrs []string, addr string) bool {
+	for _, a := range addrs {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Router) snapshot() []routedRegion {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.regions
+}
+
+// RegionTopology is one entry of the router's cached region map, as
+// exposed by admin surfaces. Keys marshal to base64 in JSON (they are
+// arbitrary bytes).
+type RegionTopology struct {
+	ID       uint64   `json:"id"`
+	Epoch    uint64   `json:"epoch"`
+	Start    []byte   `json:"start,omitempty"`
+	End      []byte   `json:"end,omitempty"`
+	Primary  string   `json:"primary"`
+	Replicas []string `json:"replicas,omitempty"`
+	Bytes    int64    `json:"bytes"`
+}
+
+// Topology reports the cached region map: every region's range, epoch,
+// primary placement and replica set as of the last refresh.
+func (r *Router) Topology() []RegionTopology {
+	regs := r.snapshot()
+	out := make([]RegionTopology, len(regs))
+	for i, reg := range regs {
+		out[i] = RegionTopology{
+			ID: reg.id, Epoch: reg.epoch,
+			Start: reg.kr.Start, End: reg.kr.End,
+			Primary:  reg.addr,
+			Replicas: append([]string(nil), reg.replicas...),
+			Bytes:    reg.bytes,
+		}
+	}
+	return out
+}
+
+// route finds the region serving key in the cached map.
+func (r *Router) route(ctx context.Context, key []byte) (routedRegion, error) {
+	for attempt := 0; ; attempt++ {
+		regs := r.snapshot()
+		i := sort.Search(len(regs), func(i int) bool {
+			return regs[i].kr.End == nil || bytes.Compare(key, regs[i].kr.End) < 0
+		})
+		if i < len(regs) && regs[i].kr.Contains(key) {
+			return regs[i], nil
+		}
+		// A hole in the map (mid split/merge snapshot): refresh and retry.
+		if attempt >= routerMaxRetries {
+			return routedRegion{}, ErrStaleRegion
+		}
+		if err := r.refresh(ctx); err != nil {
+			return routedRegion{}, err
+		}
+	}
+}
+
+// translateErr maps wire errors onto the store's error vocabulary.
+func translateErr(err error) error {
+	var re *rpc.RemoteError
+	if errors.As(err, &re) {
+		switch re.Code {
+		case rpc.CodeNotFound:
+			return ErrNotFound
+		case rpc.CodeStaleRegion:
+			return ErrStaleRegion
+		case rpc.CodeUnavailable:
+			return ErrUnavailable
+		case rpc.CodeClosed:
+			return ErrClosed
+		}
+	}
+	return err
+}
+
+func isStale(err error) bool {
+	var re *rpc.RemoteError
+	return errors.As(err, &re) && re.Code == rpc.CodeStaleRegion
+}
+
+// retryable reports whether the operation should re-route and retry:
+// the map was stale, or the peer was unreachable (failover may elect a
+// new primary).
+func (r *Router) retryable(ctx context.Context, reg routedRegion, err error) bool {
+	switch {
+	case isStale(err):
+	case rpc.IsTransport(err):
+		r.failover(ctx, reg)
+	default:
+		return false
+	}
+	atomic.AddInt64(&r.met.RPCRetries, 1)
+	r.refresh(ctx)
+	return true
+}
+
+// failover promotes reg's most caught-up reachable replica to primary
+// at a bumped epoch. Best-effort: with no reachable replica the region
+// stays down and callers keep failing with ErrUnavailable.
+func (r *Router) failover(ctx context.Context, reg routedRegion) {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	// Someone may have already failed this region over (or a refresh
+	// found a newer primary) while we waited on the lock.
+	for _, cur := range r.snapshot() {
+		if cur.id == reg.id && (cur.epoch > reg.epoch || cur.addr != reg.addr) {
+			return
+		}
+	}
+	statusReq := rpc.MarshalAdmin(&rpc.StatusReq{Region: reg.id})
+	bestAddr, bestSeq := "", uint64(0)
+	var live []string
+	for _, addr := range reg.replicas {
+		p, err := r.tr.Do(ctx, addr, rpc.OpStatus, statusReq)
+		if err != nil {
+			continue
+		}
+		var st rpc.StatusResp
+		if err := rpc.UnmarshalAdmin(p, &st); err != nil {
+			continue
+		}
+		live = append(live, addr)
+		if bestAddr == "" || st.LastSeq > bestSeq {
+			bestAddr, bestSeq = addr, st.LastSeq
+		}
+	}
+	if bestAddr == "" {
+		return
+	}
+	var rest []string
+	for _, addr := range live {
+		if addr != bestAddr {
+			rest = append(rest, addr)
+		}
+	}
+	newEpoch := reg.epoch + 1
+	promote := rpc.PromoteReq{Region: reg.id, NewEpoch: newEpoch, Replicas: rest}
+	if _, err := r.tr.Do(ctx, bestAddr, rpc.OpPromote, rpc.MarshalAdmin(&promote)); err != nil {
+		return
+	}
+	atomic.AddInt64(&r.met.Failovers, 1)
+	// Patch the cached entry so the very next attempt routes correctly
+	// even before the refresh lands.
+	r.mu.Lock()
+	for i := range r.regions {
+		if r.regions[i].id == reg.id && r.regions[i].epoch == reg.epoch {
+			r.regions[i].epoch = newEpoch
+			r.regions[i].addr = bestAddr
+			r.regions[i].replicas = rest
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Put stores key → value.
+func (r *Router) Put(key, value []byte) error {
+	return r.applyMuts(context.Background(), []mutation{{kindPut, key, value}})
+}
+
+// Delete removes key.
+func (r *Router) Delete(key []byte) error {
+	return r.applyMuts(context.Background(), []mutation{{kindDelete, key, nil}})
+}
+
+// Apply group-commits a WriteBatch, split across the regions its keys
+// land in; batch order is preserved within each region.
+func (r *Router) Apply(b *WriteBatch) error {
+	if len(b.muts) == 0 {
+		return nil
+	}
+	return r.applyMuts(context.Background(), b.muts)
+}
+
+// DeleteBatch removes many keys via the group-commit path.
+func (r *Router) DeleteBatch(keys [][]byte) error {
+	muts := make([]mutation, len(keys))
+	for i, k := range keys {
+		muts[i] = mutation{kindDelete, k, nil}
+	}
+	return r.applyMuts(context.Background(), muts)
+}
+
+type mutGroup struct {
+	reg  routedRegion
+	muts []mutation
+}
+
+func (r *Router) applyMuts(ctx context.Context, muts []mutation) error {
+	pending := muts
+	for attempt := 0; attempt < routerMaxRetries; attempt++ {
+		// Group by destination region, preserving mutation order within
+		// each group (replicas replay ship order; see servedRegion).
+		var groups []mutGroup
+		byID := map[uint64]int{}
+		var routeErr error
+		for _, m := range pending {
+			reg, err := r.route(ctx, m.key)
+			if err != nil {
+				routeErr = err
+				break
+			}
+			i, ok := byID[reg.id]
+			if !ok {
+				i = len(groups)
+				byID[reg.id] = i
+				groups = append(groups, mutGroup{reg: reg})
+			}
+			groups[i].muts = append(groups[i].muts, m)
+		}
+		if routeErr != nil {
+			return routeErr
+		}
+		var failed []mutation
+		for _, g := range groups {
+			req := rpc.PutBatchReq{
+				Region: g.reg.id, Epoch: g.reg.epoch,
+				Payload: encodeBatchPayload(nil, g.muts),
+			}
+			_, err := r.tr.Do(ctx, g.reg.addr, rpc.OpPutBatch, req.Append(nil))
+			if err == nil {
+				continue
+			}
+			if r.retryable(ctx, g.reg, err) {
+				failed = append(failed, g.muts...)
+				continue
+			}
+			return translateErr(err)
+		}
+		if len(failed) == 0 {
+			return nil
+		}
+		pending = failed
+	}
+	return ErrUnavailable
+}
+
+// Get fetches the value for key or ErrNotFound.
+func (r *Router) Get(key []byte) ([]byte, error) {
+	ctx := context.Background()
+	for attempt := 0; attempt < routerMaxRetries; attempt++ {
+		reg, err := r.route(ctx, key)
+		if err != nil {
+			return nil, err
+		}
+		req := rpc.GetReq{Region: reg.id, Epoch: reg.epoch, Key: key}
+		v, err := r.tr.Do(ctx, reg.addr, rpc.OpGet, req.Append(nil))
+		if err == nil {
+			return v, nil
+		}
+		if r.retryable(ctx, reg, err) {
+			continue
+		}
+		return nil, translateErr(err)
+	}
+	return nil, ErrUnavailable
+}
+
+// MultiGet fetches many keys; the result is parallel to keys with nil
+// entries for misses.
+func (r *Router) MultiGet(keys [][]byte) ([][]byte, error) {
+	ctx := context.Background()
+	out := make([][]byte, len(keys))
+	pending := make([]int, len(keys))
+	for i := range pending {
+		pending[i] = i
+	}
+	for attempt := 0; attempt < routerMaxRetries && len(pending) > 0; attempt++ {
+		// Group the outstanding key indexes by destination region.
+		var groups []mutGroup
+		idxGroups := [][]int{}
+		byID := map[uint64]int{}
+		for _, ki := range pending {
+			reg, err := r.route(ctx, keys[ki])
+			if err != nil {
+				return nil, err
+			}
+			gi, ok := byID[reg.id]
+			if !ok {
+				gi = len(groups)
+				byID[reg.id] = gi
+				groups = append(groups, mutGroup{reg: reg})
+				idxGroups = append(idxGroups, nil)
+			}
+			idxGroups[gi] = append(idxGroups[gi], ki)
+		}
+		var failed []int
+		for gi, g := range groups {
+			req := rpc.MultiGetReq{Region: g.reg.id, Epoch: g.reg.epoch}
+			for _, ki := range idxGroups[gi] {
+				req.Keys = append(req.Keys, keys[ki])
+			}
+			p, err := r.tr.Do(ctx, g.reg.addr, rpc.OpMultiGet, req.Append(nil))
+			if err != nil {
+				if r.retryable(ctx, g.reg, err) {
+					failed = append(failed, idxGroups[gi]...)
+					continue
+				}
+				return nil, translateErr(err)
+			}
+			var vals rpc.ValuesResp
+			if err := vals.Decode(p); err != nil {
+				return nil, err
+			}
+			if len(vals.Vals) != len(idxGroups[gi]) {
+				return nil, fmt.Errorf("kv: multiget returned %d values for %d keys", len(vals.Vals), len(idxGroups[gi]))
+			}
+			for j, ki := range idxGroups[gi] {
+				out[ki] = vals.Vals[j]
+			}
+		}
+		pending = failed
+	}
+	if len(pending) > 0 {
+		return nil, ErrUnavailable
+	}
+	return out, nil
+}
+
+// ScanRange streams one range in key order.
+func (r *Router) ScanRange(kr KeyRange, emit func(key, value []byte) bool) error {
+	return scanRangeOrdered(r, kr, emit)
+}
+
+// ScanRanges runs one scan task per (region × range) in parallel.
+func (r *Router) ScanRanges(ctx context.Context, ranges []KeyRange, emit func(key, value []byte) bool) error {
+	return ScanRangesFunc(ctx, r, ranges, func(k, v []byte) (Pair, bool, error) {
+		return Pair{
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), v...),
+		}, true, nil
+	}, func(p Pair) bool { return emit(p.Key, p.Value) })
+}
+
+// scanTasks implements Store: one task per (cached region × range).
+// Staleness is fine — runScanTask re-routes as it goes, so a task only
+// needs to name a sub-range, not a live region.
+func (r *Router) scanTasks(ranges []KeyRange) []scanTask {
+	regs := r.snapshot()
+	var tasks []scanTask
+	for _, kr := range ranges {
+		matched := false
+		for _, reg := range regs {
+			if sub, ok := kr.Intersect(reg.kr); ok {
+				tasks = append(tasks, scanTask{kr: sub, id: reg.id})
+				matched = true
+			}
+		}
+		if !matched {
+			// Empty or hole-covered map: one task for the whole range,
+			// resolved at run time.
+			tasks = append(tasks, scanTask{kr: kr})
+		}
+	}
+	return tasks
+}
+
+// runScanTask streams one task's pairs in key order. Splits, merges and
+// moves can land mid-stream: on a stale or torn stream the task resumes
+// from just after the last delivered key against a refreshed map, so
+// the caller sees every key exactly once, in order, regardless of
+// topology changes underneath.
+func (r *Router) runScanTask(ctx context.Context, t scanTask, emit func(key, value []byte) bool) error {
+	rem := t.kr
+	var resume []byte // last delivered key; nil until the first batch
+	attempts := 0
+	for {
+		reg, err := r.route(ctx, rem.Start)
+		if err != nil {
+			return err
+		}
+		sub, ok := rem.Intersect(reg.kr)
+		if !ok {
+			// rem.Start sits past this region (resume key beyond a region
+			// boundary); step to the region's end and re-route.
+			if reg.kr.End == nil || (rem.End != nil && bytes.Compare(reg.kr.End, rem.End) >= 0) {
+				return nil
+			}
+			rem.Start = reg.kr.End
+			continue
+		}
+		stopped := false
+		req := rpc.ScanReq{
+			Region: reg.id, Epoch: reg.epoch,
+			Start: sub.Start, End: sub.End,
+			Zoned: sub.Zoned, ZMin: sub.ZMin, ZMax: sub.ZMax,
+		}
+		err = r.tr.Stream(ctx, reg.addr, rpc.OpScan, req.Append(nil), func(op byte, p []byte) (bool, error) {
+			if op != rpc.OpScanBatch {
+				return true, nil
+			}
+			var b rpc.ScanBatch
+			if err := b.Decode(p); err != nil {
+				return false, err
+			}
+			for i := range b.Keys {
+				if !emit(b.Keys[i], b.Vals[i]) {
+					stopped = true
+					return false, nil
+				}
+			}
+			if n := len(b.Keys); n > 0 {
+				resume = append(resume[:0], b.Keys[n-1]...)
+			}
+			return true, nil
+		})
+		if stopped {
+			return nil
+		}
+		if err == nil {
+			attempts = 0
+			if reg.kr.End == nil || (t.kr.End != nil && bytes.Compare(reg.kr.End, t.kr.End) >= 0) {
+				return nil
+			}
+			rem.Start = reg.kr.End
+			continue
+		}
+		if isStale(err) || rpc.IsTransport(err) {
+			attempts++
+			if attempts > routerMaxRetries {
+				return translateErr(err)
+			}
+			if r.retryable(ctx, reg, err) {
+				if resume != nil {
+					// Resume just past the last delivered key. The emit
+					// contract stays exact-once: re-delivered keys below
+					// resume are impossible because the restarted scan
+					// starts strictly after it.
+					rem.Start = append(append([]byte(nil), resume...), 0)
+				}
+				continue
+			}
+		}
+		return translateErr(err)
+	}
+}
+
+func (r *Router) metrics() *Metrics { return &r.met }
+
+func (r *Router) scanWidth() int {
+	if n := len(r.opts.Peers); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// Flush persists every peer's memtables.
+func (r *Router) Flush() error { return r.broadcast(rpc.OpFlush) }
+
+// Compact fully compacts every peer.
+func (r *Router) Compact() error { return r.broadcast(rpc.OpCompact) }
+
+func (r *Router) broadcast(op byte) error {
+	ctx := context.Background()
+	var first error
+	for _, addr := range r.opts.Peers {
+		if _, err := r.tr.Do(ctx, addr, op, nil); err != nil && first == nil {
+			first = translateErr(err)
+		}
+	}
+	return first
+}
+
+// DiskSize sums on-disk bytes across every peer and role (replica
+// copies included, matching Cluster.DiskSize).
+func (r *Router) DiskSize() int64 {
+	ctx := context.Background()
+	var total int64
+	for _, addr := range r.opts.Peers {
+		p, err := r.tr.Do(ctx, addr, rpc.OpRegionMap, nil)
+		if err != nil {
+			continue
+		}
+		var resp rpc.RegionMapResp
+		if err := rpc.UnmarshalAdmin(p, &resp); err != nil {
+			continue
+		}
+		for _, info := range resp.Regions {
+			total += info.Bytes
+		}
+	}
+	return total
+}
+
+// Regions returns the routed region count.
+func (r *Router) Regions() int {
+	r.refresh(context.Background())
+	return len(r.snapshot())
+}
+
+// Metrics aggregates the router's own counters with every reachable
+// peer's storage counters (and, over TCP, the client's wire traffic).
+func (r *Router) Metrics() Metrics {
+	out := r.met.snapshot()
+	ctx := context.Background()
+	for _, addr := range r.opts.Peers {
+		p, err := r.tr.Do(ctx, addr, rpc.OpStats, nil)
+		if err != nil {
+			continue
+		}
+		var m Metrics
+		if err := json.Unmarshal(p, &m); err != nil {
+			continue
+		}
+		out.add(m)
+	}
+	if r.own != nil {
+		st := r.own.Stats()
+		out.RPCBytesIn += st.BytesIn
+		out.RPCBytesOut += st.BytesOut
+	}
+	return out
+}
+
+// RegisterZoneExtractor is a no-op: extractors are Go functions and
+// cannot be pushed to remote region servers. Zone pruning is an
+// optimization; scans stay correct without it.
+func (r *Router) RegisterZoneExtractor(prefix []byte, fn ZoneExtractor) {}
+
+// Close stops the background loop and the owned transport. The region
+// servers keep running — they are separate processes.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.stop)
+	r.wg.Wait()
+	if r.own != nil {
+		r.own.Close()
+	}
+	return nil
+}
+
+// loop periodically refreshes the map, rebalances primary placement and
+// merges adjacent cold regions.
+func (r *Router) loop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.opts.RebalanceInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			r.Rebalance(context.Background())
+		}
+	}
+}
+
+// Rebalance runs one maintenance pass: refresh the map, then either
+// make one unit of merge progress (cold merges shrink the map, so they
+// take priority — and rebalancing between merge steps would scatter the
+// pairs being co-located) or move one region from the most- to the
+// least-loaded peer. Exported so operators (and tests) can trigger a
+// pass without waiting for the ticker.
+func (r *Router) Rebalance(ctx context.Context) {
+	if r.refresh(ctx) != nil {
+		return
+	}
+	if r.mergeOnce(ctx) {
+		return
+	}
+	r.rebalanceOnce(ctx)
+}
+
+// rebalanceOnce moves one region when the primary spread is ≥ 2.
+func (r *Router) rebalanceOnce(ctx context.Context) {
+	regs := r.snapshot()
+	count := map[string]int{}
+	for _, addr := range r.opts.Peers {
+		count[addr] = 0
+	}
+	for _, reg := range regs {
+		if _, known := count[reg.addr]; known {
+			count[reg.addr]++
+		}
+	}
+	maxAddr, minAddr := "", ""
+	for _, addr := range r.opts.Peers { // deterministic peer order
+		if maxAddr == "" || count[addr] > count[maxAddr] {
+			maxAddr = addr
+		}
+		if minAddr == "" || count[addr] < count[minAddr] {
+			minAddr = addr
+		}
+	}
+	if maxAddr == "" || count[maxAddr]-count[minAddr] < 2 {
+		return
+	}
+	// Move the smallest region: cheapest reseed for the same placement
+	// improvement.
+	var pick *routedRegion
+	for i := range regs {
+		reg := &regs[i]
+		if reg.addr != maxAddr {
+			continue
+		}
+		if pick == nil || reg.bytes < pick.bytes {
+			pick = reg
+		}
+	}
+	if pick != nil {
+		r.moveRegion(ctx, *pick, minAddr)
+	}
+}
+
+// moveRegion moves reg's leadership to dst: replicate (create an empty
+// replica on dst and add it to the ship set, forcing a reseed), promote
+// (dst takes over at a bumped epoch with the old replica set), retire
+// (the old primary drops its copy). Writes keep flowing throughout —
+// they target the old primary until the promote epoch lands, and every
+// write acknowledged before the promote was shipped to dst
+// synchronously.
+func (r *Router) moveRegion(ctx context.Context, reg routedRegion, dst string) {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	if dst == reg.addr {
+		return
+	}
+	// dst may already hold a replica copy; either way it is (re)created
+	// empty and reseeded through the ship path, and it must not appear
+	// in its own replica set once promoted.
+	others := make([]string, 0, len(reg.replicas))
+	for _, rep := range reg.replicas {
+		if rep != dst {
+			others = append(others, rep)
+		}
+	}
+	create := rpc.CreateRegionReq{
+		ID: reg.id, Epoch: reg.epoch, Start: reg.kr.Start, End: reg.kr.End,
+		Role: rpc.RoleReplica, Reset: true,
+	}
+	if _, err := r.tr.Do(ctx, dst, rpc.OpCreateRegion, rpc.MarshalAdmin(&create)); err != nil {
+		return
+	}
+	// Re-promote the current primary in place with dst in the replica
+	// set; shipping to an unseeded peer reseeds it with the full state.
+	shipSet := append(append([]string(nil), others...), dst)
+	p1 := rpc.PromoteReq{Region: reg.id, NewEpoch: reg.epoch + 1, Replicas: shipSet}
+	if _, err := r.tr.Do(ctx, reg.addr, rpc.OpPromote, rpc.MarshalAdmin(&p1)); err != nil {
+		return
+	}
+	// An empty batch forces one ship round, seeding dst even on an idle
+	// region.
+	sync := rpc.PutBatchReq{Region: reg.id, Epoch: reg.epoch + 1, Payload: encodeBatchPayload(nil, nil)}
+	if _, err := r.tr.Do(ctx, reg.addr, rpc.OpPutBatch, sync.Append(nil)); err != nil {
+		return
+	}
+	// Leadership lands on dst; the old primary's copy retires.
+	p2 := rpc.PromoteReq{Region: reg.id, NewEpoch: reg.epoch + 2, Replicas: others}
+	if _, err := r.tr.Do(ctx, dst, rpc.OpPromote, rpc.MarshalAdmin(&p2)); err != nil {
+		return
+	}
+	retire := rpc.RetireReq{Region: reg.id}
+	r.tr.Do(ctx, reg.addr, rpc.OpRetire, rpc.MarshalAdmin(&retire))
+	atomic.AddInt64(&r.met.RegionMoves, 1)
+	r.refresh(ctx)
+}
+
+// mergeOnce makes one unit of cold-merge progress and reports whether
+// it did anything: it merges one adjacent cold pair sharing a primary
+// and replica set, or — when a cold pair straddles two primaries (the
+// rebalancer interleaves placement) — first moves one side so a later
+// pass can merge them.
+func (r *Router) mergeOnce(ctx context.Context) bool {
+	if r.opts.MergeBytes <= 0 {
+		return false
+	}
+	regs := r.snapshot()
+	for i := 0; i+1 < len(regs); i++ {
+		a, b := regs[i], regs[i+1]
+		if a.kr.End == nil || !bytes.Equal(a.kr.End, b.kr.Start) {
+			continue
+		}
+		if a.bytes >= r.opts.MergeBytes || b.bytes >= r.opts.MergeBytes {
+			continue
+		}
+		if !sameStrings(a.replicas, b.replicas) {
+			continue
+		}
+		if a.addr != b.addr {
+			// Co-locate first; the merge itself happens next pass.
+			r.moveRegion(ctx, b, a.addr)
+			return true
+		}
+		newID := routerIDBase + r.idCtr.Add(1)
+		epoch := a.epoch
+		if b.epoch > epoch {
+			epoch = b.epoch
+		}
+		req := rpc.MergeReq{Left: a.id, Right: b.id, NewID: newID, Epoch: epoch + 1}
+		payload := rpc.MarshalAdmin(&req)
+		if _, err := r.tr.Do(ctx, a.addr, rpc.OpMerge, payload); err != nil {
+			return false
+		}
+		// Replica copies merge too, best effort; a replica that misses
+		// the merge reseeds when the merged primary first ships to it.
+		for _, rep := range a.replicas {
+			r.tr.Do(ctx, rep, rpc.OpMerge, payload)
+		}
+		r.refresh(ctx)
+		return true
+	}
+	return false
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

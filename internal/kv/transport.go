@@ -1,0 +1,223 @@
+package kv
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+
+	"just/internal/rpc"
+)
+
+// Transport moves rpc requests between cluster participants: the router
+// talking to region servers, and primaries shipping WAL batches to
+// their replicas. *rpc.Client implements it over TCP; Loopback
+// implements it in-process (same handler code, no sockets), keeping
+// every networked-cluster test runnable without spawning processes; and
+// FaultTransport wraps either with the chaos hooks the network fault
+// tests use.
+type Transport interface {
+	// Do sends one request and returns the terminal response payload.
+	// Remote failures come back as *rpc.RemoteError, connection-level
+	// failures as *rpc.TransportError.
+	Do(ctx context.Context, addr string, op byte, payload []byte) ([]byte, error)
+	// Stream sends one request and delivers response frames to onFrame
+	// until a terminal frame, an error, or onFrame returning false.
+	Stream(ctx context.Context, addr string, op byte, payload []byte, onFrame func(op byte, payload []byte) (bool, error)) error
+}
+
+// errPeerDown is the injected/loopback flavor of "connection refused".
+var errPeerDown = errors.New("kv: peer down")
+
+// Loopback is the in-process Transport: addresses map to rpc handlers
+// registered in the same process. SetDown simulates a network partition
+// of one peer (requests fail with a *rpc.TransportError, exactly what a
+// refused TCP connection produces).
+type Loopback struct {
+	mu       sync.RWMutex
+	handlers map[string]rpc.Handler
+	down     map[string]bool
+}
+
+// NewLoopback creates an empty loopback fabric.
+func NewLoopback() *Loopback {
+	return &Loopback{handlers: map[string]rpc.Handler{}, down: map[string]bool{}}
+}
+
+// Register binds addr to h (replacing any previous handler).
+func (l *Loopback) Register(addr string, h rpc.Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.handlers[addr] = h
+}
+
+// SetDown partitions (or heals) addr.
+func (l *Loopback) SetDown(addr string, down bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down[addr] = down
+}
+
+func (l *Loopback) handler(addr string) (rpc.Handler, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	h, ok := l.handlers[addr]
+	if !ok || l.down[addr] {
+		return nil, &rpc.TransportError{Addr: addr, Err: errPeerDown}
+	}
+	return h, nil
+}
+
+// Do implements Transport.
+func (l *Loopback) Do(ctx context.Context, addr string, op byte, payload []byte) ([]byte, error) {
+	var resp []byte
+	err := l.Stream(ctx, addr, op, payload, func(rop byte, p []byte) (bool, error) {
+		resp = append([]byte(nil), p...)
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Stream implements Transport.
+func (l *Loopback) Stream(ctx context.Context, addr string, op byte, payload []byte, onFrame func(op byte, payload []byte) (bool, error)) error {
+	h, err := l.handler(addr)
+	if err != nil {
+		return err
+	}
+	return rpc.CallLocal(ctx, h, op, payload, func(rop byte, p []byte) (bool, error) {
+		// A partition cuts streams mid-flight too: frames stop arriving
+		// the moment the peer goes down.
+		l.mu.RLock()
+		dn := l.down[addr]
+		l.mu.RUnlock()
+		if dn {
+			return false, &rpc.TransportError{Addr: addr, Err: errPeerDown}
+		}
+		return onFrame(rop, p)
+	})
+}
+
+// TransportFaultRule arms one network fault, mirroring the storage
+// layer's FaultRule (FaultFS): requests matching Addr and Op fail with
+// probability Prob, at most Count times.
+type TransportFaultRule struct {
+	// Addr matches the target peer; empty matches every peer.
+	Addr string
+	// Op matches the request op byte; 0 matches every op.
+	Op byte
+	// Prob is the chance each matching request fails; values >= 1
+	// always fire.
+	Prob float64
+	// Count bounds how many times the rule fires; 0 is unlimited.
+	Count int
+	// AfterFrames, for streaming requests, delivers that many response
+	// frames before cutting the stream — a partition mid-scan. 0 fails
+	// the request before it is sent.
+	AfterFrames int
+}
+
+// FaultTransport wraps a Transport with deterministic fault injection
+// for the network chaos tests: the same rule shape the FaultFS disk
+// fault injector uses, applied at the rpc boundary.
+type FaultTransport struct {
+	base Transport
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []TransportFaultRule
+
+	// Injected counts rules fired, for test assertions.
+	injected int
+}
+
+// NewFaultTransport wraps base; seed makes the fault schedule
+// reproducible.
+func NewFaultTransport(base Transport, seed int64) *FaultTransport {
+	return &FaultTransport{base: base, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add arms a rule.
+func (f *FaultTransport) Add(r TransportFaultRule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, r)
+}
+
+// Clear disarms every rule.
+func (f *FaultTransport) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// Injected reports how many faults fired.
+func (f *FaultTransport) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// pick decides whether a request to addr/op trips a rule, consuming one
+// firing from the matched rule's budget.
+func (f *FaultTransport) pick(addr string, op byte) (TransportFaultRule, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.Count < 0 { // exhausted
+			continue
+		}
+		if r.Addr != "" && r.Addr != addr {
+			continue
+		}
+		if r.Op != 0 && r.Op != op {
+			continue
+		}
+		if r.Prob < 1 && f.rng.Float64() >= r.Prob {
+			continue
+		}
+		if r.Count > 0 {
+			r.Count--
+			if r.Count == 0 {
+				r.Count = -1 // spent
+			}
+		}
+		f.injected++
+		return *r, true
+	}
+	return TransportFaultRule{}, false
+}
+
+// Do implements Transport.
+func (f *FaultTransport) Do(ctx context.Context, addr string, op byte, payload []byte) ([]byte, error) {
+	if _, ok := f.pick(addr, op); ok {
+		return nil, &rpc.TransportError{Addr: addr, Err: errPeerDown}
+	}
+	return f.base.Do(ctx, addr, op, payload)
+}
+
+// Stream implements Transport.
+func (f *FaultTransport) Stream(ctx context.Context, addr string, op byte, payload []byte, onFrame func(op byte, payload []byte) (bool, error)) error {
+	r, ok := f.pick(addr, op)
+	if !ok {
+		return f.base.Stream(ctx, addr, op, payload, onFrame)
+	}
+	if r.AfterFrames <= 0 {
+		return &rpc.TransportError{Addr: addr, Err: errPeerDown}
+	}
+	// Deliver a prefix of the stream, then cut it: the caller observes
+	// some results followed by a transport error, exactly what a peer
+	// partitioned mid-scan produces.
+	n := 0
+	err := f.base.Stream(ctx, addr, op, payload, func(rop byte, p []byte) (bool, error) {
+		if n >= r.AfterFrames {
+			return false, &rpc.TransportError{Addr: addr, Err: errPeerDown}
+		}
+		n++
+		return onFrame(rop, p)
+	})
+	return err
+}

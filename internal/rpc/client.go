@@ -1,0 +1,231 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client is a pooled rpc client: one instance serves every peer
+// address, keeping a small per-host pool of idle connections. Requests
+// on one connection are sequential; concurrent callers draw distinct
+// connections.
+type Client struct {
+	opts ClientOptions
+
+	mu     sync.Mutex
+	idle   map[string][]*cconn
+	closed bool
+
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+	dials    atomic.Int64
+}
+
+// ClientOptions tune a Client.
+type ClientOptions struct {
+	// DialTimeout bounds connection establishment (0 = 2s).
+	DialTimeout time.Duration
+	// OpTimeout bounds a single request/response exchange when the
+	// caller's context carries no deadline (0 = 30s). Streams renew it
+	// per frame.
+	OpTimeout time.Duration
+	// MaxFrameBytes bounds incoming frames (0 = 16 MiB).
+	MaxFrameBytes int
+	// CompressMin is the request-payload size at which lz4 framing is
+	// attempted (0 = 1 KiB; negative disables compression).
+	CompressMin int
+	// MaxIdlePerHost bounds pooled idle connections per peer (0 = 4).
+	MaxIdlePerHost int
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 30 * time.Second
+	}
+	if o.MaxFrameBytes <= 0 {
+		o.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if o.CompressMin == 0 {
+		o.CompressMin = DefaultCompressMin
+	}
+	if o.MaxIdlePerHost <= 0 {
+		o.MaxIdlePerHost = 4
+	}
+	return o
+}
+
+// NewClient creates a client.
+func NewClient(opts ClientOptions) *Client {
+	return &Client{opts: opts.withDefaults(), idle: map[string][]*cconn{}}
+}
+
+// Stats snapshots the client's wire counters.
+func (c *Client) Stats() Stats {
+	return Stats{BytesIn: c.bytesIn.Load(), BytesOut: c.bytesOut.Load(), Conns: c.dials.Load()}
+}
+
+// cconn is one pooled connection.
+type cconn struct {
+	nc  net.Conn
+	br  *bufio.Reader
+	buf []byte // frame build buffer
+}
+
+func (c *Client) getConn(ctx context.Context, addr string) (*cconn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, &TransportError{Addr: addr, Err: net.ErrClosed}
+	}
+	if pool := c.idle[addr]; len(pool) > 0 {
+		cc := pool[len(pool)-1]
+		c.idle[addr] = pool[:len(pool)-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+	d := net.Dialer{Timeout: c.opts.DialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, &TransportError{Addr: addr, Err: err}
+	}
+	c.dials.Add(1)
+	return &cconn{nc: nc, br: bufio.NewReaderSize(nc, 64<<10)}, nil
+}
+
+func (c *Client) putConn(addr string, cc *cconn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle[addr]) < c.opts.MaxIdlePerHost {
+		c.idle[addr] = append(c.idle[addr], cc)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	cc.nc.Close()
+}
+
+// deadlineFor derives the per-exchange IO deadline from ctx.
+func (c *Client) deadlineFor(ctx context.Context) time.Time {
+	if d, ok := ctx.Deadline(); ok {
+		return d
+	}
+	return time.Now().Add(c.opts.OpTimeout)
+}
+
+// Do sends one request and returns the single terminal response
+// payload. A RemoteError is returned for OpError responses; any
+// connection-level failure comes back as a *TransportError (the request
+// may or may not have executed).
+func (c *Client) Do(ctx context.Context, addr string, op byte, payload []byte) ([]byte, error) {
+	var resp []byte
+	err := c.Stream(ctx, addr, op, payload, func(rop byte, p []byte) (bool, error) {
+		resp = append([]byte(nil), p...)
+		return false, nil
+	})
+	return resp, err
+}
+
+// Stream sends one request and delivers every response frame to
+// onFrame until a terminal frame arrives (OpResp, OpScanEnd) or
+// onFrame returns false/an error. OpError frames terminate the stream
+// with the decoded RemoteError; onFrame never sees them. The payload
+// passed to onFrame is only valid during the call.
+func (c *Client) Stream(ctx context.Context, addr string, op byte, payload []byte, onFrame func(op byte, payload []byte) (bool, error)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	cc, err := c.getConn(ctx, addr)
+	if err != nil {
+		return err
+	}
+	// Cancellation forces the connection's deadline into the past, so a
+	// blocked read/write fails promptly; the connection is then discarded.
+	stop := context.AfterFunc(ctx, func() { cc.nc.SetDeadline(time.Unix(1, 0)) })
+	reusable := false
+	defer func() {
+		stop()
+		if reusable && ctx.Err() == nil {
+			cc.nc.SetDeadline(time.Time{})
+			c.putConn(addr, cc)
+		} else {
+			cc.nc.Close()
+		}
+	}()
+
+	cc.nc.SetDeadline(c.deadlineFor(ctx))
+	cc.buf = AppendFrame(cc.buf[:0], op, payload, c.opts.CompressMin)
+	n, err := cc.nc.Write(cc.buf)
+	c.bytesOut.Add(int64(n))
+	if err != nil {
+		return c.wrapIO(ctx, addr, err)
+	}
+	for {
+		rop, p, err := ReadFrame(cc.br, c.opts.MaxFrameBytes)
+		if err != nil {
+			return c.wrapIO(ctx, addr, err)
+		}
+		c.bytesIn.Add(int64(len(p)) + 8)
+		switch rop {
+		case OpError:
+			// The exchange completed cleanly; the connection is reusable.
+			reusable = true
+			return DecodeError(p)
+		case OpResp, OpScanEnd:
+			reusable = true
+			if _, err := onFrame(rop, p); err != nil {
+				return err
+			}
+			return nil
+		default:
+			cc.nc.SetDeadline(c.deadlineFor(ctx))
+			more, err := onFrame(rop, p)
+			if err != nil {
+				return err
+			}
+			if !more {
+				// Abandon the stream: the server keeps writing until its
+				// buffer fills, so the connection cannot be reused.
+				return nil
+			}
+		}
+	}
+}
+
+// wrapIO classifies an IO failure: caller cancellation surfaces as the
+// context's error, everything else as a transport error.
+func (c *Client) wrapIO(ctx context.Context, addr string, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return &TransportError{Addr: addr, Err: err}
+}
+
+// Ping checks liveness of a peer.
+func (c *Client) Ping(ctx context.Context, addr string) error {
+	_, err := c.Do(ctx, addr, OpPing, nil)
+	return err
+}
+
+// Close drops every idle connection. In-flight exchanges finish on
+// their own connections and are discarded afterwards.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, pool := range c.idle {
+		for _, cc := range pool {
+			cc.nc.Close()
+		}
+	}
+	c.idle = nil
+}

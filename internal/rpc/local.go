@@ -1,0 +1,62 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+)
+
+// errAbandoned is returned to a handler whose stream the local caller
+// stopped consuming; it mirrors the closed connection a wire handler
+// would hit.
+var errAbandoned = errors.New("rpc: stream abandoned")
+
+// CallLocal invokes h as if over the wire, without a socket: response
+// frames skip encoding and are handed to onFrame with exactly the
+// Client.Stream contract (OpError frames surface as *RemoteError,
+// terminal frames end the call, onFrame returning false abandons the
+// stream). It is the loopback transport's engine, keeping in-process
+// deployments on the same handler code path as TCP peers.
+func CallLocal(ctx context.Context, h Handler, op byte, payload []byte, onFrame func(op byte, payload []byte) (bool, error)) error {
+	var termErr, cbErr error
+	terminal := false
+	w := &ResponseWriter{}
+	w.direct = func(rop byte, p []byte) error {
+		if terminal {
+			return errAbandoned
+		}
+		switch rop {
+		case OpError:
+			terminal = true
+			termErr = DecodeError(p)
+			return nil
+		case OpResp, OpScanEnd:
+			terminal = true
+			_, err := onFrame(rop, p)
+			cbErr = err
+			return err
+		default:
+			more, err := onFrame(rop, p)
+			if err != nil {
+				cbErr = err
+				return err
+			}
+			if !more {
+				terminal = true
+				return errAbandoned
+			}
+			return nil
+		}
+	}
+	err := h(ctx, op, payload, w)
+	if cbErr != nil {
+		return cbErr
+	}
+	if terminal {
+		return termErr
+	}
+	if err != nil {
+		return &TransportError{Addr: "loopback", Err: err}
+	}
+	// The wire server answers for handlers that forgot to; mirror it.
+	return &RemoteError{Code: CodeInternal, Msg: "handler sent no response"}
+}

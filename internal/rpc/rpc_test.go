@@ -1,0 +1,276 @@
+package rpc
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("hello"),
+		bytes.Repeat([]byte("abcdefgh"), 4096), // compressible, above threshold
+		make([]byte, 100_000),                  // zeros: very compressible
+	}
+	for i, p := range payloads {
+		for _, compressMin := range []int{-1, 1, 64 << 10} {
+			frame := AppendFrame(nil, OpPutBatch, p, compressMin)
+			op, got, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)), 0)
+			if err != nil {
+				t.Fatalf("payload %d compressMin %d: %v", i, compressMin, err)
+			}
+			if op != OpPutBatch {
+				t.Fatalf("op = %#02x", op)
+			}
+			if !bytes.Equal(got, p) {
+				t.Fatalf("payload %d compressMin %d: round trip mismatch (%d vs %d bytes)", i, compressMin, len(got), len(p))
+			}
+		}
+	}
+}
+
+func TestFrameCompressionShrinksWire(t *testing.T) {
+	p := bytes.Repeat([]byte("spatiotemporal"), 2048)
+	plain := AppendFrame(nil, OpScanBatch, p, -1)
+	packed := AppendFrame(nil, OpScanBatch, p, 1)
+	if len(packed) >= len(plain) {
+		t.Fatalf("compressed frame %d >= plain %d", len(packed), len(plain))
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	frame := AppendFrame(nil, OpShip, []byte("the payload under test"), -1)
+	for i := 0; i < len(frame); i++ {
+		dam := append([]byte(nil), frame...)
+		dam[i] ^= 0x40
+		_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(dam)), 0)
+		if err == nil {
+			// A flipped bit inside the varint length may still parse if it
+			// yields the same length; everything else must fail.
+			t.Fatalf("bit flip at %d: undetected", i)
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	frame := AppendFrame(nil, OpScan, make([]byte, 4096), -1)
+	_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)), 128)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	frame := AppendFrame(nil, OpGet, []byte("truncate me please"), -1)
+	for n := 1; n < len(frame); n++ {
+		_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame[:n])), 0)
+		if err == nil {
+			t.Fatalf("truncated at %d: no error", n)
+		}
+		if err == io.EOF {
+			t.Fatalf("truncated at %d: clean EOF, want unexpected EOF", n)
+		}
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	pb := PutBatchReq{Region: 7, Epoch: 3, Payload: []byte("envelope")}
+	var pb2 PutBatchReq
+	if err := pb2.Decode(pb.Append(nil)); err != nil || pb2.Region != 7 || pb2.Epoch != 3 || string(pb2.Payload) != "envelope" {
+		t.Fatalf("putbatch: %+v err %v", pb2, err)
+	}
+
+	mg := MultiGetReq{Region: 1, Epoch: 9, Keys: [][]byte{[]byte("a"), {}, []byte("ccc")}}
+	var mg2 MultiGetReq
+	if err := mg2.Decode(mg.Append(nil)); err != nil || len(mg2.Keys) != 3 || string(mg2.Keys[2]) != "ccc" {
+		t.Fatalf("multiget: %+v err %v", mg2, err)
+	}
+
+	vr := ValuesResp{Vals: [][]byte{[]byte("x"), nil, {}}}
+	var vr2 ValuesResp
+	if err := vr2.Decode(vr.Append(nil)); err != nil {
+		t.Fatalf("values: %v", err)
+	}
+	if vr2.Vals[1] != nil {
+		t.Fatalf("nil value not preserved: %v", vr2.Vals)
+	}
+	if vr2.Vals[2] == nil || len(vr2.Vals[2]) != 0 {
+		t.Fatalf("empty value not preserved: %#v", vr2.Vals[2])
+	}
+
+	sr := ScanReq{Region: 4, Epoch: 2, Start: nil, End: []byte("zz"), Zoned: true, ZMin: -5, ZMax: 1 << 40}
+	var sr2 ScanReq
+	if err := sr2.Decode(sr.Append(nil)); err != nil || sr2.Start != nil || string(sr2.End) != "zz" || !sr2.Zoned || sr2.ZMin != -5 || sr2.ZMax != 1<<40 {
+		t.Fatalf("scan: %+v err %v", sr2, err)
+	}
+
+	sb := ScanBatch{Keys: [][]byte{[]byte("k1"), []byte("k2")}, Vals: [][]byte{[]byte("v1"), []byte("v2")}}
+	var sb2 ScanBatch
+	if err := sb2.Decode(sb.Append(nil)); err != nil || len(sb2.Keys) != 2 || string(sb2.Vals[1]) != "v2" {
+		t.Fatalf("scanbatch: %+v err %v", sb2, err)
+	}
+
+	sh := ShipReq{Region: 11, Epoch: 1, Seq: 42, Payload: []byte("batch")}
+	var sh2 ShipReq
+	if err := sh2.Decode(sh.Append(nil)); err != nil || sh2.Seq != 42 {
+		t.Fatalf("ship: %+v err %v", sh2, err)
+	}
+}
+
+func TestAdminMessageRoundTrip(t *testing.T) {
+	m := RegionMapResp{Node: "127.0.0.1:9", Regions: []RegionInfo{
+		{ID: 1, Epoch: 2, End: []byte("m"), Role: RolePrimary, Replicas: []string{"a", "b"}, Bytes: 99},
+		{ID: 2, Epoch: 2, Start: []byte("m"), Role: RoleReplica},
+	}}
+	var m2 RegionMapResp
+	if err := UnmarshalAdmin(MarshalAdmin(&m), &m2); err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Regions) != 2 || m2.Regions[0].Bytes != 99 || string(m2.Regions[1].Start) != "m" {
+		t.Fatalf("round trip: %+v", m2)
+	}
+	if m2.Regions[0].Start != nil || m2.Regions[1].End != nil {
+		t.Fatalf("nil bounds not preserved: %+v", m2)
+	}
+}
+
+// echoHandler answers OpPing, echoes OpPutBatch payloads, streams three
+// scan batches for OpScan, and reports a stale region for OpGet.
+func echoHandler(ctx context.Context, op byte, payload []byte, w *ResponseWriter) error {
+	switch op {
+	case OpPing:
+		return w.Send(OpResp, nil)
+	case OpPutBatch:
+		return w.Send(OpResp, payload)
+	case OpGet:
+		return w.SendErr(CodeStaleRegion, "moved")
+	case OpScan:
+		for i := 0; i < 3; i++ {
+			if err := w.Send(OpScanBatch, []byte{byte('0' + i)}); err != nil {
+				return err
+			}
+		}
+		return w.Send(OpScanEnd, nil)
+	case OpStats:
+		return nil // deliberately forget to answer
+	default:
+		return w.SendErr(CodeBadRequest, "unknown op")
+	}
+}
+
+func startEcho(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0", echoHandler, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(ClientOptions{})
+	t.Cleanup(func() { cl.Close(); srv.Close() })
+	return srv, cl
+}
+
+func TestClientServerExchange(t *testing.T) {
+	srv, cl := startEcho(t)
+	ctx := context.Background()
+
+	if err := cl.Ping(ctx, srv.Addr()); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	resp, err := cl.Do(ctx, srv.Addr(), OpPutBatch, []byte("echo me"))
+	if err != nil || string(resp) != "echo me" {
+		t.Fatalf("do: %q err %v", resp, err)
+	}
+
+	var got []string
+	err = cl.Stream(ctx, srv.Addr(), OpScan, nil, func(op byte, p []byte) (bool, error) {
+		if op == OpScanBatch {
+			got = append(got, string(p))
+		}
+		return true, nil
+	})
+	if err != nil || strings.Join(got, "") != "012" {
+		t.Fatalf("stream: %v err %v", got, err)
+	}
+
+	_, err = cl.Do(ctx, srv.Addr(), OpGet, []byte("k"))
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeStaleRegion {
+		t.Fatalf("err = %v, want stale RemoteError", err)
+	}
+
+	// A handler that sends nothing must not wedge the client.
+	_, err = cl.Do(ctx, srv.Addr(), OpStats, nil)
+	if !errors.As(err, &re) || re.Code != CodeInternal {
+		t.Fatalf("no-response op: err = %v", err)
+	}
+}
+
+func TestClientConcurrentRequests(t *testing.T) {
+	srv, cl := startEcho(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 32)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := []byte(fmt.Sprintf("payload-%d", i))
+			resp, err := cl.Do(context.Background(), srv.Addr(), OpPutBatch, p)
+			if err == nil && !bytes.Equal(resp, p) {
+				err = fmt.Errorf("cross-talk: got %q want %q", resp, p)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+func TestClientCancellation(t *testing.T) {
+	block := make(chan struct{})
+	srv, err := Serve("127.0.0.1:0", func(ctx context.Context, op byte, p []byte, w *ResponseWriter) error {
+		<-block
+		return w.Send(OpResp, nil)
+	}, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(block); srv.Close() }()
+	cl := NewClient(ClientOptions{})
+	defer cl.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { _, err := cl.Do(ctx, srv.Addr(), OpPing, nil); done <- err }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not unblock the exchange")
+	}
+}
+
+func TestClientTransportError(t *testing.T) {
+	cl := NewClient(ClientOptions{DialTimeout: 200 * time.Millisecond})
+	defer cl.Close()
+	_, err := cl.Do(context.Background(), "127.0.0.1:1", OpPing, nil)
+	if !IsTransport(err) {
+		t.Fatalf("err = %v, want transport error", err)
+	}
+}

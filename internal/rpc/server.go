@@ -1,0 +1,208 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler processes one request frame. It must send at least one frame
+// via w (a terminal OpResp/OpError, or OpScanBatch* + OpScanEnd). A
+// returned error tears the connection down (protocol-level failure);
+// application failures should instead be sent as OpError frames.
+type Handler func(ctx context.Context, op byte, payload []byte, w *ResponseWriter) error
+
+// ResponseWriter sends response frames for one in-flight request.
+type ResponseWriter struct {
+	w           *bufio.Writer
+	buf         []byte
+	compressMin int
+	sent        int
+	out         *atomic.Int64
+
+	// direct, when set, bypasses the wire: frames are handed to it
+	// in-process instead of being encoded (see CallLocal).
+	direct func(op byte, payload []byte) error
+}
+
+// Send writes one response frame. Flushing happens when the request
+// handler returns, except for streamed scans, where each batch frame is
+// flushed eagerly so the consumer pipeline overlaps with the scan.
+func (w *ResponseWriter) Send(op byte, payload []byte) error {
+	w.sent++
+	if w.direct != nil {
+		return w.direct(op, payload)
+	}
+	w.buf = AppendFrame(w.buf[:0], op, payload, w.compressMin)
+	n, err := w.w.Write(w.buf)
+	w.out.Add(int64(n))
+	if err != nil {
+		return err
+	}
+	if op == OpScanBatch {
+		return w.w.Flush()
+	}
+	return nil
+}
+
+// SendErr sends a terminal OpError frame. The payload is built in a
+// fresh buffer: Send reuses w.buf as the frame build buffer, so the
+// payload must not alias it.
+func (w *ResponseWriter) SendErr(code byte, msg string) error {
+	return w.Send(OpError, AppendError(nil, code, msg))
+}
+
+// Stats counts a peer's wire traffic.
+type Stats struct {
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+	Conns    int64 `json:"conns"`
+}
+
+// Server accepts rpc connections and dispatches request frames to a
+// Handler, sequentially per connection.
+type Server struct {
+	l           net.Listener
+	h           Handler
+	maxFrame    int
+	compressMin int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+	accepted atomic.Int64
+}
+
+// ServerOptions tune a Server.
+type ServerOptions struct {
+	// MaxFrameBytes bounds incoming frame payloads (0 = 16 MiB).
+	MaxFrameBytes int
+	// CompressMin is the response-payload size at which lz4 framing is
+	// attempted (0 = 1 KiB; negative disables compression).
+	CompressMin int
+}
+
+// Serve listens on addr and serves h until Close. addr may carry port 0
+// to pick a free port; Addr reports the bound address.
+func Serve(addr string, h Handler, opts ServerOptions) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return ServeListener(l, h, opts), nil
+}
+
+// ServeListener serves h on an existing listener.
+func ServeListener(l net.Listener, h Handler, opts ServerOptions) *Server {
+	if opts.MaxFrameBytes <= 0 {
+		opts.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if opts.CompressMin == 0 {
+		opts.CompressMin = DefaultCompressMin
+	}
+	s := &Server{
+		l:           l,
+		h:           h,
+		maxFrame:    opts.MaxFrameBytes,
+		compressMin: opts.CompressMin,
+		conns:       map[net.Conn]struct{}{},
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address ("host:port").
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Stats snapshots the server's wire counters.
+func (s *Server) Stats() Stats {
+	return Stats{BytesIn: s.bytesIn.Load(), BytesOut: s.bytesOut.Load(), Conns: s.accepted.Load()}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.accepted.Add(1)
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(&countingReader{r: c, n: &s.bytesIn}, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	rw := &ResponseWriter{w: bw, compressMin: s.compressMin, out: &s.bytesOut}
+	for {
+		op, payload, err := ReadFrame(br, s.maxFrame)
+		if err != nil {
+			return // clean EOF, torn frame or closed conn: drop the connection
+		}
+		rw.sent = 0
+		if err := s.h(s.ctx, op, payload, rw); err != nil {
+			return
+		}
+		if rw.sent == 0 {
+			// A handler that forgot to answer would wedge the client.
+			if rw.SendErr(CodeInternal, "handler sent no response") != nil {
+				return
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for
+// handler goroutines to finish.
+func (s *Server) Close() error {
+	s.cancel()
+	err := s.l.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"just/internal/core"
+	"just/internal/kv"
+	"just/internal/rpc"
+)
+
+// startTCPRegionServers boots n region servers on real TCP sockets
+// (127.0.0.1, ephemeral ports) and returns their addresses — the same
+// topology `just-server -role=region` runs, in-process for the test.
+func startTCPRegionServers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		node, err := kv.OpenRegionNode(t.TempDir(), kv.NodeOptions{
+			NodeID:    i + 1,
+			Transport: rpc.NewClient(rpc.ClientOptions{}),
+		})
+		if err != nil {
+			t.Fatalf("open region node %d: %v", i+1, err)
+		}
+		srv, err := rpc.Serve("127.0.0.1:0", node.Handler(), rpc.ServerOptions{})
+		if err != nil {
+			t.Fatalf("rpc listen: %v", err)
+		}
+		t.Cleanup(func() { srv.Close(); node.Close() })
+		addrs[i] = srv.Addr()
+	}
+	return addrs
+}
+
+// newRouterModeServer opens the engine in router mode over the given
+// region servers and serves HTTP in front of it.
+func newRouterModeServer(t *testing.T, peers []string, opts Options) *httptest.Server {
+	t.Helper()
+	eng, err := core.Open(core.Config{
+		Dir:     t.TempDir(),
+		Workers: 2,
+		Router:  &kv.RouterOptions{Peers: peers},
+	})
+	if err != nil {
+		t.Fatalf("open router-mode engine: %v", err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	s := New(eng, opts)
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestServerRouterModeOverTCP is the end-to-end acceptance path: three
+// region servers on real TCP sockets, a router-mode engine in front,
+// SQL ingest and scan flowing through the wire protocol.
+func TestServerRouterModeOverTCP(t *testing.T) {
+	peers := startTCPRegionServers(t, 3)
+	ts := newRouterModeServer(t, peers, Options{})
+
+	res := post(t, ts.URL, "u1", `CREATE TABLE p (fid integer:primary key, name string, geom point)`)
+	if res.Error != "" {
+		t.Fatalf("create = %+v", res)
+	}
+	const rows = 50
+	for i := 0; i < rows; i++ {
+		res = post(t, ts.URL, "u1", fmt.Sprintf(
+			`INSERT INTO p VALUES (%d, 'poi-%d', st_makePoint(%f, %f))`,
+			i, i, 116.0+float64(i)*0.01, 39.0+float64(i)*0.01))
+		if res.Error != "" {
+			t.Fatalf("insert %d = %+v", i, res)
+		}
+	}
+	res = post(t, ts.URL, "u1", `SELECT fid, name FROM p`)
+	if res.Error != "" || res.Total != rows {
+		t.Fatalf("select = %+v, want %d rows", res, rows)
+	}
+	res = post(t, ts.URL, "u1",
+		`SELECT fid FROM p WHERE geom WITHIN st_makeMBR(116, 39, 116.2, 39.2)`)
+	if res.Error != "" || res.Total == 0 {
+		t.Fatalf("spatial select = %+v", res)
+	}
+
+	// The topology admin endpoint reports the routed region map.
+	resp, err := http.Get(ts.URL + "/api/v1/admin/topology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var topo struct {
+		Mode    string              `json:"mode"`
+		Regions []kv.RegionTopology `json:"regions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&topo); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if topo.Mode != "router" || len(topo.Regions) == 0 {
+		t.Fatalf("topology = %+v", topo)
+	}
+	if topo.Regions[0].Primary == "" {
+		t.Fatalf("region without primary: %+v", topo.Regions[0])
+	}
+
+	// Metrics flow back from the region servers over rpc, including the
+	// networked counters.
+	resp, err = http.Get(ts.URL + "/api/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var met map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&met); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, key := range []string{"rpc_bytes_in", "rpc_bytes_out", "rpc_retries",
+		"region_splits", "region_merges", "region_moves", "stale_map_refreshes"} {
+		if _, ok := met[key]; !ok {
+			t.Errorf("metrics missing %q", key)
+		}
+	}
+	if met["rpc_bytes_out"].(float64) == 0 {
+		t.Error("rpc_bytes_out = 0 after TCP workload")
+	}
+	if met["bytes_written"].(float64) == 0 {
+		t.Error("bytes_written = 0: region-server storage counters not aggregated")
+	}
+}
+
+// TestRouterModeClusterOnlyEndpointsDegrade pins the contract that the
+// simulated-cluster admin surfaces answer a typed 501 in router mode
+// instead of panicking on the nil cluster.
+func TestRouterModeClusterOnlyEndpointsDegrade(t *testing.T) {
+	peers := startTCPRegionServers(t, 1)
+	ts := newRouterModeServer(t, peers, Options{})
+
+	for _, ep := range []string{
+		"/api/v1/admin/replication",
+		"/api/v1/admin/scrub",
+		"/api/v1/admin/servers",
+	} {
+		resp, err := http.Get(ts.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s: %v", ep, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotImplemented || body["code"] != "router_mode" {
+			t.Errorf("%s = %d %v, want 501 router_mode", ep, resp.StatusCode, body)
+		}
+	}
+	// Health and the generic surfaces still work.
+	resp, err := http.Get(ts.URL + "/api/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health in router mode = %d", resp.StatusCode)
+	}
+}
+
+// TestFetchDeleteClosesCursor pins the server half of ResultSet.Close:
+// DELETE on the fetch endpoint frees the cursor immediately.
+func TestFetchDeleteClosesCursor(t *testing.T) {
+	ts, s := newTestServer(t, Options{PageSize: 5})
+	post(t, ts.URL, "u1", `CREATE TABLE p (fid integer:primary key, name string)`)
+	for i := 0; i < 20; i++ {
+		post(t, ts.URL, "u1", fmt.Sprintf(`INSERT INTO p VALUES (%d, 'x')`, i))
+	}
+	res := post(t, ts.URL, "u1", `SELECT fid FROM p`)
+	if res.Cursor == "" {
+		t.Fatalf("expected a cursor for %d rows at page size 5", res.Total)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/fetch?cursor="+res.Cursor, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out["closed"] != true {
+		t.Fatalf("delete = %v", out)
+	}
+	s.mu.Lock()
+	open := len(s.cursors)
+	s.mu.Unlock()
+	if open != 0 {
+		t.Fatalf("%d cursors still open after DELETE", open)
+	}
+	// A fetch on the closed cursor now misses.
+	resp, err = http.Get(ts.URL + "/api/v1/fetch?cursor=" + res.Cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("fetch after close = %d, want 404", resp.StatusCode)
+	}
+	// Deleting it again reports closed=false, not an error.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/fetch?cursor="+res.Cursor, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if out["closed"] != false {
+		t.Fatalf("double delete = %v", out)
+	}
+	if !strings.Contains(fmt.Sprint(out), "false") {
+		t.Fatalf("double delete body = %v", out)
+	}
+}

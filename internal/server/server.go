@@ -25,6 +25,7 @@ import (
 	"just/internal/core"
 	"just/internal/exec"
 	"just/internal/geom"
+	"just/internal/kv"
 	"just/internal/sql"
 )
 
@@ -184,6 +185,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/admin/queries", s.handleQueries)
 	mux.HandleFunc("/api/v1/admin/queries/kill", s.handleQueryKill)
 	mux.HandleFunc("/api/v1/admin/replication", s.handleReplication)
+	mux.HandleFunc("/api/v1/admin/topology", s.handleTopology)
 	mux.HandleFunc("/api/v1/admin/servers", s.handleServers)
 	mux.HandleFunc("/api/v1/admin/scrub", s.handleScrub)
 	mux.HandleFunc("/api/v1/admin/scrub/run", s.handleScrubRun)
@@ -414,6 +416,18 @@ func estimateRows(rows [][]any) int64 {
 
 func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("cursor")
+	if r.Method == http.MethodDelete {
+		// Explicit cursor close (ResultSet.Close in the SDKs): release
+		// the buffered pages now instead of waiting out the TTL.
+		s.mu.Lock()
+		c, ok := s.cursors[id]
+		if ok {
+			s.removeLocked(c)
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"closed": ok})
+		return
+	}
 	s.mu.Lock()
 	s.gcLocked()
 	c, ok := s.cursors[id]
@@ -438,7 +452,43 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"regions": s.engine.Cluster().Regions(),
+		"regions": s.engine.Store().Regions(),
+	})
+}
+
+// cluster returns the in-process simulated cluster, or writes a typed
+// 501 and returns nil when the engine routes to networked region
+// servers — chaos injection, scrub and replication introspection live
+// on the region servers themselves in that deployment.
+func (s *Server) cluster(w http.ResponseWriter) *kv.Cluster {
+	c := s.engine.Cluster()
+	if c == nil {
+		writeJSON(w, http.StatusNotImplemented, map[string]any{
+			"error": "not available in router mode; see /api/v1/admin/topology",
+			"code":  "router_mode",
+		})
+	}
+	return c
+}
+
+// handleTopology reports the storage topology: in router mode the
+// cached region map (range, epoch, primary, replicas per region); in
+// standalone mode the simulated cluster's replication state.
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if rt := s.engine.Router(); rt != nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"mode":    "router",
+			"regions": rt.Topology(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mode":    "standalone",
+		"regions": s.engine.Cluster().ReplicationState(),
 	})
 }
 
@@ -447,7 +497,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // group-commit, WAL-sync, flush-queue and write-stall counters, the
 // replication shipping/failover counters and the cursor-cache gauges.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.engine.Cluster().Metrics()
+	m := s.engine.Store().Metrics()
 	s.mu.Lock()
 	s.gcLocked()
 	openCursors := len(s.cursors)
@@ -455,7 +505,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	evicted, expired := s.evicted, s.expired
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"regions":                   s.engine.Cluster().Regions(),
+		"regions":                   s.engine.Store().Regions(),
 		"bytes_written":             m.BytesWritten,
 		"bytes_read":                m.BytesRead,
 		"blocks_read":               m.BlocksRead,
@@ -493,6 +543,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"tables_quarantined":        m.TablesQuarantined,
 		"repairs_completed":         m.RepairsCompleted,
 		"orphans_removed":           m.OrphansRemoved,
+		"rpc_bytes_in":              m.RPCBytesIn,
+		"rpc_bytes_out":             m.RPCBytesOut,
+		"rpc_retries":               m.RPCRetries,
+		"region_splits":             m.RegionSplits,
+		"region_merges":             m.RegionMerges,
+		"region_moves":              m.RegionMoves,
+		"stale_map_refreshes":       m.StaleMapRefreshes,
 		"cursors_open":              openCursors,
 		"cursor_bytes":              cursorBytes,
 		"cursors_evicted":           evicted,
@@ -518,9 +575,13 @@ func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	c := s.cluster(w)
+	if c == nil {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"regions": s.engine.Cluster().ReplicationState(),
-		"scrub":   s.engine.Cluster().ScrubState(),
+		"regions": c.ReplicationState(),
+		"scrub":   c.ScrubState(),
 	})
 }
 
@@ -530,8 +591,12 @@ func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	c := s.cluster(w)
+	if c == nil {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"scrub": s.engine.Cluster().ScrubState(),
+		"scrub": c.ScrubState(),
 	})
 }
 
@@ -544,11 +609,15 @@ func (s *Server) handleScrubRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	c := s.cluster(w)
+	if c == nil {
+		return
+	}
 	resp := map[string]any{}
-	if err := s.engine.Cluster().Scrub(); err != nil {
+	if err := c.Scrub(); err != nil {
 		resp["error"] = err.Error()
 	}
-	resp["scrub"] = s.engine.Cluster().ScrubState()
+	resp["scrub"] = c.ScrubState()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -605,10 +674,14 @@ type serverActionRequest struct {
 // handleServers lists region servers (GET) or kills/revives one (POST)
 // for chaos drills: POST {"id": 2, "action": "kill"}.
 func (s *Server) handleServers(w http.ResponseWriter, r *http.Request) {
+	c := s.cluster(w)
+	if c == nil {
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
 		writeJSON(w, http.StatusOK, map[string]any{
-			"servers": s.engine.Cluster().ServerStates(),
+			"servers": c.ServerStates(),
 		})
 	case http.MethodPost:
 		var req serverActionRequest
@@ -619,9 +692,9 @@ func (s *Server) handleServers(w http.ResponseWriter, r *http.Request) {
 		var err error
 		switch req.Action {
 		case "kill":
-			err = s.engine.Cluster().KillServer(req.ID)
+			err = c.KillServer(req.ID)
 		case "revive":
-			err = s.engine.Cluster().ReviveServer(req.ID)
+			err = c.ReviveServer(req.ID)
 		default:
 			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("unknown action %q", req.Action)})
 			return
@@ -631,7 +704,7 @@ func (s *Server) handleServers(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"servers": s.engine.Cluster().ServerStates(),
+			"servers": c.ServerStates(),
 		})
 	default:
 		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)

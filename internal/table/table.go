@@ -23,7 +23,7 @@ import (
 type Table struct {
 	Desc    *Desc
 	codec   *Codec
-	cluster *kv.Cluster
+	cluster kv.Store
 
 	strategies []index.Strategy // parallel to Desc.Indexes
 	attr       *index.AttrStrategy
@@ -46,8 +46,9 @@ type Table struct {
 // IndexConfig carries strategy tunables shared by a table's indexes.
 type IndexConfig = index.Config
 
-// Open binds a descriptor to the cluster.
-func Open(d *Desc, cluster *kv.Cluster, cfg IndexConfig) (*Table, error) {
+// Open binds a descriptor to the storage fabric (the in-process
+// cluster, or a router over networked region servers).
+func Open(d *Desc, cluster kv.Store, cfg IndexConfig) (*Table, error) {
 	t := &Table{
 		Desc:    d,
 		codec:   NewCodec(d.Columns),

@@ -7,13 +7,17 @@
 //	    row, err := rs.Next()
 //	    ...
 //	}
+//	rs.Close()
 //
 // Large results arrive in multiple transmissions; the ResultSet fetches
-// follow-up pages transparently.
+// follow-up pages transparently. Close releases the server-side cursor
+// early when a caller abandons a result mid-page (otherwise the server
+// TTL reclaims it).
 package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -52,11 +56,23 @@ type sqlResponse struct {
 
 // ExecuteQuery runs a JustQL statement and returns a paging cursor.
 func (c *Client) ExecuteQuery(justql string) (*ResultSet, error) {
+	return c.ExecuteQueryContext(context.Background(), justql)
+}
+
+// ExecuteQueryContext is ExecuteQuery bounded by a context: cancelling
+// it aborts the HTTP request, and the server cancels the in-flight
+// query when the connection drops.
+func (c *Client) ExecuteQueryContext(ctx context.Context, justql string) (*ResultSet, error) {
 	body, err := json.Marshal(sqlRequest{User: c.user, SQL: justql})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http.Post(c.baseURL+"/api/v1/sql", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/api/v1/sql", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
@@ -70,6 +86,7 @@ func (c *Client) ExecuteQuery(justql string) (*ResultSet, error) {
 	}
 	return &ResultSet{
 		client:  c,
+		ctx:     ctx,
 		message: out.Message,
 		columns: out.Columns,
 		rows:    out.Rows,
@@ -79,6 +96,12 @@ func (c *Client) ExecuteQuery(justql string) (*ResultSet, error) {
 
 // Execute is an alias of ExecuteQuery for DDL/DML readability.
 func (c *Client) Execute(justql string) (*ResultSet, error) { return c.ExecuteQuery(justql) }
+
+// ExecuteContext is an alias of ExecuteQueryContext for DDL/DML
+// readability.
+func (c *Client) ExecuteContext(ctx context.Context, justql string) (*ResultSet, error) {
+	return c.ExecuteQueryContext(ctx, justql)
+}
 
 // Health pings the server.
 func (c *Client) Health() error {
@@ -94,8 +117,12 @@ func (c *Client) Health() error {
 }
 
 // fetch retrieves the next page of a cursor.
-func (c *Client) fetch(cursor string) (*sqlResponse, error) {
-	resp, err := c.http.Get(c.baseURL + "/api/v1/fetch?cursor=" + cursor)
+func (c *Client) fetch(ctx context.Context, cursor string) (*sqlResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/api/v1/fetch?cursor="+cursor, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -110,16 +137,32 @@ func (c *Client) fetch(cursor string) (*sqlResponse, error) {
 	return &out, nil
 }
 
+// closeCursor deletes a server-side cursor.
+func (c *Client) closeCursor(cursor string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.baseURL+"/api/v1/fetch?cursor="+cursor, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
 // ResultSet is the client-side cursor. Rows are []any with JSON-decoded
 // values (numbers arrive as float64; geometries as {"wkt": ...} maps).
 type ResultSet struct {
 	client  *Client
+	ctx     context.Context
 	message string
 	columns []string
 	rows    [][]any
 	pos     int
 	cursor  string
 	err     error
+	closed  bool
 }
 
 // Message returns the DDL/DML message.
@@ -131,7 +174,7 @@ func (rs *ResultSet) Columns() []string { return rs.columns }
 // HasNext reports whether another row is available, fetching the next
 // transmission when the local page is exhausted.
 func (rs *ResultSet) HasNext() bool {
-	if rs.err != nil {
+	if rs.err != nil || rs.closed {
 		return false
 	}
 	if rs.pos < len(rs.rows) {
@@ -140,7 +183,11 @@ func (rs *ResultSet) HasNext() bool {
 	if rs.cursor == "" {
 		return false
 	}
-	page, err := rs.client.fetch(rs.cursor)
+	ctx := rs.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	page, err := rs.client.fetch(ctx, rs.cursor)
 	if err != nil {
 		rs.err = err
 		return false
@@ -156,12 +203,33 @@ func (rs *ResultSet) Next() ([]any, error) {
 	if rs.err != nil {
 		return nil, rs.err
 	}
+	if rs.closed {
+		return nil, fmt.Errorf("client: result set closed")
+	}
 	if rs.pos >= len(rs.rows) {
 		return nil, fmt.Errorf("client: past end of result set")
 	}
 	row := rs.rows[rs.pos]
 	rs.pos++
 	return row, nil
+}
+
+// Close releases the result set. If pages remain unfetched on the
+// server it deletes the server-side cursor, freeing its memory without
+// waiting for the TTL. Closing an exhausted or already-closed result
+// set is a no-op. Safe to defer immediately after ExecuteQuery.
+func (rs *ResultSet) Close() error {
+	if rs.closed {
+		return nil
+	}
+	rs.closed = true
+	rs.rows = nil
+	if rs.cursor == "" {
+		return nil
+	}
+	cur := rs.cursor
+	rs.cursor = ""
+	return rs.client.closeCursor(cur)
 }
 
 // Err returns any paging error encountered by HasNext.

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -68,6 +69,81 @@ func TestResultSetPastEnd(t *testing.T) {
 	}
 	if _, err := rs.Next(); err == nil {
 		t.Fatal("Next past end should error")
+	}
+}
+
+func TestExecuteQueryContextCanceled(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer ts.Close()
+	c := Connect(ts.URL, "u")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.ExecuteQueryContext(ctx, "SELECT 1"); err == nil {
+		t.Fatal("canceled context should abort the request")
+	}
+}
+
+func TestResultSetCloseDeletesCursor(t *testing.T) {
+	var deleted string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/v1/sql" {
+			json.NewEncoder(w).Encode(sqlResponse{
+				Columns: []string{"a"},
+				Rows:    [][]any{{1.0}},
+				Cursor:  "cur-7",
+				Total:   2,
+			})
+			return
+		}
+		if r.Method == http.MethodDelete {
+			deleted = r.URL.Query().Get("cursor")
+			json.NewEncoder(w).Encode(map[string]bool{"closed": true})
+			return
+		}
+		t.Errorf("unexpected %s %s after Close", r.Method, r.URL.Path)
+	}))
+	defer ts.Close()
+	c := Connect(ts.URL, "u")
+	rs, err := c.ExecuteQuery("SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if deleted != "cur-7" {
+		t.Fatalf("server-side cursor not deleted; got %q", deleted)
+	}
+	if rs.HasNext() {
+		t.Fatal("closed result set must not iterate")
+	}
+	if _, err := rs.Next(); err == nil {
+		t.Fatal("Next after Close should error")
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestResultSetCloseWithoutCursorIsLocal(t *testing.T) {
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		json.NewEncoder(w).Encode(sqlResponse{Columns: []string{"a"}, Rows: [][]any{{1.0}}, Total: 1})
+	}))
+	defer ts.Close()
+	c := Connect(ts.URL, "u")
+	rs, err := c.ExecuteQuery("SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("close of cursorless result made %d extra requests", calls-1)
 	}
 }
 
