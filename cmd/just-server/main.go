@@ -60,6 +60,13 @@ func main() {
 	splitWriteBytes := flag.Int64("split-write-bytes", 0, "write-rate split threshold in bytes per 10s window (region role; 0 = off)")
 	rebalanceInterval := flag.Duration("rebalance-interval", 0, "router rebalance / cold-merge period (0 = off)")
 	mergeBytes := flag.Int64("merge-bytes", 0, "merge adjacent regions below this size (router role; 0 = off)")
+
+	// Resilience knobs (router role).
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive transport failures before a peer's circuit breaker opens (0 = default 3)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "background peer health probe period; also the open-breaker retry interval (0 = prober off)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge idempotent reads to a replica after this delay (0 = hedging off)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base retry backoff between routing attempts (0 = default 5ms)")
+	retryBackoffMax := flag.Duration("retry-backoff-max", 0, "retry backoff cap (0 = default 500ms)")
 	flag.Parse()
 
 	switch *role {
@@ -91,6 +98,11 @@ func main() {
 			Replicas:          *replication,
 			RebalanceInterval: *rebalanceInterval,
 			MergeBytes:        *mergeBytes,
+			BreakerFailures:   *breakerFailures,
+			ProbeInterval:     *probeInterval,
+			HedgeAfter:        *hedgeAfter,
+			RetryBackoff:      *retryBackoff,
+			RetryBackoffMax:   *retryBackoffMax,
 		}
 	}
 	eng, err := core.Open(cfg)

@@ -250,11 +250,17 @@ func (e *Engine) DropTable(user, name string) error {
 // path (one WriteBatch, one WAL sync per touched region) and updates
 // meta statistics.
 func (e *Engine) Insert(user, name string, rows []exec.Row) error {
+	return e.InsertContext(context.Background(), user, name, rows)
+}
+
+// InsertContext is Insert bounded by ctx: on a networked store the
+// remaining budget propagates to the region servers with each request.
+func (e *Engine) InsertContext(ctx context.Context, user, name string, rows []exec.Row) error {
 	t, err := e.OpenTable(user, name)
 	if err != nil {
 		return err
 	}
-	if err := t.InsertBatch(rows); err != nil {
+	if err := t.InsertBatchCtx(ctx, rows); err != nil {
 		return err
 	}
 	minT, maxT := timeSpan(t, rows)
@@ -271,6 +277,12 @@ const bulkBatchRows = 4096
 // is encoded in parallel across the worker pool and group-committed as
 // one WriteBatch, and the final Flush drains the background flushers.
 func (e *Engine) BulkInsert(user, name string, rows []exec.Row) error {
+	return e.BulkInsertContext(context.Background(), user, name, rows)
+}
+
+// BulkInsertContext is BulkInsert bounded by ctx, checked at each
+// group-commit boundary and propagated into every batch.
+func (e *Engine) BulkInsertContext(ctx context.Context, user, name string, rows []exec.Row) error {
 	t, err := e.OpenTable(user, name)
 	if err != nil {
 		return err
@@ -280,7 +292,7 @@ func (e *Engine) BulkInsert(user, name string, rows []exec.Row) error {
 		if end > len(rows) {
 			end = len(rows)
 		}
-		if err := t.InsertBatch(rows[start:end]); err != nil {
+		if err := t.InsertBatchCtx(ctx, rows[start:end]); err != nil {
 			return err
 		}
 	}

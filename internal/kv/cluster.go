@@ -297,6 +297,60 @@ func (c *Cluster) Get(key []byte) ([]byte, error) {
 	}
 }
 
+// Context-carrying variants (see Store). The in-process cluster has no
+// wire to propagate a deadline over; honoring cancellation at the
+// operation boundary keeps SQL-layer deadlines effective — individual
+// region operations are short, the loops above them are what a
+// deadline needs to cut.
+
+// PutCtx is Put bounded by ctx.
+func (c *Cluster) PutCtx(ctx context.Context, key, value []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.Put(key, value)
+}
+
+// DeleteCtx is Delete bounded by ctx.
+func (c *Cluster) DeleteCtx(ctx context.Context, key []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.Delete(key)
+}
+
+// GetCtx is Get bounded by ctx.
+func (c *Cluster) GetCtx(ctx context.Context, key []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.Get(key)
+}
+
+// ApplyCtx is Apply bounded by ctx.
+func (c *Cluster) ApplyCtx(ctx context.Context, b *WriteBatch) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.Apply(b)
+}
+
+// MultiGetCtx is MultiGet bounded by ctx.
+func (c *Cluster) MultiGetCtx(ctx context.Context, keys [][]byte) ([][]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.MultiGet(keys)
+}
+
+// DeleteBatchCtx is DeleteBatch bounded by ctx.
+func (c *Cluster) DeleteBatchCtx(ctx context.Context, keys [][]byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.DeleteBatch(keys)
+}
+
 // Flush persists all memtables; call after bulk loads and before
 // measuring on-disk size. Regions flush in parallel (their SSTables are
 // independent files); splits run serially afterwards because they

@@ -1,0 +1,214 @@
+package kv
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Peer health tracking for the networked router: a per-peer circuit
+// breaker fed by every RPC outcome, plus an EWMA of response latency
+// used to pick hedge targets and spot slow-but-alive peers.
+//
+// Breaker state machine:
+//
+//	closed ──(N consecutive transport failures)──▶ open
+//	open ──(probe interval elapsed)──▶ half-open (one trial admitted)
+//	half-open ──(trial succeeds)──▶ closed
+//	half-open ──(trial fails)──▶ open (interval restarts)
+//
+// Only transport failures (dial refused, conn reset, timeout) count
+// against a peer — a RemoteError means the peer is alive enough to
+// answer, so it resets the failure streak like a success does.
+
+// Breaker state names as surfaced on the topology endpoint.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+// ewmaAlpha is the smoothing factor for per-peer latency: ~86% of the
+// weight sits in the last 12 observations.
+const ewmaAlpha = 0.15
+
+// peerHealth is one peer's breaker + latency state. Guarded by the
+// owning tracker's mutex.
+type peerHealth struct {
+	state      string
+	fails      int       // consecutive transport failures
+	lastTrial  time.Time // breaker opened / last half-open trial admitted
+	ewmaMicros float64   // smoothed successful-response latency; 0 = no data
+	lastErr    string    // most recent transport failure, for operators
+}
+
+// PeerHealth is the externally visible snapshot of one peer's state,
+// served on /api/v1/admin/topology.
+type PeerHealth struct {
+	Addr       string `json:"addr"`
+	Breaker    string `json:"breaker"`
+	Failures   int    `json:"consecutive_failures,omitempty"`
+	EWMAMicros int64  `json:"ewma_micros,omitempty"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// healthTracker keeps breaker + latency state for every peer the
+// router talks to.
+type healthTracker struct {
+	failures   int           // consecutive transport failures that open the breaker
+	probeEvery time.Duration // open → half-open trial admission interval
+
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+
+	opens     atomic.Int64 // closed/half-open → open transitions
+	fastFails atomic.Int64 // requests refused while open
+}
+
+func newHealthTracker(failures int, probeEvery time.Duration) *healthTracker {
+	if failures <= 0 {
+		failures = 3
+	}
+	if probeEvery <= 0 {
+		probeEvery = 2 * time.Second
+	}
+	return &healthTracker{
+		failures:   failures,
+		probeEvery: probeEvery,
+		peers:      map[string]*peerHealth{},
+	}
+}
+
+// peer returns addr's state, creating it closed. Callers hold t.mu.
+func (t *healthTracker) peer(addr string) *peerHealth {
+	p := t.peers[addr]
+	if p == nil {
+		p = &peerHealth{state: breakerClosed}
+		t.peers[addr] = p
+	}
+	return p
+}
+
+// allow reports whether a request to addr may proceed. An open breaker
+// fails fast until its probe interval elapses, at which point exactly
+// one caller is admitted as the half-open trial; everyone else keeps
+// failing fast until record resolves the trial.
+func (t *healthTracker) allow(addr string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peer(addr)
+	switch p.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(p.lastTrial) >= t.probeEvery {
+			p.state = breakerHalfOpen
+			p.lastTrial = time.Now()
+			return true
+		}
+	case breakerHalfOpen:
+		// A trial is already in flight.
+	}
+	t.fastFails.Add(1)
+	return false
+}
+
+// available reports whether addr is worth contacting without consuming
+// a half-open trial slot — used by refresh/rebalance to skip
+// known-dead peers, and by the hedger to pick a live replica.
+func (t *healthTracker) available(addr string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peer(addr).state != breakerOpen
+}
+
+// record feeds one RPC outcome into addr's state. transportFail marks
+// connection-level failures; application-level errors count as
+// successes for liveness. latency is the exchange's duration
+// (successes only; ignored when zero).
+func (t *healthTracker) record(addr string, transportFail bool, latency time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peer(addr)
+	if !transportFail {
+		p.fails = 0
+		p.lastErr = ""
+		if p.state != breakerClosed {
+			p.state = breakerClosed
+		}
+		if latency > 0 {
+			us := float64(latency) / float64(time.Microsecond)
+			if p.ewmaMicros == 0 {
+				p.ewmaMicros = us
+			} else {
+				p.ewmaMicros += ewmaAlpha * (us - p.ewmaMicros)
+			}
+		}
+		return
+	}
+	p.fails++
+	if p.state == breakerHalfOpen || (p.state == breakerClosed && p.fails >= t.failures) {
+		p.state = breakerOpen
+		p.lastTrial = time.Now()
+		t.opens.Add(1)
+	}
+}
+
+// noteErr remembers the text of addr's latest transport failure for the
+// topology endpoint.
+func (t *healthTracker) noteErr(addr string, err error) {
+	t.mu.Lock()
+	t.peer(addr).lastErr = err.Error()
+	t.mu.Unlock()
+}
+
+// ewma returns addr's smoothed response latency, or 0 with no data yet.
+func (t *healthTracker) ewma(addr string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return time.Duration(t.peer(addr).ewmaMicros) * time.Microsecond
+}
+
+// snapshot lists every tracked peer, ordered by address.
+func (t *healthTracker) snapshot() []PeerHealth {
+	t.mu.Lock()
+	out := make([]PeerHealth, 0, len(t.peers))
+	for addr, p := range t.peers {
+		out = append(out, PeerHealth{
+			Addr:       addr,
+			Breaker:    p.state,
+			Failures:   p.fails,
+			EWMAMicros: int64(p.ewmaMicros),
+			LastError:  p.lastErr,
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// counters drains nothing — it reports the tracker's monotonic
+// breaker counters for the metrics snapshot.
+func (t *healthTracker) counters() (opens, fastFails int64) {
+	return t.opens.Load(), t.fastFails.Load()
+}
+
+// backoff computes the jittered exponential retry delay for attempt n
+// (0-based): base·2ⁿ, capped, with ±50% jitter so synchronized
+// retriers fan out instead of stampeding a recovering peer.
+func backoff(base, cap time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 500 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	if d > cap || d <= 0 { // d <= 0: shift overflow
+		d = cap
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}

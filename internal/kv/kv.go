@@ -240,6 +240,23 @@ type Metrics struct {
 	RPCRetries        int64
 	RPCBytesIn        int64
 	RPCBytesOut       int64
+
+	// Resilience counters (networked cluster): RPCHedges hedge requests
+	// fired for slow idempotent reads, of which RPCHedgeWins returned
+	// before the primary attempt; BreakerOpens circuit-breaker
+	// closed→open transitions, BreakerFastFails requests refused without
+	// a dial because the peer's breaker was open; RPCRedials transparent
+	// retries after a stale pooled connection. DeadlineAborts counts
+	// region-server requests abandoned because the caller's propagated
+	// deadline expired; ScanCancels counts server-side scans torn down
+	// early by a client cancel frame or disconnect.
+	RPCHedges        int64
+	RPCHedgeWins     int64
+	BreakerOpens     int64
+	BreakerFastFails int64
+	RPCRedials       int64
+	DeadlineAborts   int64
+	ScanCancels      int64
 }
 
 // snapshot copies m with atomic loads, field by field. Every Metrics

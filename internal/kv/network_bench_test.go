@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+	"time"
 
 	"just/internal/rpc"
 )
@@ -13,6 +14,13 @@ import (
 // report the wire protocol's cost relative to the same code path with
 // the network removed.
 func benchCluster(b *testing.B, tcp bool) *Router {
+	return benchClusterOpts(b, tcp, RouterOptions{}, nil)
+}
+
+// benchClusterOpts is benchCluster with router knobs and an optional
+// transport wrapper (fault injection), applied once the peer addresses
+// are known.
+func benchClusterOpts(b *testing.B, tcp bool, ropts RouterOptions, wrap func(peers []string, tr Transport) Transport) *Router {
 	b.Helper()
 	const n = 3
 	peers := make([]string, n)
@@ -54,7 +62,12 @@ func benchCluster(b *testing.B, tcp bool) *Router {
 		}
 		tr = lb
 	}
-	r, err := OpenRouter(RouterOptions{Peers: peers, Transport: tr})
+	if wrap != nil {
+		tr = wrap(peers, tr)
+	}
+	ropts.Peers = peers
+	ropts.Transport = tr
+	r, err := OpenRouter(ropts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -84,6 +97,48 @@ func BenchmarkNetworkedIngest(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkNetworkedGet measures routed point-read latency in three
+// shapes: the loopback and TCP baselines, and a TCP cluster whose
+// primary stalls 10ms on every point read with hedging enabled — the
+// hedged variant's per-op cost should track the hedge delay plus a
+// replica round trip, not the primary's stall.
+func BenchmarkNetworkedGet(b *testing.B) {
+	const keys = 5000
+	load := func(b *testing.B, r *Router) {
+		var wb WriteBatch
+		for i := 0; i < keys; i++ {
+			wb.Put([]byte(fmt.Sprintf("k-%09d", i)), []byte("v"))
+			if wb.Len() == 1000 {
+				if err := r.Apply(&wb); err != nil {
+					b.Fatal(err)
+				}
+				wb = WriteBatch{}
+			}
+		}
+	}
+	run := func(b *testing.B, r *Router) {
+		load(b, r)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Get([]byte(fmt.Sprintf("k-%09d", i%keys))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("loopback", func(b *testing.B) { run(b, benchCluster(b, false)) })
+	b.Run("tcp", func(b *testing.B) { run(b, benchCluster(b, true)) })
+	b.Run("tcp-slow-primary-hedged", func(b *testing.B) {
+		r := benchClusterOpts(b, true,
+			RouterOptions{Replicas: 1, HedgeAfter: time.Millisecond},
+			func(peers []string, tr Transport) Transport {
+				ft := NewFaultTransport(tr, 1)
+				ft.Add(TransportFaultRule{Addr: peers[0], Op: rpc.OpGet, Prob: 1, Delay: 10 * time.Millisecond})
+				return ft
+			})
+		run(b, r)
+	})
 }
 
 // BenchmarkNetworkedScan measures a routed 1000-row range scan.

@@ -53,6 +53,10 @@ const (
 // it by reseeding the replica from scratch.
 var errShipGap = errors.New("kv: ship sequence gap")
 
+// errScanDone stops a scan walk after its stream already ended with a
+// terminal frame (deadline abort); never sent on the wire.
+var errScanDone = errors.New("kv: scan terminated early")
+
 // RegionNode hosts regions on one region-server process: it owns their
 // LSM stores, serves the rpc surface (see the Handler method), ships
 // acknowledged batches synchronously to replica peers, and splits its
@@ -280,6 +284,10 @@ func (n *RegionNode) Close() error {
 // sendKVErr maps storage errors onto wire error codes.
 func sendKVErr(w *rpc.ResponseWriter, err error) error {
 	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The caller's propagated budget ran out (or the server is
+		// shutting the request down); the work was abandoned.
+		return w.SendErr(rpc.CodeDeadline, err.Error())
 	case errors.Is(err, ErrStaleRegion):
 		return w.SendErr(rpc.CodeStaleRegion, err.Error())
 	case errors.Is(err, ErrNotFound):
@@ -305,11 +313,11 @@ func (n *RegionNode) Handler() rpc.Handler {
 		case rpc.OpPutBatch:
 			return n.handlePutBatch(ctx, payload, w)
 		case rpc.OpGet:
-			return n.handleGet(payload, w)
+			return n.handleGet(ctx, payload, w)
 		case rpc.OpMultiGet:
-			return n.handleMultiGet(payload, w)
+			return n.handleMultiGet(ctx, payload, w)
 		case rpc.OpScan:
-			return n.handleScan(payload, w)
+			return n.handleScan(ctx, payload, w)
 		case rpc.OpShip:
 			return n.handleShip(payload, w)
 		case rpc.OpRegionMap:
@@ -343,10 +351,24 @@ func (n *RegionNode) Handler() rpc.Handler {
 	}
 }
 
+// expired reports (and counts) a request whose propagated caller
+// budget already ran out — the work is abandoned before it starts, or
+// between scan batches.
+func (n *RegionNode) expired(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		atomic.AddInt64(&n.met.DeadlineAborts, 1)
+		return true
+	}
+	return false
+}
+
 func (n *RegionNode) handlePutBatch(ctx context.Context, payload []byte, w *rpc.ResponseWriter) error {
 	var req rpc.PutBatchReq
 	if err := req.Decode(payload); err != nil {
 		return w.SendErr(rpc.CodeBadRequest, err.Error())
+	}
+	if n.expired(ctx) {
+		return sendKVErr(w, ctx.Err())
 	}
 	muts, err := decodeBatchPayload(req.Payload)
 	if err != nil {
@@ -509,10 +531,13 @@ func (n *RegionNode) reseedReplica(ctx context.Context, sr *servedRegion, addr s
 	return seq, nil
 }
 
-func (n *RegionNode) handleGet(payload []byte, w *rpc.ResponseWriter) error {
+func (n *RegionNode) handleGet(ctx context.Context, payload []byte, w *rpc.ResponseWriter) error {
 	var req rpc.GetReq
 	if err := req.Decode(payload); err != nil {
 		return w.SendErr(rpc.CodeBadRequest, err.Error())
+	}
+	if n.expired(ctx) {
+		return sendKVErr(w, ctx.Err())
 	}
 	sr, err := n.acquire(req.Region, req.Epoch, 0)
 	if err != nil {
@@ -526,10 +551,13 @@ func (n *RegionNode) handleGet(payload []byte, w *rpc.ResponseWriter) error {
 	return w.Send(rpc.OpResp, v)
 }
 
-func (n *RegionNode) handleMultiGet(payload []byte, w *rpc.ResponseWriter) error {
+func (n *RegionNode) handleMultiGet(ctx context.Context, payload []byte, w *rpc.ResponseWriter) error {
 	var req rpc.MultiGetReq
 	if err := req.Decode(payload); err != nil {
 		return w.SendErr(rpc.CodeBadRequest, err.Error())
+	}
+	if n.expired(ctx) {
+		return sendKVErr(w, ctx.Err())
 	}
 	sr, err := n.acquire(req.Region, req.Epoch, 0)
 	if err != nil {
@@ -549,10 +577,13 @@ func (n *RegionNode) handleMultiGet(payload []byte, w *rpc.ResponseWriter) error
 	return w.Send(rpc.OpResp, resp.Append(nil))
 }
 
-func (n *RegionNode) handleScan(payload []byte, w *rpc.ResponseWriter) error {
+func (n *RegionNode) handleScan(ctx context.Context, payload []byte, w *rpc.ResponseWriter) error {
 	var req rpc.ScanReq
 	if err := req.Decode(payload); err != nil {
 		return w.SendErr(rpc.CodeBadRequest, err.Error())
+	}
+	if n.expired(ctx) {
+		return sendKVErr(w, ctx.Err())
 	}
 	sr, err := n.acquire(req.Region, req.Epoch, 0)
 	if err != nil {
@@ -563,6 +594,26 @@ func (n *RegionNode) handleScan(payload []byte, w *rpc.ResponseWriter) error {
 	// scan instead (writes keep flowing — they also use read locks).
 	defer sr.mu.RUnlock()
 	kr := KeyRange{Start: req.Start, End: req.End, Zoned: req.Zoned, ZMin: req.ZMin, ZMax: req.ZMax}
+	// emit flushes one batch, bailing out when the caller's propagated
+	// deadline expired (a terminal CodeDeadline ends the stream and
+	// errScanDone stops the walk) or the client canceled the stream —
+	// either way the consumer is gone, so the scan stops instead of
+	// walking the rest of the region into a dead connection.
+	emit := func(batch *rpc.ScanBatch) error {
+		if n.expired(ctx) {
+			if err := sendKVErr(w, ctx.Err()); err != nil {
+				return err
+			}
+			return errScanDone
+		}
+		if err := w.Send(rpc.OpScanBatch, batch.Append(nil)); err != nil {
+			if errors.Is(err, rpc.ErrStreamCanceled) {
+				atomic.AddInt64(&n.met.ScanCancels, 1)
+			}
+			return err
+		}
+		return nil
+	}
 	var batch rpc.ScanBatch
 	var size int
 	it := sr.r.Scan(kr)
@@ -572,8 +623,11 @@ func (n *RegionNode) handleScan(payload []byte, w *rpc.ResponseWriter) error {
 		batch.Vals = append(batch.Vals, append([]byte(nil), it.Value()...))
 		size += len(it.Key()) + len(it.Value())
 		if len(batch.Keys) >= scanBatchSize || size >= reseedChunkBytes {
-			if err := w.Send(rpc.OpScanBatch, batch.Append(nil)); err != nil {
-				return err // stream torn down client-side
+			if err := emit(&batch); err != nil {
+				if errors.Is(err, errScanDone) {
+					return nil
+				}
+				return err
 			}
 			batch.Keys, batch.Vals, size = batch.Keys[:0], batch.Vals[:0], 0
 		}
@@ -582,7 +636,10 @@ func (n *RegionNode) handleScan(payload []byte, w *rpc.ResponseWriter) error {
 		return sendKVErr(w, err)
 	}
 	if len(batch.Keys) > 0 {
-		if err := w.Send(rpc.OpScanBatch, batch.Append(nil)); err != nil {
+		if err := emit(&batch); err != nil {
+			if errors.Is(err, errScanDone) {
+				return nil
+			}
 			return err
 		}
 	}

@@ -30,10 +30,34 @@ type RouterOptions struct {
 	// MergeBytes merges two adjacent regions on the same primary when
 	// both are below it; 0 disables cold merges.
 	MergeBytes int64
+
+	// BreakerFailures is the consecutive-transport-failure count that
+	// opens a peer's circuit breaker (0 = 3). While open, requests to
+	// the peer fail fast without a dial; after ProbeInterval one trial
+	// request (or a background probe) is admitted to test recovery.
+	BreakerFailures int
+	// ProbeInterval runs the background OpPing prober over every peer
+	// and paces open→half-open breaker trials; 0 disables the prober
+	// (breakers still half-open on live traffic, at a 2s default pace).
+	ProbeInterval time.Duration
+	// HedgeAfter enables hedged reads: an idempotent Get/MultiGet
+	// still unanswered after max(HedgeAfter, 2× the primary's EWMA
+	// latency) fires a second copy at the most responsive live replica,
+	// first answer wins. 0 disables hedging.
+	HedgeAfter time.Duration
+	// RetryBackoff / RetryBackoffMax shape the jittered exponential
+	// backoff between stale-map/failover retries (0 = 5ms base, 500ms
+	// cap). Sleeps are cut short by the caller's context deadline.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 }
 
 // routerMaxRetries bounds stale-map / failover retries per operation.
 const routerMaxRetries = 8
+
+// errBreakerOpen is the cause inside the fail-fast TransportError
+// returned for a peer whose circuit breaker is open.
+var errBreakerOpen = errors.New("kv: peer circuit breaker open")
 
 // routerIDBase is the region-ID space the router mints merge targets
 // from — far above node split IDs (NodeID*splitIDSpace+counter) for any
@@ -60,10 +84,11 @@ type routedRegion struct {
 // loop (RebalanceInterval) evens primary placement across peers and
 // merges adjacent cold regions.
 type Router struct {
-	opts RouterOptions
-	tr   Transport
-	own  *rpc.Client // set when the router built its own transport
-	met  Metrics
+	opts   RouterOptions
+	tr     Transport
+	own    *rpc.Client // set when the router built its own transport
+	met    Metrics
+	health *healthTracker
 
 	mu      sync.RWMutex
 	regions []routedRegion // sorted by range start
@@ -83,15 +108,33 @@ func OpenRouter(opts RouterOptions) (*Router, error) {
 	if len(opts.Peers) == 0 {
 		return nil, errors.New("kv: router needs at least one peer")
 	}
-	r := &Router{opts: opts, tr: opts.Transport, stop: make(chan struct{})}
+	r := &Router{
+		opts:   opts,
+		tr:     opts.Transport,
+		health: newHealthTracker(opts.BreakerFailures, opts.ProbeInterval),
+		stop:   make(chan struct{}),
+	}
 	if r.tr == nil {
 		r.own = rpc.NewClient(rpc.ClientOptions{})
 		r.tr = r.own
 	}
+	// Peers may still be coming up (process supervisors start everything
+	// at once), so the initial map build retries with backoff instead of
+	// failing on the first connection refused.
 	ctx := context.Background()
-	if err := r.refresh(ctx); err != nil {
-		r.Close()
-		return nil, err
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = r.refresh(ctx); err == nil {
+			break
+		}
+		if attempt >= routerMaxRetries {
+			r.Close()
+			return nil, err
+		}
+		if err := r.sleepBackoff(ctx, attempt); err != nil {
+			r.Close()
+			return nil, err
+		}
 	}
 	if len(r.snapshot()) == 0 {
 		if err := r.bootstrap(ctx); err != nil {
@@ -103,8 +146,109 @@ func OpenRouter(opts RouterOptions) (*Router, error) {
 		r.wg.Add(1)
 		go r.loop()
 	}
+	if opts.ProbeInterval > 0 {
+		r.wg.Add(1)
+		go r.probeLoop()
+	}
 	return r, nil
 }
+
+// do routes one unary RPC through addr's circuit breaker and feeds the
+// outcome back into the health tracker. An open breaker fails fast
+// with a TransportError (no dial), which the retry/failover machinery
+// classifies exactly like a dead peer — because that is what it is.
+func (r *Router) do(ctx context.Context, addr string, op byte, payload []byte) ([]byte, error) {
+	if !r.health.allow(addr) {
+		return nil, &rpc.TransportError{Addr: addr, Err: errBreakerOpen}
+	}
+	start := time.Now()
+	p, err := r.tr.Do(ctx, addr, op, payload)
+	r.observe(addr, err, time.Since(start))
+	return p, err
+}
+
+// doStream is do for streaming RPCs.
+func (r *Router) doStream(ctx context.Context, addr string, op byte, payload []byte, onFrame func(op byte, payload []byte) (bool, error)) error {
+	if !r.health.allow(addr) {
+		return &rpc.TransportError{Addr: addr, Err: errBreakerOpen}
+	}
+	start := time.Now()
+	err := r.tr.Stream(ctx, addr, op, payload, onFrame)
+	r.observe(addr, err, time.Since(start))
+	return err
+}
+
+// observe classifies one RPC outcome for the health tracker: transport
+// failures count against the peer, anything the peer actually answered
+// (success or RemoteError) counts as liveness, and caller-side
+// cancellation says nothing about the peer at all.
+func (r *Router) observe(addr string, err error, d time.Duration) {
+	switch {
+	case err == nil:
+		r.health.record(addr, false, d)
+	case rpc.IsTransport(err):
+		r.health.record(addr, true, 0)
+		r.health.noteErr(addr, err)
+	default:
+		var re *rpc.RemoteError
+		if errors.As(err, &re) {
+			r.health.record(addr, false, d)
+		}
+	}
+}
+
+// sleepBackoff waits out the jittered exponential delay for a retry
+// attempt, cut short by the caller's deadline or router shutdown.
+func (r *Router) sleepBackoff(ctx context.Context, attempt int) error {
+	d := backoff(r.opts.RetryBackoff, r.opts.RetryBackoffMax, attempt)
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return context.DeadlineExceeded
+		}
+		if d > rem {
+			d = rem
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-r.stop:
+		return ErrClosed
+	case <-t.C:
+		return nil
+	}
+}
+
+// probeLoop pings every peer each interval, feeding the tracker so
+// dead peers are discovered (and revived ones readmitted) without a
+// live request having to trip over them. Probes bypass the breaker —
+// they are how an open breaker learns the peer came back.
+func (r *Router) probeLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.opts.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			for _, addr := range r.opts.Peers {
+				pctx, cancel := context.WithTimeout(context.Background(), r.opts.ProbeInterval)
+				start := time.Now()
+				_, err := r.tr.Do(pctx, addr, rpc.OpPing, nil)
+				cancel()
+				r.observe(addr, err, time.Since(start))
+			}
+		}
+	}
+}
+
+// PeerHealth reports every tracked peer's breaker state and smoothed
+// latency, for the admin topology surface.
+func (r *Router) PeerHealth() []PeerHealth { return r.health.snapshot() }
 
 // bootstrap creates region 1 covering (-inf, +inf) at epoch 1: primary
 // on the first peer, replicas on the next Replicas peers.
@@ -115,12 +259,12 @@ func (r *Router) bootstrap(ctx context.Context) error {
 		replicas = append(replicas, r.opts.Peers[i])
 	}
 	req := rpc.CreateRegionReq{ID: 1, Epoch: 1, Role: rpc.RolePrimary, Replicas: replicas}
-	if _, err := r.tr.Do(ctx, primary, rpc.OpCreateRegion, rpc.MarshalAdmin(&req)); err != nil {
+	if _, err := r.do(ctx, primary, rpc.OpCreateRegion, rpc.MarshalAdmin(&req)); err != nil {
 		return fmt.Errorf("kv: bootstrap region on %s: %w", primary, err)
 	}
 	for _, addr := range replicas {
 		rep := rpc.CreateRegionReq{ID: 1, Epoch: 1, Role: rpc.RoleReplica}
-		if _, err := r.tr.Do(ctx, addr, rpc.OpCreateRegion, rpc.MarshalAdmin(&rep)); err != nil {
+		if _, err := r.do(ctx, addr, rpc.OpCreateRegion, rpc.MarshalAdmin(&rep)); err != nil {
 			return fmt.Errorf("kv: bootstrap replica on %s: %w", addr, err)
 		}
 	}
@@ -139,7 +283,7 @@ func (r *Router) refresh(ctx context.Context) error {
 	orphans := map[uint64]routedRegion{}
 	reached := 0
 	for _, addr := range r.opts.Peers {
-		p, err := r.tr.Do(ctx, addr, rpc.OpRegionMap, nil)
+		p, err := r.do(ctx, addr, rpc.OpRegionMap, nil)
 		if err != nil {
 			continue
 		}
@@ -300,6 +444,11 @@ func translateErr(err error) error {
 			return ErrUnavailable
 		case rpc.CodeClosed:
 			return ErrClosed
+		case rpc.CodeDeadline:
+			// The server abandoned the work because our propagated budget
+			// expired; surface the same error a local deadline would, so
+			// exec's lifecycle mapping lifts it to ErrDeadlineExceeded.
+			return context.DeadlineExceeded
 		}
 	}
 	return err
@@ -343,7 +492,7 @@ func (r *Router) failover(ctx context.Context, reg routedRegion) {
 	bestAddr, bestSeq := "", uint64(0)
 	var live []string
 	for _, addr := range reg.replicas {
-		p, err := r.tr.Do(ctx, addr, rpc.OpStatus, statusReq)
+		p, err := r.do(ctx, addr, rpc.OpStatus, statusReq)
 		if err != nil {
 			continue
 		}
@@ -367,7 +516,7 @@ func (r *Router) failover(ctx context.Context, reg routedRegion) {
 	}
 	newEpoch := reg.epoch + 1
 	promote := rpc.PromoteReq{Region: reg.id, NewEpoch: newEpoch, Replicas: rest}
-	if _, err := r.tr.Do(ctx, bestAddr, rpc.OpPromote, rpc.MarshalAdmin(&promote)); err != nil {
+	if _, err := r.do(ctx, bestAddr, rpc.OpPromote, rpc.MarshalAdmin(&promote)); err != nil {
 		return
 	}
 	atomic.AddInt64(&r.met.Failovers, 1)
@@ -386,30 +535,51 @@ func (r *Router) failover(ctx context.Context, reg routedRegion) {
 
 // Put stores key → value.
 func (r *Router) Put(key, value []byte) error {
-	return r.applyMuts(context.Background(), []mutation{{kindPut, key, value}})
+	return r.PutCtx(context.Background(), key, value)
+}
+
+// PutCtx is Put bounded by ctx; the remaining budget travels to the
+// region server in the request frame's deadline envelope.
+func (r *Router) PutCtx(ctx context.Context, key, value []byte) error {
+	return r.applyMuts(ctx, []mutation{{kindPut, key, value}})
 }
 
 // Delete removes key.
 func (r *Router) Delete(key []byte) error {
-	return r.applyMuts(context.Background(), []mutation{{kindDelete, key, nil}})
+	return r.DeleteCtx(context.Background(), key)
+}
+
+// DeleteCtx is Delete bounded by ctx.
+func (r *Router) DeleteCtx(ctx context.Context, key []byte) error {
+	return r.applyMuts(ctx, []mutation{{kindDelete, key, nil}})
 }
 
 // Apply group-commits a WriteBatch, split across the regions its keys
 // land in; batch order is preserved within each region.
 func (r *Router) Apply(b *WriteBatch) error {
+	return r.ApplyCtx(context.Background(), b)
+}
+
+// ApplyCtx is Apply bounded by ctx.
+func (r *Router) ApplyCtx(ctx context.Context, b *WriteBatch) error {
 	if len(b.muts) == 0 {
 		return nil
 	}
-	return r.applyMuts(context.Background(), b.muts)
+	return r.applyMuts(ctx, b.muts)
 }
 
 // DeleteBatch removes many keys via the group-commit path.
 func (r *Router) DeleteBatch(keys [][]byte) error {
+	return r.DeleteBatchCtx(context.Background(), keys)
+}
+
+// DeleteBatchCtx is DeleteBatch bounded by ctx.
+func (r *Router) DeleteBatchCtx(ctx context.Context, keys [][]byte) error {
 	muts := make([]mutation, len(keys))
 	for i, k := range keys {
 		muts[i] = mutation{kindDelete, k, nil}
 	}
-	return r.applyMuts(context.Background(), muts)
+	return r.applyMuts(ctx, muts)
 }
 
 type mutGroup struct {
@@ -420,6 +590,11 @@ type mutGroup struct {
 func (r *Router) applyMuts(ctx context.Context, muts []mutation) error {
 	pending := muts
 	for attempt := 0; attempt < routerMaxRetries; attempt++ {
+		if attempt > 0 {
+			if err := r.sleepBackoff(ctx, attempt-1); err != nil {
+				return err
+			}
+		}
 		// Group by destination region, preserving mutation order within
 		// each group (replicas replay ship order; see servedRegion).
 		var groups []mutGroup
@@ -448,7 +623,7 @@ func (r *Router) applyMuts(ctx context.Context, muts []mutation) error {
 				Region: g.reg.id, Epoch: g.reg.epoch,
 				Payload: encodeBatchPayload(nil, g.muts),
 			}
-			_, err := r.tr.Do(ctx, g.reg.addr, rpc.OpPutBatch, req.Append(nil))
+			_, err := r.do(ctx, g.reg.addr, rpc.OpPutBatch, req.Append(nil))
 			if err == nil {
 				continue
 			}
@@ -468,14 +643,23 @@ func (r *Router) applyMuts(ctx context.Context, muts []mutation) error {
 
 // Get fetches the value for key or ErrNotFound.
 func (r *Router) Get(key []byte) ([]byte, error) {
-	ctx := context.Background()
+	return r.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get bounded by ctx.
+func (r *Router) GetCtx(ctx context.Context, key []byte) ([]byte, error) {
 	for attempt := 0; attempt < routerMaxRetries; attempt++ {
+		if attempt > 0 {
+			if err := r.sleepBackoff(ctx, attempt-1); err != nil {
+				return nil, err
+			}
+		}
 		reg, err := r.route(ctx, key)
 		if err != nil {
 			return nil, err
 		}
 		req := rpc.GetReq{Region: reg.id, Epoch: reg.epoch, Key: key}
-		v, err := r.tr.Do(ctx, reg.addr, rpc.OpGet, req.Append(nil))
+		v, err := r.readHedged(ctx, reg, rpc.OpGet, req.Append(nil))
 		if err == nil {
 			return v, nil
 		}
@@ -487,16 +671,114 @@ func (r *Router) Get(key []byte) ([]byte, error) {
 	return nil, ErrUnavailable
 }
 
+// hedgeTarget picks the replica a slow read should hedge to: the live
+// one (breaker not open) with the lowest smoothed latency. Empty when
+// hedging is off or no replica qualifies.
+func (r *Router) hedgeTarget(reg routedRegion) string {
+	if r.opts.HedgeAfter <= 0 {
+		return ""
+	}
+	target, best := "", time.Duration(0)
+	for _, addr := range reg.replicas {
+		if addr == reg.addr || !r.health.available(addr) {
+			continue
+		}
+		e := r.health.ewma(addr)
+		if target == "" || e < best {
+			target, best = addr, e
+		}
+	}
+	return target
+}
+
+// readHedged issues an idempotent read to reg's primary and, if no
+// answer lands within max(HedgeAfter, 2× the primary's EWMA latency),
+// fires the same read at the most responsive replica — first
+// definitive answer (success or RemoteError) wins, the loser is
+// canceled. Only reads hedge: a hedged write would execute twice when
+// both copies land, and replicas hold every acknowledged write (the
+// primary ships synchronously), so a replica read is as fresh as the
+// primary's.
+func (r *Router) readHedged(ctx context.Context, reg routedRegion, op byte, payload []byte) ([]byte, error) {
+	target := r.hedgeTarget(reg)
+	if target == "" {
+		return r.do(ctx, reg.addr, op, payload)
+	}
+	delay := r.opts.HedgeAfter
+	if e := 2 * r.health.ewma(reg.addr); e > delay {
+		delay = e
+	}
+	type result struct {
+		p     []byte
+		err   error
+		hedge bool
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan result, 2) // buffered: the loser must not block
+	go func() {
+		p, err := r.do(hctx, reg.addr, op, payload)
+		ch <- result{p, err, false}
+	}()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	hedged := false
+	for got := 0; ; {
+		var res result
+		if !hedged {
+			select {
+			case res = <-ch:
+				// The primary answered (or failed) before the hedge window:
+				// return it as-is so failures classify normally.
+				return res.p, res.err
+			case <-timer.C:
+				hedged = true
+				atomic.AddInt64(&r.met.RPCHedges, 1)
+				go func() {
+					p, err := r.do(hctx, target, op, payload)
+					ch <- result{p, err, true}
+				}()
+				continue
+			}
+		}
+		res = <-ch
+		got++
+		var re *rpc.RemoteError
+		if res.err == nil || errors.As(res.err, &re) {
+			// Definitive: the peer answered. Cancel the loser and return.
+			if res.hedge {
+				atomic.AddInt64(&r.met.RPCHedgeWins, 1)
+			}
+			cancel()
+			return res.p, res.err
+		}
+		if got == 2 {
+			// Both attempts failed at the transport (or the caller gave
+			// up); report the failure for the normal retry/failover path.
+			return res.p, res.err
+		}
+	}
+}
+
 // MultiGet fetches many keys; the result is parallel to keys with nil
 // entries for misses.
 func (r *Router) MultiGet(keys [][]byte) ([][]byte, error) {
-	ctx := context.Background()
+	return r.MultiGetCtx(context.Background(), keys)
+}
+
+// MultiGetCtx is MultiGet bounded by ctx.
+func (r *Router) MultiGetCtx(ctx context.Context, keys [][]byte) ([][]byte, error) {
 	out := make([][]byte, len(keys))
 	pending := make([]int, len(keys))
 	for i := range pending {
 		pending[i] = i
 	}
 	for attempt := 0; attempt < routerMaxRetries && len(pending) > 0; attempt++ {
+		if attempt > 0 {
+			if err := r.sleepBackoff(ctx, attempt-1); err != nil {
+				return nil, err
+			}
+		}
 		// Group the outstanding key indexes by destination region.
 		var groups []mutGroup
 		idxGroups := [][]int{}
@@ -521,7 +803,7 @@ func (r *Router) MultiGet(keys [][]byte) ([][]byte, error) {
 			for _, ki := range idxGroups[gi] {
 				req.Keys = append(req.Keys, keys[ki])
 			}
-			p, err := r.tr.Do(ctx, g.reg.addr, rpc.OpMultiGet, req.Append(nil))
+			p, err := r.readHedged(ctx, g.reg, rpc.OpMultiGet, req.Append(nil))
 			if err != nil {
 				if r.retryable(ctx, g.reg, err) {
 					failed = append(failed, idxGroups[gi]...)
@@ -616,7 +898,7 @@ func (r *Router) runScanTask(ctx context.Context, t scanTask, emit func(key, val
 			Start: sub.Start, End: sub.End,
 			Zoned: sub.Zoned, ZMin: sub.ZMin, ZMax: sub.ZMax,
 		}
-		err = r.tr.Stream(ctx, reg.addr, rpc.OpScan, req.Append(nil), func(op byte, p []byte) (bool, error) {
+		err = r.doStream(ctx, reg.addr, rpc.OpScan, req.Append(nil), func(op byte, p []byte) (bool, error) {
 			if op != rpc.OpScanBatch {
 				return true, nil
 			}
@@ -650,6 +932,9 @@ func (r *Router) runScanTask(ctx context.Context, t scanTask, emit func(key, val
 			attempts++
 			if attempts > routerMaxRetries {
 				return translateErr(err)
+			}
+			if serr := r.sleepBackoff(ctx, attempts-1); serr != nil {
+				return serr
 			}
 			if r.retryable(ctx, reg, err) {
 				if resume != nil {
@@ -685,7 +970,7 @@ func (r *Router) broadcast(op byte) error {
 	ctx := context.Background()
 	var first error
 	for _, addr := range r.opts.Peers {
-		if _, err := r.tr.Do(ctx, addr, op, nil); err != nil && first == nil {
+		if _, err := r.do(ctx, addr, op, nil); err != nil && first == nil {
 			first = translateErr(err)
 		}
 	}
@@ -698,7 +983,7 @@ func (r *Router) DiskSize() int64 {
 	ctx := context.Background()
 	var total int64
 	for _, addr := range r.opts.Peers {
-		p, err := r.tr.Do(ctx, addr, rpc.OpRegionMap, nil)
+		p, err := r.do(ctx, addr, rpc.OpRegionMap, nil)
 		if err != nil {
 			continue
 		}
@@ -725,7 +1010,7 @@ func (r *Router) Metrics() Metrics {
 	out := r.met.snapshot()
 	ctx := context.Background()
 	for _, addr := range r.opts.Peers {
-		p, err := r.tr.Do(ctx, addr, rpc.OpStats, nil)
+		p, err := r.do(ctx, addr, rpc.OpStats, nil)
 		if err != nil {
 			continue
 		}
@@ -739,7 +1024,11 @@ func (r *Router) Metrics() Metrics {
 		st := r.own.Stats()
 		out.RPCBytesIn += st.BytesIn
 		out.RPCBytesOut += st.BytesOut
+		out.RPCRedials += st.Redials
 	}
+	opens, fastFails := r.health.counters()
+	out.BreakerOpens += opens
+	out.BreakerFastFails += fastFails
 	return out
 }
 
@@ -865,29 +1154,29 @@ func (r *Router) moveRegion(ctx context.Context, reg routedRegion, dst string) {
 		ID: reg.id, Epoch: reg.epoch, Start: reg.kr.Start, End: reg.kr.End,
 		Role: rpc.RoleReplica, Reset: true,
 	}
-	if _, err := r.tr.Do(ctx, dst, rpc.OpCreateRegion, rpc.MarshalAdmin(&create)); err != nil {
+	if _, err := r.do(ctx, dst, rpc.OpCreateRegion, rpc.MarshalAdmin(&create)); err != nil {
 		return
 	}
 	// Re-promote the current primary in place with dst in the replica
 	// set; shipping to an unseeded peer reseeds it with the full state.
 	shipSet := append(append([]string(nil), others...), dst)
 	p1 := rpc.PromoteReq{Region: reg.id, NewEpoch: reg.epoch + 1, Replicas: shipSet}
-	if _, err := r.tr.Do(ctx, reg.addr, rpc.OpPromote, rpc.MarshalAdmin(&p1)); err != nil {
+	if _, err := r.do(ctx, reg.addr, rpc.OpPromote, rpc.MarshalAdmin(&p1)); err != nil {
 		return
 	}
 	// An empty batch forces one ship round, seeding dst even on an idle
 	// region.
 	sync := rpc.PutBatchReq{Region: reg.id, Epoch: reg.epoch + 1, Payload: encodeBatchPayload(nil, nil)}
-	if _, err := r.tr.Do(ctx, reg.addr, rpc.OpPutBatch, sync.Append(nil)); err != nil {
+	if _, err := r.do(ctx, reg.addr, rpc.OpPutBatch, sync.Append(nil)); err != nil {
 		return
 	}
 	// Leadership lands on dst; the old primary's copy retires.
 	p2 := rpc.PromoteReq{Region: reg.id, NewEpoch: reg.epoch + 2, Replicas: others}
-	if _, err := r.tr.Do(ctx, dst, rpc.OpPromote, rpc.MarshalAdmin(&p2)); err != nil {
+	if _, err := r.do(ctx, dst, rpc.OpPromote, rpc.MarshalAdmin(&p2)); err != nil {
 		return
 	}
 	retire := rpc.RetireReq{Region: reg.id}
-	r.tr.Do(ctx, reg.addr, rpc.OpRetire, rpc.MarshalAdmin(&retire))
+	r.do(ctx, reg.addr, rpc.OpRetire, rpc.MarshalAdmin(&retire))
 	atomic.AddInt64(&r.met.RegionMoves, 1)
 	r.refresh(ctx)
 }
@@ -925,13 +1214,13 @@ func (r *Router) mergeOnce(ctx context.Context) bool {
 		}
 		req := rpc.MergeReq{Left: a.id, Right: b.id, NewID: newID, Epoch: epoch + 1}
 		payload := rpc.MarshalAdmin(&req)
-		if _, err := r.tr.Do(ctx, a.addr, rpc.OpMerge, payload); err != nil {
+		if _, err := r.do(ctx, a.addr, rpc.OpMerge, payload); err != nil {
 			return false
 		}
 		// Replica copies merge too, best effort; a replica that misses
 		// the merge reseeds when the merged primary first ships to it.
 		for _, rep := range a.replicas {
-			r.tr.Do(ctx, rep, rpc.OpMerge, payload)
+			r.do(ctx, rep, rpc.OpMerge, payload)
 		}
 		r.refresh(ctx)
 		return true

@@ -31,6 +31,19 @@ type Store interface {
 	MultiGet(keys [][]byte) ([][]byte, error)
 	// DeleteBatch removes many keys via the group-commit path.
 	DeleteBatch(keys [][]byte) error
+
+	// Context-carrying variants of the point operations, for callers
+	// holding a query deadline: the networked Router propagates the
+	// remaining budget to the region servers in the request frames (so
+	// abandoned work aborts server-side); the in-process Cluster honors
+	// cancellation between operations. The plain methods above are these
+	// with context.Background().
+	PutCtx(ctx context.Context, key, value []byte) error
+	DeleteCtx(ctx context.Context, key []byte) error
+	GetCtx(ctx context.Context, key []byte) ([]byte, error)
+	ApplyCtx(ctx context.Context, b *WriteBatch) error
+	MultiGetCtx(ctx context.Context, keys [][]byte) ([][]byte, error)
+	DeleteBatchCtx(ctx context.Context, keys [][]byte) error
 	// ScanRange streams pairs of one range in key order; emit returning
 	// false stops the scan early.
 	ScanRange(kr KeyRange, emit func(key, value []byte) bool) error

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"time"
 
 	"just/internal/rpc"
 )
@@ -117,6 +118,13 @@ type TransportFaultRule struct {
 	// frames before cutting the stream — a partition mid-scan. 0 fails
 	// the request before it is sent.
 	AfterFrames int
+	// Delay, when set, makes matching requests slow instead of failing:
+	// the request is held for Delay plus a uniform draw from [0, Jitter]
+	// before being forwarded intact. Honors ctx cancellation during the
+	// hold, so a hedged caller's loser is released promptly. A rule with
+	// Delay set never cuts the request.
+	Delay  time.Duration
+	Jitter time.Duration
 }
 
 // FaultTransport wraps a Transport with deterministic fault injection
@@ -191,10 +199,33 @@ func (f *FaultTransport) pick(addr string, op byte) (TransportFaultRule, bool) {
 	return TransportFaultRule{}, false
 }
 
+// hold delays a matching request (latency injection), cut short by ctx.
+func (f *FaultTransport) hold(ctx context.Context, r TransportFaultRule) error {
+	d := r.Delay
+	if r.Jitter > 0 {
+		f.mu.Lock()
+		d += time.Duration(f.rng.Int63n(int64(r.Jitter) + 1))
+		f.mu.Unlock()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // Do implements Transport.
 func (f *FaultTransport) Do(ctx context.Context, addr string, op byte, payload []byte) ([]byte, error) {
-	if _, ok := f.pick(addr, op); ok {
-		return nil, &rpc.TransportError{Addr: addr, Err: errPeerDown}
+	if r, ok := f.pick(addr, op); ok {
+		if r.Delay <= 0 {
+			return nil, &rpc.TransportError{Addr: addr, Err: errPeerDown}
+		}
+		if err := f.hold(ctx, r); err != nil {
+			return nil, err
+		}
 	}
 	return f.base.Do(ctx, addr, op, payload)
 }
@@ -203,6 +234,12 @@ func (f *FaultTransport) Do(ctx context.Context, addr string, op byte, payload [
 func (f *FaultTransport) Stream(ctx context.Context, addr string, op byte, payload []byte, onFrame func(op byte, payload []byte) (bool, error)) error {
 	r, ok := f.pick(addr, op)
 	if !ok {
+		return f.base.Stream(ctx, addr, op, payload, onFrame)
+	}
+	if r.Delay > 0 {
+		if err := f.hold(ctx, r); err != nil {
+			return err
+		}
 		return f.base.Stream(ctx, addr, op, payload, onFrame)
 	}
 	if r.AfterFrames <= 0 {

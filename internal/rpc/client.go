@@ -23,6 +23,7 @@ type Client struct {
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
 	dials    atomic.Int64
+	redials  atomic.Int64
 }
 
 // ClientOptions tune a Client.
@@ -40,6 +41,10 @@ type ClientOptions struct {
 	CompressMin int
 	// MaxIdlePerHost bounds pooled idle connections per peer (0 = 4).
 	MaxIdlePerHost int
+	// IdleConnTimeout discards pooled connections idle for longer
+	// (0 = 60s). A long-idle conn has likely been closed by the peer or
+	// a middlebox; reusing it manufactures a spurious transport error.
+	IdleConnTimeout time.Duration
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -58,6 +63,9 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	if o.MaxIdlePerHost <= 0 {
 		o.MaxIdlePerHost = 4
 	}
+	if o.IdleConnTimeout <= 0 {
+		o.IdleConnTimeout = 60 * time.Second
+	}
 	return o
 }
 
@@ -68,14 +76,31 @@ func NewClient(opts ClientOptions) *Client {
 
 // Stats snapshots the client's wire counters.
 func (c *Client) Stats() Stats {
-	return Stats{BytesIn: c.bytesIn.Load(), BytesOut: c.bytesOut.Load(), Conns: c.dials.Load()}
+	return Stats{
+		BytesIn:  c.bytesIn.Load(),
+		BytesOut: c.bytesOut.Load(),
+		Conns:    c.dials.Load(),
+		Redials:  c.redials.Load(),
+	}
 }
 
 // cconn is one pooled connection.
 type cconn struct {
-	nc  net.Conn
-	br  *bufio.Reader
-	buf []byte // frame build buffer
+	nc     net.Conn
+	br     *bufio.Reader
+	buf    []byte // frame build buffer
+	rn     int64  // total response bytes read off the socket
+	idleAt time.Time
+	pooled bool // drawn from the idle pool rather than freshly dialed
+}
+
+// Read counts response bytes as they leave the socket, so a failed
+// exchange can tell "the peer never answered" (safe to blame the
+// pooled conn and redial) from "the response broke mid-flight".
+func (cc *cconn) Read(p []byte) (int, error) {
+	n, err := cc.nc.Read(p)
+	cc.rn += int64(n)
+	return n, err
 }
 
 func (c *Client) getConn(ctx context.Context, addr string) (*cconn, error) {
@@ -84,25 +109,37 @@ func (c *Client) getConn(ctx context.Context, addr string) (*cconn, error) {
 		c.mu.Unlock()
 		return nil, &TransportError{Addr: addr, Err: net.ErrClosed}
 	}
-	if pool := c.idle[addr]; len(pool) > 0 {
+	for pool := c.idle[addr]; len(pool) > 0; pool = c.idle[addr] {
 		cc := pool[len(pool)-1]
 		c.idle[addr] = pool[:len(pool)-1]
+		if time.Since(cc.idleAt) > c.opts.IdleConnTimeout {
+			cc.nc.Close() // expired: almost certainly dead on the far side
+			continue
+		}
 		c.mu.Unlock()
+		cc.pooled = true
 		return cc, nil
 	}
 	c.mu.Unlock()
+	return c.dial(ctx, addr)
+}
+
+func (c *Client) dial(ctx context.Context, addr string) (*cconn, error) {
 	d := net.Dialer{Timeout: c.opts.DialTimeout}
 	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, &TransportError{Addr: addr, Err: err}
 	}
 	c.dials.Add(1)
-	return &cconn{nc: nc, br: bufio.NewReaderSize(nc, 64<<10)}, nil
+	cc := &cconn{nc: nc}
+	cc.br = bufio.NewReaderSize(cc, 64<<10)
+	return cc, nil
 }
 
 func (c *Client) putConn(addr string, cc *cconn) {
 	c.mu.Lock()
 	if !c.closed && len(c.idle[addr]) < c.opts.MaxIdlePerHost {
+		cc.idleAt = time.Now()
 		c.idle[addr] = append(c.idle[addr], cc)
 		c.mu.Unlock()
 		return
@@ -117,6 +154,22 @@ func (c *Client) deadlineFor(ctx context.Context) time.Time {
 		return d
 	}
 	return time.Now().Add(c.opts.OpTimeout)
+}
+
+// deadlineMicros is the caller's remaining budget for the deadline
+// envelope, or 0 when ctx carries no deadline. A context already at or
+// past its deadline reports budget 1µs — the frame still carries the
+// envelope and the server aborts immediately.
+func deadlineMicros(ctx context.Context) uint64 {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	rem := time.Until(d) / time.Microsecond
+	if rem < 1 {
+		return 1
+	}
+	return uint64(rem)
 }
 
 // Do sends one request and returns the single terminal response
@@ -137,6 +190,12 @@ func (c *Client) Do(ctx context.Context, addr string, op byte, payload []byte) (
 // onFrame returns false/an error. OpError frames terminate the stream
 // with the decoded RemoteError; onFrame never sees them. The payload
 // passed to onFrame is only valid during the call.
+//
+// When the request rode a pooled connection and failed before any
+// response byte arrived, the failure is almost always the pool's fault
+// — the peer closed the idle conn under us — not the peer's death, so
+// Stream redials once, transparently, and retries on the fresh
+// connection before reporting a TransportError.
 func (c *Client) Stream(ctx context.Context, addr string, op byte, payload []byte, onFrame func(op byte, payload []byte) (bool, error)) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -145,6 +204,27 @@ func (c *Client) Stream(ctx context.Context, addr string, op byte, payload []byt
 	if err != nil {
 		return err
 	}
+	pooled := cc.pooled
+	rn0 := cc.rn
+	err = c.exchange(ctx, addr, cc, op, payload, onFrame)
+	if err == nil || !pooled || cc.rn != rn0 || ctx.Err() != nil {
+		return err
+	}
+	if _, ok := err.(*TransportError); !ok {
+		return err
+	}
+	// Stale pooled conn: retry exactly once on a guaranteed-fresh dial.
+	cc, derr := c.dial(ctx, addr)
+	if derr != nil {
+		return err // report the original failure; the redial adds nothing
+	}
+	c.redials.Add(1)
+	return c.exchange(ctx, addr, cc, op, payload, onFrame)
+}
+
+// exchange runs one request/response conversation on cc, returning it
+// to the pool if the wire stayed clean.
+func (c *Client) exchange(ctx context.Context, addr string, cc *cconn, op byte, payload []byte, onFrame func(op byte, payload []byte) (bool, error)) error {
 	// Cancellation forces the connection's deadline into the past, so a
 	// blocked read/write fails promptly; the connection is then discarded.
 	stop := context.AfterFunc(ctx, func() { cc.nc.SetDeadline(time.Unix(1, 0)) })
@@ -160,7 +240,7 @@ func (c *Client) Stream(ctx context.Context, addr string, op byte, payload []byt
 	}()
 
 	cc.nc.SetDeadline(c.deadlineFor(ctx))
-	cc.buf = AppendFrame(cc.buf[:0], op, payload, c.opts.CompressMin)
+	cc.buf = AppendFrameDeadline(cc.buf[:0], op, payload, c.opts.CompressMin, deadlineMicros(ctx))
 	n, err := cc.nc.Write(cc.buf)
 	c.bytesOut.Add(int64(n))
 	if err != nil {
@@ -190,8 +270,14 @@ func (c *Client) Stream(ctx context.Context, addr string, op byte, payload []byt
 				return err
 			}
 			if !more {
-				// Abandon the stream: the server keeps writing until its
-				// buffer fills, so the connection cannot be reused.
+				// Abandon the stream: tell the server so it stops producing
+				// and frees the scan promptly. Best-effort — the connection
+				// is torn down either way and never reused.
+				cc.nc.SetDeadline(time.Now().Add(time.Second))
+				f, werr := AppendFrame(cc.buf[:0], OpCancel, nil, 0), error(nil)
+				if _, werr = cc.nc.Write(f); werr == nil {
+					c.bytesOut.Add(int64(len(f)))
+				}
 				return nil
 			}
 		}

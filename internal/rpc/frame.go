@@ -5,9 +5,13 @@
 //
 //	[op u8]                 operation / response tag
 //	[flags u8]              bit 0: payload is lz4-framed (internal/compress)
+//	                        bit 1: a deadline envelope follows
+//	[deadline uvarint]      remaining request budget in microseconds,
+//	                        present only when flag bit 1 is set
 //	[len uvarint]           payload length on the wire
 //	[payload]               op-specific message bytes
-//	[crc32c u32le]          Castagnoli checksum of op, flags and payload
+//	[crc32c u32le]          Castagnoli checksum of op, flags, deadline
+//	                        and payload
 //
 // The CRC trailer covers the bytes as sent (post-compression), so a
 // damaged frame is rejected before any decompression or decoding runs.
@@ -16,11 +20,20 @@
 // (batch puts, scan batches, WAL shipments) the same keep-if-smaller
 // compression the SSTable blocks get.
 //
+// The deadline envelope propagates the caller's remaining time budget
+// to the peer: the serving side derives a per-request context from it,
+// so work whose caller already gave up is abandoned server-side instead
+// of burning CPU into a dead socket. Frames without the flag decode
+// exactly as before, so pre-envelope peers interoperate.
+//
 // One request frame yields one or more response frames: every request
 // is answered by a terminal OpResp or OpError, except scans, which
 // stream zero or more OpScanBatch frames before a terminal OpScanEnd
 // or OpError. Requests on one connection are strictly sequential; the
-// routing client pools connections for concurrency.
+// one exception is OpCancel, which a client may send mid-stream to
+// abandon a streaming response — the server tears the work down
+// instead of producing batches nobody reads. The routing client pools
+// connections for concurrency.
 package rpc
 
 import (
@@ -55,6 +68,12 @@ const (
 	OpCompact      byte = 0x0F // compact all hosted regions
 	OpStats        byte = 0x10 // node storage metrics snapshot
 
+	// OpCancel is the one mid-stream request: the client abandons the
+	// streaming response in flight on this connection. The server stops
+	// producing frames and tears the request down; the connection is not
+	// reused afterwards.
+	OpCancel byte = 0x20
+
 	// Responses.
 	OpResp      byte = 0x40 // terminal success; payload op-specific
 	OpError     byte = 0x41 // terminal failure; payload [code u8][msg]
@@ -63,7 +82,10 @@ const (
 )
 
 // Frame flag bits.
-const flagCompressed byte = 1 << 0
+const (
+	flagCompressed byte = 1 << 0
+	flagDeadline   byte = 1 << 1
+)
 
 // DefaultMaxFrameBytes bounds a frame's wire payload; a peer
 // advertising a larger length is treated as corrupt (or hostile)
@@ -86,6 +108,14 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // compressMin > 0 and the payload is at least that long, the payload is
 // lz4-framed and the compressed form is kept if smaller.
 func AppendFrame(dst []byte, op byte, payload []byte, compressMin int) []byte {
+	return AppendFrameDeadline(dst, op, payload, compressMin, 0)
+}
+
+// AppendFrameDeadline is AppendFrame with a deadline envelope:
+// deadlineMicros > 0 propagates the caller's remaining time budget in
+// the frame header (flag bit 1), 0 omits the envelope entirely, which
+// keeps the frame byte-identical to the pre-envelope format.
+func AppendFrameDeadline(dst []byte, op byte, payload []byte, compressMin int, deadlineMicros uint64) []byte {
 	flags := byte(0)
 	wire := payload
 	if compressMin > 0 && len(payload) >= compressMin {
@@ -93,10 +123,18 @@ func AppendFrame(dst []byte, op byte, payload []byte, compressMin int) []byte {
 			wire, flags = c, flagCompressed
 		}
 	}
-	dst = append(dst, op, flags)
+	var hdr [2 + binary.MaxVarintLen64]byte
+	hdr[0] = op
+	hn := 2
+	if deadlineMicros > 0 {
+		flags |= flagDeadline
+		hn += binary.PutUvarint(hdr[2:], deadlineMicros)
+	}
+	hdr[1] = flags
+	dst = append(dst, hdr[:hn]...)
 	dst = binary.AppendUvarint(dst, uint64(len(wire)))
 	dst = append(dst, wire...)
-	crc := crc32.Update(0, castagnoli, []byte{op, flags})
+	crc := crc32.Update(0, castagnoli, hdr[:hn])
 	crc = crc32.Update(crc, castagnoli, wire)
 	return binary.LittleEndian.AppendUint32(dst, crc)
 }
@@ -114,51 +152,72 @@ type byteReader interface {
 // fresh allocation owned by the caller. io.EOF is returned unchanged
 // when the stream ends cleanly before the first byte.
 func ReadFrame(r byteReader, maxLen int) (op byte, payload []byte, err error) {
+	op, _, payload, err = ReadFrameDeadline(r, maxLen)
+	return op, payload, err
+}
+
+// ReadFrameDeadline is ReadFrame plus the deadline envelope: for frames
+// carrying one (flag bit 1), deadlineMicros is the sender's remaining
+// request budget in microseconds; for plain frames it is 0.
+func ReadFrameDeadline(r byteReader, maxLen int) (op byte, deadlineMicros uint64, payload []byte, err error) {
 	if maxLen <= 0 {
 		maxLen = DefaultMaxFrameBytes
 	}
 	op, err = r.ReadByte()
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	flags, err := r.ReadByte()
 	if err != nil {
-		return 0, nil, eofIsUnexpected(err)
+		return 0, 0, nil, eofIsUnexpected(err)
 	}
-	if flags&^flagCompressed != 0 {
-		return 0, nil, fmt.Errorf("%w: unknown flags %#02x", ErrBadFrame, flags)
+	if flags&^(flagCompressed|flagDeadline) != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: unknown flags %#02x", ErrBadFrame, flags)
+	}
+	var hdr [2 + binary.MaxVarintLen64]byte
+	hdr[0], hdr[1] = op, flags
+	hn := 2
+	if flags&flagDeadline != 0 {
+		deadlineMicros, err = binary.ReadUvarint(r)
+		if err != nil {
+			return 0, 0, nil, eofIsUnexpected(err)
+		}
+		if deadlineMicros == 0 {
+			return 0, 0, nil, fmt.Errorf("%w: zero deadline envelope", ErrBadFrame)
+		}
+		hn += binary.PutUvarint(hdr[2:], deadlineMicros)
 	}
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
-		return 0, nil, eofIsUnexpected(err)
+		return 0, 0, nil, eofIsUnexpected(err)
 	}
 	if n > uint64(maxLen) {
-		return 0, nil, fmt.Errorf("%w: %d bytes (max %d)", ErrFrameTooLarge, n, maxLen)
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes (max %d)", ErrFrameTooLarge, n, maxLen)
 	}
 	wire := make([]byte, n)
 	if _, err := io.ReadFull(r, wire); err != nil {
-		return 0, nil, eofIsUnexpected(err)
+		return 0, 0, nil, eofIsUnexpected(err)
 	}
 	var trailer [4]byte
 	if _, err := io.ReadFull(r, trailer[:]); err != nil {
-		return 0, nil, eofIsUnexpected(err)
+		return 0, 0, nil, eofIsUnexpected(err)
 	}
-	crc := crc32.Update(0, castagnoli, []byte{op, flags})
+	crc := crc32.Update(0, castagnoli, hdr[:hn])
 	crc = crc32.Update(crc, castagnoli, wire)
 	if crc != binary.LittleEndian.Uint32(trailer[:]) {
-		return 0, nil, ErrBadCRC
+		return 0, 0, nil, ErrBadCRC
 	}
 	if flags&flagCompressed != 0 {
 		raw, err := compress.DecompressLZ4Frame(wire)
 		if err != nil {
-			return 0, nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+			return 0, 0, nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
 		}
 		if len(raw) > maxLen {
-			return 0, nil, fmt.Errorf("%w: %d bytes decompressed (max %d)", ErrFrameTooLarge, len(raw), maxLen)
+			return 0, 0, nil, fmt.Errorf("%w: %d bytes decompressed (max %d)", ErrFrameTooLarge, len(raw), maxLen)
 		}
-		return op, raw, nil
+		return op, deadlineMicros, raw, nil
 	}
-	return op, wire, nil
+	return op, deadlineMicros, wire, nil
 }
 
 // eofIsUnexpected converts a mid-frame EOF into io.ErrUnexpectedEOF so

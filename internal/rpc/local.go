@@ -5,9 +5,9 @@ import (
 	"errors"
 )
 
-// errAbandoned is returned to a handler whose stream the local caller
-// stopped consuming; it mirrors the closed connection a wire handler
-// would hit.
+// errAbandoned is returned to a handler that keeps writing after its
+// stream already terminated; it mirrors the closed connection a wire
+// handler would hit.
 var errAbandoned = errors.New("rpc: stream abandoned")
 
 // CallLocal invokes h as if over the wire, without a socket: response
@@ -41,8 +41,10 @@ func CallLocal(ctx context.Context, h Handler, op byte, payload []byte, onFrame 
 				return err
 			}
 			if !more {
+				// Same signal a wire handler gets from Send when the client
+				// cancels mid-stream.
 				terminal = true
-				return errAbandoned
+				return ErrStreamCanceled
 			}
 			return nil
 		}

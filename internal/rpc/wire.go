@@ -18,6 +18,7 @@ const (
 	CodeShipGap     byte = 0x04 // ship seq discontinuity: reseed the replica
 	CodeBadRequest  byte = 0x05 // undecodable or inconsistent request
 	CodeClosed      byte = 0x06 // node shutting down
+	CodeDeadline    byte = 0x07 // request abandoned: caller's budget expired
 )
 
 // RemoteError is a typed failure returned by a peer via an OpError

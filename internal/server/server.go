@@ -483,6 +483,7 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"mode":    "router",
 			"regions": rt.Topology(),
+			"peers":   rt.PeerHealth(),
 		})
 		return
 	}
@@ -546,6 +547,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"rpc_bytes_in":              m.RPCBytesIn,
 		"rpc_bytes_out":             m.RPCBytesOut,
 		"rpc_retries":               m.RPCRetries,
+		"rpc_redials":               m.RPCRedials,
+		"rpc_hedges":                m.RPCHedges,
+		"rpc_hedge_wins":            m.RPCHedgeWins,
+		"breaker_opens":             m.BreakerOpens,
+		"breaker_fast_fails":        m.BreakerFastFails,
+		"deadline_aborts":           m.DeadlineAborts,
+		"scan_cancels":              m.ScanCancels,
 		"region_splits":             m.RegionSplits,
 		"region_merges":             m.RegionMerges,
 		"region_moves":              m.RegionMoves,

@@ -79,7 +79,7 @@ func (s *Session) ExecuteStmtContext(ctx context.Context, stmt Statement) (*Resu
 	case *CreateViewStmt:
 		return s.execCreateView(ctx, v)
 	case *StoreViewStmt:
-		return s.execStoreView(v)
+		return s.execStoreView(ctx, v)
 	case *DropStmt:
 		return s.execDrop(v)
 	case *ShowStmt:
@@ -87,7 +87,7 @@ func (s *Session) ExecuteStmtContext(ctx context.Context, stmt Statement) (*Resu
 	case *DescStmt:
 		return s.execDesc(v)
 	case *InsertStmt:
-		return s.execInsert(v)
+		return s.execInsert(ctx, v)
 	case *LoadStmt:
 		return s.execLoad(ctx, v)
 	case *SelectStmt:
@@ -213,7 +213,7 @@ func (s *Session) execCreateView(ctx context.Context, st *CreateViewStmt) (*Resu
 	return &Result{Message: fmt.Sprintf("view %s created (%d rows cached)", st.Name, res.Frame.Count())}, nil
 }
 
-func (s *Session) execStoreView(st *StoreViewStmt) (*Result, error) {
+func (s *Session) execStoreView(ctx context.Context, st *StoreViewStmt) (*Result, error) {
 	v, err := s.engine.Views().Get(s.user, st.View)
 	if err != nil {
 		return nil, err
@@ -233,7 +233,7 @@ func (s *Session) execStoreView(st *StoreViewStmt) (*Result, error) {
 		}
 	}
 	rows := v.Frame.Collect()
-	if err := s.engine.BulkInsert(s.user, st.Table, rows); err != nil {
+	if err := s.engine.BulkInsertContext(ctx, s.user, st.Table, rows); err != nil {
 		return nil, err
 	}
 	return &Result{Message: fmt.Sprintf("stored %d rows from view %s into table %s", len(rows), st.View, st.Table)}, nil
@@ -323,7 +323,7 @@ func (s *Session) execDesc(st *DescStmt) (*Result, error) {
 // execInsert evaluates the VALUES rows and writes them all through
 // Engine.Insert, which rides Table.InsertBatch — a multi-row INSERT is
 // one group commit per touched storage region, not one Put per value.
-func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
+func (s *Session) execInsert(ctx context.Context, st *InsertStmt) (*Result, error) {
 	t, err := s.engine.OpenTable(s.user, st.Table)
 	if err != nil {
 		return nil, err
@@ -348,7 +348,7 @@ func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
 		}
 		rows = append(rows, row)
 	}
-	if err := s.engine.Insert(t.Desc.User, t.Desc.Name, rows); err != nil {
+	if err := s.engine.InsertContext(ctx, t.Desc.User, t.Desc.Name, rows); err != nil {
 		return nil, err
 	}
 	return &Result{Message: fmt.Sprintf("%d rows inserted into %s", len(rows), st.Table)}, nil
@@ -1220,7 +1220,7 @@ func (s *Session) loadTable(ctx context.Context, st *LoadStmt) (*Result, error) 
 	if ferr != nil {
 		return nil, ferr
 	}
-	if err := s.engine.BulkInsert(dst.Desc.User, dst.Desc.Name, rows); err != nil {
+	if err := s.engine.BulkInsertContext(ctx, dst.Desc.User, dst.Desc.Name, rows); err != nil {
 		return nil, err
 	}
 	return &Result{Message: fmt.Sprintf("loaded %d rows into %s", len(rows), st.Dst)}, nil

@@ -190,6 +190,12 @@ func (t *Table) record(row exec.Row) (index.Record, error) {
 // (GeoMesa's delete-before-write upsert); the attribute index's bloom
 // filters make the existence probe cheap for fresh fids.
 func (t *Table) Insert(row exec.Row) error {
+	return t.InsertCtx(context.Background(), row)
+}
+
+// InsertCtx is Insert bounded by ctx: on the networked store the
+// remaining budget rides each kv request to the region servers.
+func (t *Table) InsertCtx(ctx context.Context, row exec.Row) error {
 	rec, err := t.record(row)
 	if err != nil {
 		return err
@@ -212,7 +218,7 @@ func (t *Table) Insert(row exec.Row) error {
 	// Tombstone index entries of a previous version that landed on
 	// different keys (the record moved).
 	attrKey := append(t.keyPrefix(t.attrID), t.attr.KeyForFID(rec.FID)...)
-	if oldValue, err := t.cluster.Get(attrKey); err == nil {
+	if oldValue, err := t.cluster.GetCtx(ctx, attrKey); err == nil {
 		oldRow, err := t.codec.Decode(oldValue)
 		if err != nil {
 			return err
@@ -231,7 +237,7 @@ func (t *Table) Insert(row exec.Row) error {
 			}
 			full := append(t.keyPrefix(t.Desc.Indexes[indexSlot(t.Desc, i)].ID), oldKey...)
 			if newKeys[i] == nil || !bytes.Equal(full, newKeys[i]) {
-				if err := t.cluster.Delete(full); err != nil {
+				if err := t.cluster.DeleteCtx(ctx, full); err != nil {
 					return err
 				}
 			}
@@ -239,14 +245,14 @@ func (t *Table) Insert(row exec.Row) error {
 	} else if err != kv.ErrNotFound {
 		return err
 	}
-	if err := t.cluster.Put(attrKey, value); err != nil {
+	if err := t.cluster.PutCtx(ctx, attrKey, value); err != nil {
 		return err
 	}
 	for _, key := range newKeys {
 		if key == nil {
 			continue
 		}
-		if err := t.cluster.Put(key, value); err != nil {
+		if err := t.cluster.PutCtx(ctx, key, value); err != nil {
 			return err
 		}
 	}
@@ -263,6 +269,11 @@ func (t *Table) Insert(row exec.Row) error {
 // matches calling Insert per row, including upserts of fids repeated
 // within the batch (later rows win).
 func (t *Table) InsertBatch(rows []exec.Row) error {
+	return t.InsertBatchCtx(context.Background(), rows)
+}
+
+// InsertBatchCtx is InsertBatch bounded by ctx.
+func (t *Table) InsertBatchCtx(ctx context.Context, rows []exec.Row) error {
 	if len(rows) == 0 {
 		return nil
 	}
@@ -308,7 +319,7 @@ func (t *Table) InsertBatch(rows []exec.Row) error {
 	for i := range preps {
 		attrKeys[i] = preps[i].attrKey
 	}
-	oldVals, err := t.cluster.MultiGet(attrKeys)
+	oldVals, err := t.cluster.MultiGetCtx(ctx, attrKeys)
 	if err != nil {
 		return err
 	}
@@ -373,7 +384,7 @@ func (t *Table) InsertBatch(rows []exec.Row) error {
 		}
 		lastByFID[string(preps[i].rec.FID)] = i
 	}
-	return t.cluster.Apply(&batch)
+	return t.cluster.ApplyCtx(ctx, &batch)
 }
 
 // parallelRows runs fn(i) for i in [0, n) across GOMAXPROCS workers and
@@ -442,8 +453,13 @@ func indexSlot(d *Desc, i int) int {
 
 // Get fetches a row by primary key.
 func (t *Table) Get(fid any) (exec.Row, error) {
+	return t.GetCtx(context.Background(), fid)
+}
+
+// GetCtx is Get bounded by ctx.
+func (t *Table) GetCtx(ctx context.Context, fid any) (exec.Row, error) {
 	key := append(t.keyPrefix(t.attrID), t.attr.KeyForFID(FIDBytes(fid))...)
-	v, err := t.cluster.Get(key)
+	v, err := t.cluster.GetCtx(ctx, key)
 	if err != nil {
 		return nil, err
 	}

@@ -34,7 +34,8 @@ done
 
 "$BIN" -role=router -dir "$WORK/router" -addr "127.0.0.1:$HTTP_PORT" \
     -peers "127.0.0.1:$RPC1,127.0.0.1:$RPC2,127.0.0.1:$RPC3" \
-    -replication 1 >"$WORK/router.log" 2>&1 &
+    -replication 1 -breaker-failures 2 -probe-interval 500ms \
+    >"$WORK/router.log" 2>&1 &
 PIDS+=($!)
 disown $!
 
@@ -82,4 +83,49 @@ TOTAL=$(sql "SELECT fid FROM p" | sed 's/.*"total"://; s/[,}].*//')
 curl -fsS "$BASE/api/v1/admin/topology" | grep -q '"mode":"router"' ||
     { echo "FAIL: topology endpoint"; exit 1; }
 
-echo "PASS: 3-process cluster served $((ROWS + 10)) acknowledged writes across a region-server kill"
+# The killed peer's circuit breaker must open before any revival: the
+# failed routes and the background prober both record transport failures
+# against 127.0.0.1:$RPC1, and the topology endpoint exposes the state.
+BREAKER_OPEN=0
+for _ in $(seq 1 50); do
+    if curl -fsS "$BASE/api/v1/admin/topology" |
+        grep -q "\"addr\":\"127.0.0.1:$RPC1\",\"breaker\":\"open\""; then
+        BREAKER_OPEN=1
+        break
+    fi
+    sleep 0.2
+done
+[ "$BREAKER_OPEN" = 1 ] || {
+    echo "FAIL: killed peer 127.0.0.1:$RPC1 never showed breaker:open on topology"
+    curl -fsS "$BASE/api/v1/admin/topology" || true
+    exit 1
+}
+
+# Revive the killed region server: the prober's half-open trial must
+# readmit it and flip the breaker back to closed.
+"$BIN" -role=region -dir "$WORK/region1" -rpc-addr "127.0.0.1:$RPC1" \
+    -node-id 1 >>"$WORK/region1.log" 2>&1 &
+PIDS+=($!)
+disown $!
+BREAKER_CLOSED=0
+for _ in $(seq 1 75); do
+    if curl -fsS "$BASE/api/v1/admin/topology" |
+        grep -q "\"addr\":\"127.0.0.1:$RPC1\",\"breaker\":\"closed\""; then
+        BREAKER_CLOSED=1
+        break
+    fi
+    sleep 0.2
+done
+[ "$BREAKER_CLOSED" = 1 ] || {
+    echo "FAIL: revived peer 127.0.0.1:$RPC1 breaker never closed"
+    curl -fsS "$BASE/api/v1/admin/topology" || true
+    exit 1
+}
+
+TOTAL=$(sql "SELECT fid FROM p" | sed 's/.*"total"://; s/[,}].*//')
+[ "$TOTAL" = "$((ROWS + 10))" ] || {
+    echo "FAIL: after reviving the region server, scan saw $TOTAL rows, want $((ROWS + 10))"
+    exit 1
+}
+
+echo "PASS: 3-process cluster served $((ROWS + 10)) acknowledged writes across a region-server kill; breaker opened and re-closed"
