@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"just/internal/core"
+	"just/internal/jobs"
 	"just/internal/kv"
 	"just/internal/rpc"
 	"just/internal/server"
@@ -67,11 +68,31 @@ func main() {
 	hedgeAfter := flag.Duration("hedge-after", 0, "hedge idempotent reads to a replica after this delay (0 = hedging off)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "base retry backoff between routing attempts (0 = default 5ms)")
 	retryBackoffMax := flag.Duration("retry-backoff-max", 0, "retry backoff cap (0 = default 500ms)")
+
+	// Maintenance scheduler knobs (all roles).
+	jobQuarantineAfter := flag.Int("job-quarantine-after", 0, "consecutive failures before a maintenance class is quarantined (0 = default 5, negative = never)")
+	jobQuarantineCooldown := flag.Duration("job-quarantine-cooldown", 0, "quarantine hold before one probe run is re-admitted (0 = default 30s)")
+	jobCompactConcurrency := flag.Int("job-compact-concurrency", 0, "concurrent compactions across all regions (0 = default 2)")
+	jobDiskLow := flag.Int64("job-disk-low", 0, "free-space threshold in bytes below which low-priority maintenance is shed and writes degrade (0 = watchdog off)")
+	jobDiskCheck := flag.Duration("job-disk-check", 0, "disk-pressure watchdog probe period (0 = default 2s)")
 	flag.Parse()
+
+	jobOpts := jobs.Options{
+		QuarantineAfter:    *jobQuarantineAfter,
+		QuarantineCooldown: *jobQuarantineCooldown,
+		DiskFreeLow:        *jobDiskLow,
+		DiskCheckInterval:  *jobDiskCheck,
+		Logf:               log.Printf,
+	}
+	if *jobCompactConcurrency > 0 {
+		jobOpts.Classes = map[jobs.Class]jobs.ClassConfig{
+			jobs.ClassCompact: {MaxConcurrent: *jobCompactConcurrency},
+		}
+	}
 
 	switch *role {
 	case "region":
-		runRegion(*dir, *rpcAddr, *nodeID, *codec, *splitBytes, *splitWriteBytes)
+		runRegion(*dir, *rpcAddr, *nodeID, *codec, *splitBytes, *splitWriteBytes, jobOpts)
 		return
 	case "standalone", "router":
 	default:
@@ -82,6 +103,7 @@ func main() {
 		Dir:     *dir,
 		Workers: *workers,
 		ViewTTL: *viewTTL,
+		Jobs:    jobOpts,
 		Cluster: kv.ClusterOptions{
 			Options:       kv.Options{Codec: *codec},
 			Servers:       *servers,
@@ -157,9 +179,18 @@ func main() {
 }
 
 // runRegion hosts one networked region server until SIGINT/SIGTERM.
-func runRegion(dir, rpcAddr string, nodeID int, codec string, splitBytes, splitWriteBytes int64) {
+func runRegion(dir, rpcAddr string, nodeID int, codec string, splitBytes, splitWriteBytes int64, jobOpts jobs.Options) {
+	// One maintenance scheduler per region-server process: every region
+	// the node hosts (including ones created by splits) flushes and
+	// compacts through it, so the -job-* caps and the disk-pressure
+	// watchdog are node-wide.
+	if jobOpts.DiskPath == "" {
+		jobOpts.DiskPath = dir
+	}
+	sched := jobs.New(jobOpts)
+	defer sched.Close()
 	node, err := kv.OpenRegionNode(dir, kv.NodeOptions{
-		Options:         kv.Options{Codec: codec},
+		Options:         kv.Options{Codec: codec, Jobs: sched},
 		NodeID:          nodeID,
 		SplitBytes:      splitBytes,
 		SplitWriteBytes: splitWriteBytes,

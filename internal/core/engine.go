@@ -16,6 +16,7 @@ import (
 	"just/internal/exec"
 	"just/internal/geom"
 	"just/internal/index"
+	"just/internal/jobs"
 	"just/internal/kv"
 	"just/internal/table"
 )
@@ -44,12 +45,20 @@ type Config struct {
 	// DisableFieldCompression turns the paper's compression mechanism
 	// off globally (the JUSTnc variant in the evaluation).
 	DisableFieldCompression bool
+	// Jobs tunes the maintenance scheduler every background task
+	// (flush, compaction, scrub, repair, stats, rebalance) runs through:
+	// quarantine thresholds, per-class concurrency overrides, and the
+	// disk-pressure watchdog. Zero values take the scheduler defaults;
+	// Jobs.DiskPath defaults to Dir so the watchdog measures the volume
+	// the engine actually writes to.
+	Jobs jobs.Options
 }
 
 // Engine is the embedded JUST engine.
 type Engine struct {
 	cfg     Config
 	cluster kv.Store
+	sched   *jobs.Scheduler
 	catalog *table.Catalog
 	views   *table.Views
 	ctx     *exec.Context
@@ -60,42 +69,108 @@ type Engine struct {
 	statsRefreshes atomic.Int64 // completed RefreshStats runs
 }
 
+// statsAutoJob is the engine's stats-after-compaction dependency edge:
+// a registered stats job kicked whenever a compaction completes.
+const statsAutoJob = "stats-auto"
+
 // Open creates or reopens an engine rooted at cfg.Dir.
 func Open(cfg Config) (*Engine, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("core: Config.Dir is required")
 	}
+	// One maintenance scheduler per engine: the storage layer (cluster
+	// or router) registers its jobs with it, the engine adds its own
+	// (automatic stats refresh), and the admin surface snapshots it.
+	jopts := cfg.Jobs
+	if jopts.DiskPath == "" {
+		jopts.DiskPath = cfg.Dir
+	}
+	sched := jobs.New(jopts)
 	var cluster kv.Store
 	var err error
 	if cfg.Router != nil {
-		cluster, err = kv.OpenRouter(*cfg.Router)
+		ropts := *cfg.Router
+		ropts.Jobs = sched
+		cluster, err = kv.OpenRouter(ropts)
 	} else {
 		copts := cfg.Cluster
 		if copts.SplitPoints == nil && copts.Servers == 0 {
 			copts.Servers = 5 // the paper's cluster size
 		}
+		copts.Options.Jobs = sched
 		cluster, err = kv.OpenCluster(filepath.Join(cfg.Dir, "data"), copts)
 	}
 	if err != nil {
+		sched.Close()
 		return nil, err
 	}
 	catalog, err := table.OpenCatalog(filepath.Join(cfg.Dir, "catalog.json"))
 	if err != nil {
 		cluster.Close()
+		sched.Close()
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:     cfg,
 		cluster: cluster,
+		sched:   sched,
 		catalog: catalog,
 		views:   table.NewViews(cfg.ViewTTL),
 		ctx:     exec.NewContext(cfg.Workers, cfg.MemoryBudget),
 		tables:  map[string]*table.Table{},
-	}, nil
+	}
+	// Dependency edge: compactions rewrite the physical layout planner
+	// statistics describe, so a completed compaction kicks one coalesced
+	// stats pass. Only tables that have been ANALYZEd refresh — a table
+	// nobody asked statistics for stays heuristically planned.
+	if err := sched.Register(jobs.Spec{
+		Name:         statsAutoJob,
+		Class:        jobs.ClassStats,
+		TriggerAfter: []jobs.Class{jobs.ClassCompact},
+		Fn:           e.refreshAnalyzedTables,
+	}); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
 }
 
-// Close shuts the engine down.
-func (e *Engine) Close() error { return e.cluster.Close() }
+// Close shuts the engine down: storage first (regions drain their final
+// flushes through the scheduler), then the scheduler itself.
+func (e *Engine) Close() error {
+	err := e.cluster.Close()
+	e.sched.Close()
+	return err
+}
+
+// Jobs exposes the engine's maintenance scheduler (admin surface,
+// metrics, tests).
+func (e *Engine) Jobs() *jobs.Scheduler { return e.sched }
+
+// refreshAnalyzedTables re-collects statistics for every open table
+// that already has some (the stats-after-compaction edge). Errors on
+// one table don't stop the others; the first is returned so the
+// scheduler's stats counters reflect the failure.
+func (e *Engine) refreshAnalyzedTables(ctx context.Context) error {
+	e.mu.Lock()
+	ts := make([]*table.Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		if t.Stats() != nil {
+			ts = append(ts, t)
+		}
+	}
+	e.mu.Unlock()
+	var first error
+	for _, t := range ts {
+		if ctx.Err() != nil {
+			return nil // shutdown mid-pass: not a stats failure
+		}
+		if _, err := e.refreshTableStats(ctx, t); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Context returns the shared execution context (the paper's shared Spark
 // context, Section VII-A).
@@ -463,6 +538,27 @@ func (e *Engine) RefreshStats(ctx context.Context, user, name string) (*table.Ta
 	if err != nil {
 		return nil, err
 	}
+	// Concurrent refreshes of one table collapse onto a single
+	// collection (ANALYZE storms from the admin endpoint dedupe through
+	// the scheduler); every caller gets the freshly installed snapshot.
+	key := "stats:" + table.QualifiedName(t.Desc.User, t.Desc.Name)
+	err = e.sched.DoShared(ctx, jobs.ClassStats, key, func(ctx context.Context) error {
+		_, err := e.refreshTableStats(ctx, t)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := t.Stats()
+	if st == nil {
+		return nil, errors.New("core: stats refresh produced no snapshot")
+	}
+	return st, nil
+}
+
+// refreshTableStats is the one collection path: recollect, persist,
+// count. Shared by RefreshStats and the stats-after-compaction job.
+func (e *Engine) refreshTableStats(ctx context.Context, t *table.Table) (*table.TableStats, error) {
 	st, err := t.RefreshStats(ctx)
 	if err != nil {
 		return nil, err

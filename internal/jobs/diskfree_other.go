@@ -1,0 +1,11 @@
+//go:build !(linux || darwin)
+
+package jobs
+
+import "errors"
+
+// diskFree is unavailable on this platform; the watchdog keeps its last
+// state (never trips) unless a DiskProbe override is supplied.
+func diskFree(string) (int64, error) {
+	return 0, errors.New("jobs: disk free probe unsupported on this platform")
+}

@@ -1,0 +1,15 @@
+//go:build linux || darwin
+
+package jobs
+
+import "syscall"
+
+// diskFree returns the bytes available to unprivileged writers on the
+// filesystem holding path.
+func diskFree(path string) (int64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(path, &st); err != nil {
+		return 0, err
+	}
+	return int64(st.Bavail) * int64(st.Bsize), nil
+}

@@ -3,6 +3,7 @@ package kv
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"just/internal/jobs"
 	"just/internal/replica"
 )
 
@@ -72,14 +74,32 @@ type Cluster struct {
 	// Integrity subsystem state (see scrub.go). repairWG tracks every
 	// scheduled repair so Scrub and Close can wait for quiescence.
 	repairWG        sync.WaitGroup
-	scrubMu         sync.Mutex // serializes Scrub runs
+	scrubMu         sync.Mutex // serializes scrub passes
 	scrubRunning    atomic.Bool
 	scrubLastStart  atomic.Int64 // unix ms
 	scrubLastDur    atomic.Int64 // ms
 	scrubLastBlocks atomic.Int64
-	scrubStop       chan struct{}
-	scrubDone       chan struct{}
+	scrubLastErr    error // last pass's RF0 corruption verdict (under scrubMu)
+
+	// Maintenance scheduler: all background work (flush, compaction,
+	// scrub, repair) runs through it. ownJobs marks a scheduler the
+	// cluster created (and closes); a shared one is the caller's.
+	jobs     *jobs.Scheduler
+	ownJobs  bool
+	scrubJob string // registered scrub job name
 }
+
+// jobKey scopes a handle's scheduler runs; it matches the member
+// regions' jobKey (every node of a handle shares the region id), so a
+// repair of the handle preempts an in-flight scrub of the same region.
+func (h *regionHandle) jobKey() string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.nodes[0].r.jobKey()
+}
+
+// Jobs exposes the cluster's maintenance scheduler (admin API, tests).
+func (c *Cluster) Jobs() *jobs.Scheduler { return c.jobs }
 
 // regionHandle binds a key range to its replication group: nodes[0] is
 // the current leader, the rest are replicas fed by WAL shipping. With
@@ -154,6 +174,13 @@ func OpenCluster(dir string, opts ClusterOptions) (*Cluster, error) {
 	// dispatcher, so extractors registered after open still cover data
 	// flushed later (zone maps are stamped at flush/compaction time).
 	c.opts.Options.ZoneExtractor = c.zoneFor
+	// All maintenance runs through one scheduler; regions opened below
+	// (and by splits/repairs later) inherit it through c.opts.Options.
+	if c.jobs = opts.Options.Jobs; c.jobs == nil {
+		c.jobs = jobs.New(jobs.Options{})
+		c.ownJobs = true
+		c.opts.Options.Jobs = c.jobs
+	}
 	for i := 0; i < opts.Servers; i++ {
 		c.servers = append(c.servers, &regionServer{
 			id:    i,
@@ -180,10 +207,24 @@ func OpenCluster(dir string, opts ClusterOptions) (*Cluster, error) {
 		c.regions = append(c.regions, h)
 		c.nextID = i + 1
 	}
-	if opts.ScrubInterval > 0 {
-		c.scrubStop = make(chan struct{})
-		c.scrubDone = make(chan struct{})
-		go c.scrubLoop(opts.ScrubInterval)
+	// The scrub job is always registered — with ScrubInterval 0 it has
+	// no ticker and fires only on demand (Scrub → RunNow), which is how
+	// concurrent scrub requests dedupe onto one pass.
+	c.scrubJob = "scrub:" + dir
+	if err := c.jobs.Register(jobs.Spec{
+		Name:     c.scrubJob,
+		Class:    jobs.ClassScrub,
+		Interval: opts.ScrubInterval,
+		Fn: func(ctx context.Context) error {
+			err := c.scrubPass(ctx)
+			if errors.Is(err, ErrClosed) {
+				return nil // shutting down; not a scrub failure
+			}
+			return err
+		},
+	}); err != nil {
+		c.Close()
+		return nil, err
 	}
 	return c, nil
 }
@@ -1173,6 +1214,7 @@ func (c *Cluster) Metrics() Metrics {
 		TablesQuarantined:   atomic.LoadInt64(&c.met.TablesQuarantined),
 		RepairsCompleted:    atomic.LoadInt64(&c.met.RepairsCompleted),
 		OrphansRemoved:      atomic.LoadInt64(&c.met.OrphansRemoved),
+		CompactionsDeferred: atomic.LoadInt64(&c.met.CompactionsDeferred),
 
 		RegionSplits:      atomic.LoadInt64(&c.met.RegionSplits),
 		RegionMerges:      atomic.LoadInt64(&c.met.RegionMerges),
@@ -1201,14 +1243,12 @@ func (c *Cluster) Close() error {
 	// scrubber and in-flight repairs read and rebuild stores, so they
 	// must finish (repairs observe the closed flag and wind down) before
 	// the stores go away.
-	if c.scrubStop != nil {
-		close(c.scrubStop)
-		<-c.scrubDone
+	if c.scrubJob != "" {
+		c.jobs.Deregister(c.scrubJob)
 	}
 	c.repairWG.Wait()
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	var first error
 	for _, h := range c.regions {
 		if h.group != nil {
@@ -1223,6 +1263,12 @@ func (c *Cluster) Close() error {
 				first = err
 			}
 		}
+	}
+	c.mu.Unlock()
+	// The scheduler goes last: region Close drains flushers, which still
+	// route their final flushes through it.
+	if c.ownJobs {
+		c.jobs.Close()
 	}
 	return first
 }

@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -88,12 +89,15 @@ func TestFsyncErrorDuringFlush(t *testing.T) {
 	}
 }
 
-// TestTornSSTableWrite: a write torn mid-SSTable (half the bytes land,
-// then the device errors) fails the flush; recovery comes from the WAL.
+// TestTornSSTableWrite: writes torn mid-SSTable (half the bytes land,
+// then the device errors) fail the flush even after the scheduler's
+// bounded retries; recovery comes from the WAL. (The fault is
+// persistent — a transient tear is absorbed by flush retry now, see
+// TestFlushRetriesTransientFsyncError.)
 func TestTornSSTableWrite(t *testing.T) {
 	dir := t.TempDir()
 	ffs := NewFaultFS(OSFS{}, 2)
-	ffs.Add(FaultRule{Pattern: "*.tmp", Op: OpWrite, Kind: FaultTorn, Prob: 1, Count: 1})
+	ffs.Add(FaultRule{Pattern: "*.tmp", Op: OpWrite, Kind: FaultTorn, Prob: 1})
 	r, err := openRegion(0, dir, Options{FS: ffs}.withDefaults(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +132,7 @@ func TestTornSSTableWrite(t *testing.T) {
 func TestRenameDropOrphansCleaned(t *testing.T) {
 	dir := t.TempDir()
 	ffs := NewFaultFS(OSFS{}, 3)
-	ffs.Add(FaultRule{Pattern: "*.tmp", Op: OpRename, Kind: FaultDrop, Prob: 1, Count: 1})
+	ffs.Add(FaultRule{Pattern: "*.tmp", Op: OpRename, Kind: FaultDrop, Prob: 1})
 	r, err := openRegion(0, dir, Options{FS: ffs}.withDefaults(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -291,7 +295,7 @@ func TestBitFlipRF0TypedError(t *testing.T) {
 
 	// Scrub finds it too, reports it (nothing to repair from), and the
 	// admin state shows the corrupt node; the table is NOT quarantined.
-	if err := c.Scrub(); !errors.As(err, &cb) {
+	if err := c.Scrub(context.Background()); !errors.As(err, &cb) {
 		t.Fatalf("Scrub at RF=0 = %v, want *ErrCorruptBlock", err)
 	}
 	st := c.ScrubState()
@@ -356,7 +360,7 @@ func TestBitFlipFailoverAndRepair(t *testing.T) {
 
 	// Scrub waits out the repair scheduled by the failed read; with a
 	// replica to heal from it must return nil.
-	if err := c.Scrub(); err != nil {
+	if err := c.Scrub(context.Background()); err != nil {
 		t.Fatalf("Scrub with RF=1 = %v, want healed", err)
 	}
 	m = c.Metrics()
@@ -461,7 +465,7 @@ func TestScrubRepairUnderConcurrentScans(t *testing.T) {
 			}
 		}()
 	}
-	if err := c.Scrub(); err != nil {
+	if err := c.Scrub(context.Background()); err != nil {
 		t.Fatalf("Scrub = %v", err)
 	}
 	wg.Wait()

@@ -21,6 +21,8 @@ import (
 	"errors"
 	"reflect"
 	"sync/atomic"
+
+	"just/internal/jobs"
 )
 
 // Errors returned by the store.
@@ -40,6 +42,13 @@ var (
 	// epoch (it split, merged, moved or was retired). Callers refresh
 	// their region map and retry; the Router does so transparently.
 	ErrStaleRegion = errors.New("kv: stale region map")
+	// ErrDiskPressure reports a write refused because free disk space is
+	// below the maintenance scheduler's threshold: the flush queue is
+	// full and the flusher is parked until space recovers, so instead of
+	// stalling (or latching a permanent flush error) the write path
+	// surfaces this typed, retryable condition. It aliases the scheduler
+	// package's sentinel so errors.Is matches across layers.
+	ErrDiskPressure = jobs.ErrDiskPressure
 )
 
 // kind tags an entry as a live value or a deletion tombstone.
@@ -257,6 +266,13 @@ type Metrics struct {
 	RPCRedials       int64
 	DeadlineAborts   int64
 	ScanCancels      int64
+
+	// Maintenance counters (the jobs scheduler): CompactionsDeferred
+	// background compaction checks that did not run to completion —
+	// shed under disk pressure, refused while the compact class was
+	// quarantined, or failed after retries (the region keeps serving
+	// with more tables; the next flush re-triggers the check).
+	CompactionsDeferred int64
 }
 
 // snapshot copies m with atomic loads, field by field. Every Metrics

@@ -3,7 +3,9 @@ package kv
 import (
 	"bytes"
 	"container/heap"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"just/internal/jobs"
 )
 
 // Options configure a store.
@@ -61,6 +65,13 @@ type Options struct {
 	// filesystem under a global transient-read fault injector); tests
 	// install a FaultFS to make disk failures reproducible.
 	FS VFS
+	// Jobs is the maintenance scheduler all background work (flush,
+	// compaction, scrub, repair) runs through: it provides per-class
+	// concurrency caps, bounded jittered retries, panic isolation,
+	// failure quarantine and disk-pressure shedding. nil means
+	// OpenCluster creates an owned scheduler; a region opened outside a
+	// cluster gets a private passive one (no goroutines).
+	Jobs *jobs.Scheduler
 }
 
 // blockCodec resolves the Options codec selection to a blockCodec* id.
@@ -144,6 +155,7 @@ type region struct {
 	sstSeq      int
 	closed      bool
 	flushErr    error // first background flush failure; poisons writes
+	degraded    bool  // flush parked by disk pressure; writes see ErrDiskPressure when the queue is full
 	flushPaused bool  // test hook: parks the flusher while set
 	// ship, when set, publishes every committed batch payload to the
 	// region's replication group. It is called under mu, after the WAL
@@ -156,7 +168,12 @@ type region struct {
 
 	ioMu        sync.Mutex // serializes SSTable builds (flush vs compact)
 	flusherDone chan struct{}
+	sched       *jobs.Scheduler
 }
+
+// jobKey scopes the region's scheduler runs (flush, compact, scrub,
+// repair) so key-matched preemption lines up across subsystems.
+func (r *region) jobKey() string { return fmt.Sprintf("region-%d", r.id) }
 
 // immMem is a frozen memtable queued for background flush, together with
 // the WAL files whose records it holds (deleted once the flush lands).
@@ -180,6 +197,13 @@ func openRegion(id int, dir string, opts Options, cache *blockCache, met *Metric
 		return nil, err
 	}
 	r := &region{id: id, dir: dir, opts: opts, fs: fs, cache: cache, met: met, mem: newSkiplist()}
+	if r.sched = opts.Jobs; r.sched == nil {
+		// Outside a cluster (unit tests, tools) the region gets a
+		// private passive scheduler: no registered jobs and no watchdog
+		// means zero goroutines, but Do still applies retry, panic
+		// isolation and quarantine discipline.
+		r.sched = jobs.New(jobs.Options{})
+	}
 
 	var m manifest
 	data, err := fs.ReadFile(filepath.Join(dir, "MANIFEST"))
@@ -359,8 +383,10 @@ func (r *region) quarantineTable(path string, quarantineDir string) error {
 
 // verifyTables re-reads every data block of every live table and checks
 // its checksum against disk (the scrub pass). It returns the number of
-// blocks verified and the first corruption found, if any.
-func (r *region) verifyTables() (int64, error) {
+// blocks verified and the first corruption found, if any. A ctx cancel
+// (scrub preempted by a repair of this region, or shutdown) stops the
+// walk between tables and returns the ctx error.
+func (r *region) verifyTables(ctx context.Context) (int64, error) {
 	r.mu.RLock()
 	if r.closed {
 		r.mu.RUnlock()
@@ -371,6 +397,9 @@ func (r *region) verifyTables() (int64, error) {
 	defer releaseTables(tables)
 	var blocks int64
 	for _, t := range tables {
+		if err := ctx.Err(); err != nil {
+			return blocks, err
+		}
 		n, err := t.verify()
 		blocks += n
 		if err != nil {
@@ -399,6 +428,9 @@ func (r *region) put(key, value []byte, k kind) error {
 	}
 	if r.flushErr != nil {
 		return r.flushErr
+	}
+	if r.degraded && len(r.imm) > r.opts.FlushQueue {
+		return ErrDiskPressure
 	}
 	if r.log != nil {
 		if err := r.log.append(k, key, value); err != nil {
@@ -432,6 +464,9 @@ func (r *region) applyBatch(muts []mutation) error {
 	}
 	if r.flushErr != nil {
 		return r.flushErr
+	}
+	if r.degraded && len(r.imm) > r.opts.FlushQueue {
+		return ErrDiskPressure
 	}
 	// A replicated region encodes the batch payload once and hands the
 	// same sealed bytes to the local WAL and (after the memtable insert)
@@ -517,15 +552,20 @@ func (r *region) maybeFreezeLocked() error {
 		return err
 	}
 	// Backpressure: the only write stall. Writers wait until the
-	// background flusher drains the queue below the bound.
+	// background flusher drains the queue below the bound. A region
+	// degraded by disk pressure does not stall writers indefinitely —
+	// they get the typed ErrDiskPressure instead and can back off.
 	if len(r.imm) > r.opts.FlushQueue {
 		start := time.Now()
-		for len(r.imm) > r.opts.FlushQueue && !r.closed && r.flushErr == nil && !r.flushPaused {
+		for len(r.imm) > r.opts.FlushQueue && !r.closed && r.flushErr == nil && !r.flushPaused && !r.degraded {
 			r.cond.Wait()
 		}
 		if r.met != nil {
 			atomic.AddInt64(&r.met.WriteStalls, 1)
 			atomic.AddInt64(&r.met.WriteStallNanos, time.Since(start).Nanoseconds())
+		}
+		if r.degraded && len(r.imm) > r.opts.FlushQueue && r.flushErr == nil {
+			return ErrDiskPressure
 		}
 	}
 	return r.flushErr
@@ -672,17 +712,25 @@ func (r *region) flush() error {
 	if err := r.freezeLocked(); err != nil {
 		return err
 	}
-	for len(r.imm) > 0 && r.flushErr == nil && !r.closed && !r.flushPaused {
+	for len(r.imm) > 0 && r.flushErr == nil && !r.closed && !r.flushPaused && !r.degraded {
 		r.cond.Wait()
+	}
+	if r.degraded && len(r.imm) > 0 && r.flushErr == nil {
+		return ErrDiskPressure
 	}
 	return r.flushErr
 }
 
 // flusher is the region's background flush goroutine: it drains the imm
 // queue oldest-first, building each SSTable off the writers' path, and
-// runs the compaction check after each install. On a flush error it
-// parks (the frozen memtable stays readable and its WAL stays on disk
-// for recovery) and the error poisons subsequent writes.
+// runs the compaction check after each install. Every flush goes
+// through the scheduler, which gives it the flush class's bounded
+// jittered retries and panic isolation; only an error that survives the
+// retry budget — and is not transient disk pressure — latches flushErr
+// and poisons writes. Under disk pressure the region instead degrades:
+// the frozen memtable stays queued (still readable, its WAL stays on
+// disk), writers see the typed ErrDiskPressure once the queue is full,
+// and the flush re-attempts until space frees up.
 func (r *region) flusher() {
 	defer close(r.flusherDone)
 	r.mu.Lock()
@@ -697,15 +745,30 @@ func (r *region) flusher() {
 		im := r.imm[0]
 		r.mu.Unlock()
 
-		err := r.flushImm(im)
+		err := r.sched.Do(context.Background(), jobs.ClassFlush, r.jobKey(), func(context.Context) error {
+			return r.flushImm(im)
+		})
 
 		r.mu.Lock()
 		if err != nil {
+			if errors.Is(err, jobs.ErrDiskPressure) || errors.Is(err, jobs.ErrQuarantined) || r.sched.Pressured() {
+				// Transient: stay degraded and retry instead of
+				// poisoning the region forever.
+				r.degraded = true
+				r.cond.Broadcast()
+				r.mu.Unlock()
+				r.pacePressureRetry()
+				r.mu.Lock()
+				continue
+			}
 			if r.flushErr == nil {
 				r.flushErr = err
 			}
 			r.cond.Broadcast()
 			continue
+		}
+		if r.degraded {
+			r.degraded = false
 		}
 		if len(r.imm) > 0 && r.imm[0] == im {
 			r.imm = r.imm[1:]
@@ -714,13 +777,33 @@ func (r *region) flusher() {
 		r.cond.Broadcast()
 		if needCompact {
 			r.mu.Unlock()
-			cerr := r.compact()
+			// Compaction failures no longer poison writes: persistent
+			// ones quarantine the compact class (visible in metrics and
+			// the admin API) while the region keeps serving; under disk
+			// pressure the scheduler sheds the run entirely, pausing
+			// compaction's output amplification.
+			cerr := r.sched.Do(context.Background(), jobs.ClassCompact, r.jobKey(), func(context.Context) error {
+				return r.compact()
+			})
 			r.mu.Lock()
-			if cerr != nil && r.flushErr == nil {
-				r.flushErr = cerr
-				r.cond.Broadcast()
+			if cerr != nil && r.met != nil {
+				atomic.AddInt64(&r.met.CompactionsDeferred, 1)
 			}
 		}
+	}
+}
+
+// pacePressureRetry spaces out flush re-attempts while the region is
+// degraded by disk pressure, returning early when the region closes.
+func (r *region) pacePressureRetry() {
+	for i := 0; i < 5; i++ {
+		r.mu.Lock()
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 
@@ -937,7 +1020,7 @@ func (r *region) Close() error {
 		r.mu.Unlock()
 		return nil
 	}
-	for len(r.imm) > 0 && r.flushErr == nil && !r.flushPaused {
+	for len(r.imm) > 0 && r.flushErr == nil && !r.flushPaused && !r.degraded {
 		r.cond.Wait()
 	}
 	r.closed = true

@@ -305,7 +305,11 @@ func startTCPCluster(t *testing.T, n int, ropts RouterOptions) (*Router, []*Regi
 func TestDeadlineScanAbortOverTCP(t *testing.T) {
 	r, nodes, srvs := startTCPCluster(t, 1, fastRetry(RouterOptions{}))
 	var b WriteBatch
-	val := make([]byte, 100)
+	// ~30 MB of result: enough that the kernel's socket buffers cannot
+	// absorb the whole stream, so the server is still pushing frames
+	// when the client deadline lands (otherwise a fast machine finishes
+	// the scan before there is anything to abort and the test flakes).
+	val := make([]byte, 1024)
 	for i := 0; i < 30000; i++ {
 		b.Put([]byte(fmt.Sprintf("k%07d", i)), val)
 		if b.Len() == 1000 {

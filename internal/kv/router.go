@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"just/internal/jobs"
 	"just/internal/rpc"
 )
 
@@ -50,6 +51,10 @@ type RouterOptions struct {
 	// cap). Sleeps are cut short by the caller's context deadline.
 	RetryBackoff    time.Duration
 	RetryBackoffMax time.Duration
+
+	// Jobs is the maintenance scheduler the rebalance job registers
+	// with; nil makes the router create (and close) its own.
+	Jobs *jobs.Scheduler
 }
 
 // routerMaxRetries bounds stale-map / failover retries per operation.
@@ -97,9 +102,17 @@ type Router struct {
 	failMu sync.Mutex // serializes failovers and moves
 	idCtr  atomic.Uint64
 
+	jobs     *jobs.Scheduler
+	ownJobs  bool
+	rebalJob string // registered rebalance job name
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
+
+// routerSeq disambiguates job names when several routers share one
+// maintenance scheduler.
+var routerSeq atomic.Uint64
 
 // OpenRouter connects to the peers, refreshing the region map and
 // bootstrapping the first region (whole key space, epoch 1, primary on
@@ -142,9 +155,26 @@ func OpenRouter(opts RouterOptions) (*Router, error) {
 			return nil, err
 		}
 	}
-	if opts.RebalanceInterval > 0 {
-		r.wg.Add(1)
-		go r.loop()
+	// The rebalance/cold-merge pass runs as a scheduled maintenance job
+	// (manual-only when RebalanceInterval is 0): it gets the rebalance
+	// class's retry/quarantine discipline and is shed under disk
+	// pressure along with the other low-priority classes.
+	if r.jobs = opts.Jobs; r.jobs == nil {
+		r.jobs = jobs.New(jobs.Options{})
+		r.ownJobs = true
+	}
+	r.rebalJob = fmt.Sprintf("rebalance:router-%d", routerSeq.Add(1))
+	if err := r.jobs.Register(jobs.Spec{
+		Name:     r.rebalJob,
+		Class:    jobs.ClassRebalance,
+		Interval: opts.RebalanceInterval,
+		Fn: func(ctx context.Context) error {
+			r.Rebalance(ctx)
+			return nil
+		},
+	}); err != nil {
+		r.Close()
+		return nil, err
 	}
 	if opts.ProbeInterval > 0 {
 		r.wg.Add(1)
@@ -152,6 +182,9 @@ func OpenRouter(opts RouterOptions) (*Router, error) {
 	}
 	return r, nil
 }
+
+// Jobs exposes the router's maintenance scheduler (admin surface).
+func (r *Router) Jobs() *jobs.Scheduler { return r.jobs }
 
 // do routes one unary RPC through addr's circuit breaker and feeds the
 // outcome back into the health tracker. An open breaker fails fast
@@ -1047,28 +1080,18 @@ func (r *Router) Close() error {
 	}
 	r.closed = true
 	r.mu.Unlock()
+	if r.rebalJob != "" && r.jobs != nil {
+		r.jobs.Deregister(r.rebalJob)
+	}
 	close(r.stop)
 	r.wg.Wait()
+	if r.ownJobs {
+		r.jobs.Close()
+	}
 	if r.own != nil {
 		r.own.Close()
 	}
 	return nil
-}
-
-// loop periodically refreshes the map, rebalances primary placement and
-// merges adjacent cold regions.
-func (r *Router) loop() {
-	defer r.wg.Done()
-	tick := time.NewTicker(r.opts.RebalanceInterval)
-	defer tick.Stop()
-	for {
-		select {
-		case <-r.stop:
-			return
-		case <-tick.C:
-			r.Rebalance(context.Background())
-		}
-	}
 }
 
 // Rebalance runs one maintenance pass: refresh the map, then either

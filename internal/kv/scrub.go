@@ -1,12 +1,14 @@
 package kv
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
 	"sync/atomic"
 	"time"
 
+	"just/internal/jobs"
 	"just/internal/replica"
 )
 
@@ -71,7 +73,10 @@ func (c *Cluster) reportCorruption(h *regionHandle, r *region, err error) bool {
 
 // scheduleRepair launches repairHandle for h in the background unless
 // the cluster is shutting down. Every launch registers with repairWG so
-// Scrub (and Close) can wait for quiescence.
+// Scrub (and Close) can wait for quiescence. The repair runs through
+// the maintenance scheduler under the repair class — and preempts any
+// in-flight scrub verify of the same region, since the repair is about
+// to wipe and rebuild the very store the scrub is reading.
 func (c *Cluster) scheduleRepair(h *regionHandle) {
 	c.mu.RLock()
 	closed := c.closed
@@ -80,7 +85,21 @@ func (c *Cluster) scheduleRepair(h *regionHandle) {
 		return
 	}
 	c.repairWG.Add(1)
-	go c.repairHandle(h)
+	go func() {
+		defer c.repairWG.Done()
+		// Run, not Submit: the wait-group slot must be released even
+		// when admission rejects the run (class quarantined, scheduler
+		// closing), which only the caller's own goroutine can guarantee.
+		_ = c.jobs.Run(context.Background(), jobs.Spec{
+			Class:    jobs.ClassRepair,
+			Key:      h.jobKey(),
+			Preempts: []jobs.Class{jobs.ClassScrub},
+			Fn: func(context.Context) error {
+				c.repairHandle(h)
+				return nil
+			},
+		})
+	}()
 }
 
 // repairHandle heals every corrupt node of one region group. Concurrent
@@ -91,7 +110,6 @@ func (c *Cluster) scheduleRepair(h *regionHandle) {
 // scan and the flag release can be missed — the next corrupt read or
 // scrub simply schedules again.)
 func (c *Cluster) repairHandle(h *regionHandle) {
-	defer c.repairWG.Done()
 	if !h.repairing.CompareAndSwap(false, true) {
 		return
 	}
@@ -195,14 +213,43 @@ func (c *Cluster) rebuildReplica(h *regionHandle, idx int) error {
 	return nil
 }
 
-// Scrub synchronously verifies every data block of every SSTable on
-// every node (cache bypassed — the bytes are re-read from disk and
-// checked against their CRCs), schedules repairs for any corruption
-// found, and waits for those repairs to complete. It returns the first
-// corruption error only when no repair is possible (RF=0); with
-// replicas, detected corruption is healed and Scrub returns nil.
-// Concurrent Scrub calls serialize.
-func (c *Cluster) Scrub() error {
+// Scrub verifies every data block of every SSTable on every node
+// (cache bypassed — the bytes are re-read from disk and checked against
+// their CRCs), schedules repairs for any corruption found, and waits
+// for those repairs to complete. It returns the first corruption error
+// only when no repair is possible (RF=0); with replicas, detected
+// corruption is healed and Scrub returns nil.
+//
+// The call enqueues through the maintenance scheduler's scrub job:
+// concurrent Scrub calls — manual, admin-endpoint and periodic alike —
+// dedupe onto one in-flight pass, each caller getting that pass's
+// result. Under disk pressure the scrub class is shed and Scrub returns
+// a typed ErrDiskPressure.
+func (c *Cluster) Scrub(ctx context.Context) error {
+	c.mu.RLock()
+	closed := c.closed
+	c.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if err := c.jobs.RunNow(ctx, c.scrubJob); err != nil {
+		if errors.Is(err, jobs.ErrClosed) || errors.Is(err, jobs.ErrUnknownJob) {
+			return ErrClosed
+		}
+		return err
+	}
+	c.scrubMu.Lock()
+	defer c.scrubMu.Unlock()
+	return c.scrubLastErr
+}
+
+// scrubPass is one full verification sweep; it runs only inside the
+// registered scrub job. Corruption found on a node is a detection, not
+// a job failure — it is reported (quarantine + repair) and recorded in
+// scrubLastErr for Scrub's callers, while the job itself succeeds so
+// the scrub class is not driven into quarantine by damage it is doing
+// its job finding.
+func (c *Cluster) scrubPass(ctx context.Context) error {
 	c.scrubMu.Lock()
 	defer c.scrubMu.Unlock()
 	c.mu.RLock()
@@ -224,22 +271,48 @@ func (c *Cluster) Scrub() error {
 	var blocks int64
 	var firstErr error
 	for _, h := range hs {
+		if ctx.Err() != nil {
+			return ErrClosed
+		}
 		anyCorrupt := false
 		for _, n := range h.nodeViews() {
-			nb, err := n.r.verifyTables()
+			nr := n.r
+			var nb int64
+			var verr error
+			// Each node's verify is its own scrub-class run keyed by the
+			// region, so a repair of that region preempts it mid-walk
+			// (the repair is about to wipe the store being read).
+			jerr := c.jobs.Do(ctx, jobs.ClassScrub, h.jobKey(), func(jctx context.Context) error {
+				nb, verr = nr.verifyTables(jctx)
+				if verr != nil && jctx.Err() != nil && errors.Is(verr, jctx.Err()) {
+					return verr // canceled mid-walk: neutral, not a class failure
+				}
+				return nil // corruption is a detection, not a job failure
+			})
 			blocks += nb
 			atomic.AddInt64(&c.met.BlocksScrubbed, nb)
+			if jerr != nil {
+				if ctx.Err() != nil {
+					return ErrClosed // pass itself canceled (shutdown)
+				}
+				// Preempted by a repair of this region, or shed under
+				// disk pressure: skip the handle, the next pass (or the
+				// repair itself) covers it.
+				break
+			}
 			switch {
-			case err == nil:
-			case errors.Is(err, ErrClosed):
+			case verr == nil:
+			case errors.Is(verr, ErrClosed):
 				// A repair wiped this node between the snapshot and the
 				// walk; the fresh store is verified by the next run.
+			case errors.Is(verr, context.Canceled):
+				// Verify preempted but the pass is live: skip the node.
 			default:
-				if !c.reportCorruption(h, n.r, err) && firstErr == nil {
-					firstErr = err
+				if !c.reportCorruption(h, nr, verr) && firstErr == nil {
+					firstErr = verr
 				}
 			}
-			if n.r.isCorrupt() {
+			if nr.isCorrupt() {
 				anyCorrupt = true
 			}
 		}
@@ -253,25 +326,9 @@ func (c *Cluster) Scrub() error {
 	}
 	c.repairWG.Wait()
 	c.scrubLastBlocks.Store(blocks)
+	c.scrubLastErr = firstErr
 	atomic.AddInt64(&c.met.ScrubRuns, 1)
-	return firstErr
-}
-
-// scrubLoop runs Scrub every interval until stop is closed.
-func (c *Cluster) scrubLoop(interval time.Duration) {
-	defer close(c.scrubDone)
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-c.scrubStop:
-			return
-		case <-t.C:
-			if err := c.Scrub(); err != nil && errors.Is(err, ErrClosed) {
-				return
-			}
-		}
-	}
+	return nil
 }
 
 // RegionIntegrityState describes one node's store in ScrubStatus.

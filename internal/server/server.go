@@ -25,6 +25,7 @@ import (
 	"just/internal/core"
 	"just/internal/exec"
 	"just/internal/geom"
+	"just/internal/jobs"
 	"just/internal/kv"
 	"just/internal/sql"
 )
@@ -105,8 +106,8 @@ type Server struct {
 	slowQueries      atomic.Int64 // queries past SlowQueryThreshold
 	peakQueryBytes   atomic.Int64 // high-water mark of any single query's memory
 
-	janitorStop chan struct{}
-	closeOnce   sync.Once
+	janitorJob string // cursor janitor, registered on the engine's scheduler
+	closeOnce  sync.Once
 
 	mu          sync.Mutex
 	cursors     map[string]*cursor
@@ -127,52 +128,53 @@ type cursor struct {
 	elem    *list.Element
 }
 
+// serverSeq disambiguates janitor job names when several servers share
+// one engine (tests do).
+var serverSeq atomic.Int64
+
 // New creates a server over an engine.
 func New(engine *core.Engine, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		engine:      engine,
-		opts:        opts,
-		adm:         newAdmissionController(opts.MaxConcurrentQueries, opts.MaxQueuedQueries),
-		registry:    newQueryRegistry(),
-		janitorStop: make(chan struct{}),
-		cursors:     map[string]*cursor{},
-		lru:         list.New(),
-		now:         time.Now,
+		engine:   engine,
+		opts:     opts,
+		adm:      newAdmissionController(opts.MaxConcurrentQueries, opts.MaxQueuedQueries),
+		registry: newQueryRegistry(),
+		cursors:  map[string]*cursor{},
+		lru:      list.New(),
+		now:      time.Now,
 	}
-	go s.cursorJanitor()
-	return s
-}
-
-// Close stops the background cursor janitor. It does not close the
-// engine. Safe to call more than once.
-func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.janitorStop) })
-}
-
-// cursorJanitor expires abandoned cursors on a timer, so TTL'd pages
-// release their memory even when no request arrives to trigger the
-// lazy sweep.
-func (s *Server) cursorJanitor() {
-	interval := s.opts.CursorTTL / 4
+	// The cursor janitor expires abandoned cursors on a timer, so TTL'd
+	// pages release their memory even when no request arrives to trigger
+	// the lazy sweep. It runs as a scheduled janitor-class job: lowest
+	// priority, shed first under disk pressure (requests still sweep
+	// lazily), visible and pausable through /api/v1/admin/jobs.
+	interval := opts.CursorTTL / 4
 	if interval < 10*time.Millisecond {
 		interval = 10 * time.Millisecond
 	}
 	if interval > 30*time.Second {
 		interval = 30 * time.Second
 	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-t.C:
+	s.janitorJob = fmt.Sprintf("cursor-janitor-%d", serverSeq.Add(1))
+	engine.Jobs().Register(jobs.Spec{
+		Name:     s.janitorJob,
+		Class:    jobs.ClassJanitor,
+		Interval: interval,
+		Fn: func(context.Context) error {
 			s.mu.Lock()
 			s.gcLocked()
 			s.mu.Unlock()
-		case <-s.janitorStop:
-			return
-		}
-	}
+			return nil
+		},
+	})
+	return s
+}
+
+// Close stops the background cursor janitor. It does not close the
+// engine. Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { s.engine.Jobs().Deregister(s.janitorJob) })
 }
 
 // Handler returns the HTTP routes.
@@ -190,7 +192,80 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/admin/scrub", s.handleScrub)
 	mux.HandleFunc("/api/v1/admin/scrub/run", s.handleScrubRun)
 	mux.HandleFunc("/api/v1/admin/stats/refresh", s.handleStatsRefresh)
+	mux.HandleFunc("/api/v1/admin/jobs", s.handleJobs)
+	mux.HandleFunc("/api/v1/admin/jobs/run", s.handleJobsRun)
+	mux.HandleFunc("/api/v1/admin/jobs/pause", s.handleJobsPause)
+	mux.HandleFunc("/api/v1/admin/jobs/resume", s.handleJobsResume)
 	return mux
+}
+
+// handleJobs reports the maintenance scheduler: per-job state and run
+// history, per-class quarantine/pause state and counters, and the
+// disk-pressure watchdog — GET /api/v1/admin/jobs.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.engine.Jobs().Snapshot())
+}
+
+// jobActionRequest is the body of the POST /api/v1/admin/jobs/*
+// actions: run wants a job name; pause/resume want a class.
+type jobActionRequest struct {
+	Name  string `json:"name"`
+	Class string `json:"class"`
+}
+
+// handleJobsRun triggers one registered job and waits for the result:
+// POST /api/v1/admin/jobs/run {"name": "scrub:..."}. Concurrent runs of
+// the same job collapse onto the in-flight one.
+func (s *Server) handleJobsRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req jobActionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Name == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad request: need {\"name\": ...}"})
+		return
+	}
+	resp := map[string]any{"job": req.Name, "ok": true}
+	if err := s.engine.Jobs().RunNow(r.Context(), req.Name); err != nil {
+		resp["ok"] = false
+		resp["error"] = err.Error()
+		if errors.Is(err, jobs.ErrUnknownJob) {
+			writeJSON(w, http.StatusNotFound, resp)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobsPause pauses a maintenance class (new runs are refused with
+// a typed error until resumed): POST {"class": "compact"}.
+func (s *Server) handleJobsPause(w http.ResponseWriter, r *http.Request) {
+	s.handleJobsClassAction(w, r, func(c jobs.Class) { s.engine.Jobs().Pause(c) })
+}
+
+// handleJobsResume resumes a paused class and lifts any quarantine on
+// it (the operator override): POST {"class": "compact"}.
+func (s *Server) handleJobsResume(w http.ResponseWriter, r *http.Request) {
+	s.handleJobsClassAction(w, r, func(c jobs.Class) { s.engine.Jobs().Resume(c) })
+}
+
+func (s *Server) handleJobsClassAction(w http.ResponseWriter, r *http.Request, apply func(jobs.Class)) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req jobActionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Class == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad request: need {\"class\": ...}"})
+		return
+	}
+	apply(jobs.Class(req.Class))
+	writeJSON(w, http.StatusOK, s.engine.Jobs().Snapshot())
 }
 
 // sqlRequest is the body of POST /api/v1/sql.
@@ -573,6 +648,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"peak_query_bytes":          s.peakQueryBytes.Load(),
 		"slow_queries":              s.slowQueries.Load(),
 		"codecs":                    compress.Stats(),
+		"compactions_deferred":      m.CompactionsDeferred,
+		"jobs":                      s.engine.Jobs().Metrics(),
+		"jobs_healthy":              s.engine.Jobs().Healthy(),
+		"disk_pressure":             s.engine.Jobs().Pressured(),
+		"disk_free_bytes":           s.engine.Jobs().DiskFree(),
 	})
 }
 
@@ -622,7 +702,7 @@ func (s *Server) handleScrubRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := map[string]any{}
-	if err := c.Scrub(); err != nil {
+	if err := c.Scrub(r.Context()); err != nil {
 		resp["error"] = err.Error()
 	}
 	resp["scrub"] = c.ScrubState()
